@@ -1,0 +1,103 @@
+//! Criterion benches for contract-level operations: what one `unlock`,
+//! `claim`, or `refund` transaction costs the hosting chain, and how
+//! hashkey verification scales with path length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swap_chain::{AssetDescriptor, AssetRegistry, ContractLogic, ExecCtx};
+use swap_contract::testkit::{keypair_for, leader_secret, spec_for};
+use swap_contract::{SwapCall, SwapContract};
+use swap_crypto::SigChain;
+use swap_digraph::{generators, VertexId, VertexPath};
+use swap_sim::SimTime;
+
+/// Builds a contract on the last arc of a cycle(n) plus a valid hashkey
+/// whose path winds through the whole cycle (length n-1).
+fn unlock_fixture(n: usize) -> (SwapContract, AssetRegistry, SwapCall, swap_crypto::Address) {
+    let d = generators::cycle(n);
+    let leader = VertexId::new(0);
+    let spec = spec_for(d.clone(), vec![leader]);
+    // Arc entering vertex 1 (head = leader): counterparty is vertex 1; its
+    // path to the leader walks the rest of the cycle.
+    let arc = d.arcs().find(|a| a.head == leader).expect("leader out-arc").id;
+    let counterparty = d.tail(arc);
+    let mut assets = AssetRegistry::new();
+    let asset = assets.mint(AssetDescriptor::unique("x"), spec.address_of(leader));
+    let mut contract = SwapContract::new(spec.clone(), arc, asset);
+    let mut ctx = ExecCtx {
+        caller: contract.party(),
+        now: spec.start,
+        this: swap_chain::ContractId::new(0),
+        assets: &mut assets,
+    };
+    contract.on_publish(&mut ctx).expect("escrow");
+    // Path: (counterparty, counterparty+1, …, leader).
+    let mut vertices = Vec::new();
+    let mut v = counterparty;
+    loop {
+        vertices.push(v);
+        if v == leader {
+            break;
+        }
+        v = d.successors(v)[0];
+    }
+    let path = VertexPath::from_vertices(vertices.clone()).expect("non-empty");
+    let secret = leader_secret(leader);
+    let mut chain = SigChain::sign_secret(&mut keypair_for(leader), &secret).expect("keys");
+    for &signer in vertices.iter().rev().skip(1) {
+        chain = chain.extend(&mut keypair_for(signer)).expect("keys");
+    }
+    let call = SwapCall::Unlock { index: 0, secret, path, sig: chain };
+    let caller = spec.address_of(counterparty);
+    (contract, assets, call, caller)
+}
+
+fn bench_unlock_verification(c: &mut Criterion) {
+    // The dominant on-chain cost: verifying a hashkey whose signature chain
+    // has n links.
+    let mut group = c.benchmark_group("unlock_verify");
+    group.sample_size(10);
+    for n in [3usize, 5, 8] {
+        let (contract, assets, call, caller) = unlock_fixture(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || (contract.clone(), assets.clone(), call.clone()),
+                |(mut contract, mut assets, call)| {
+                    let mut ctx = ExecCtx {
+                        caller,
+                        now: contract.spec().start,
+                        this: swap_chain::ContractId::new(0),
+                        assets: &mut assets,
+                    };
+                    contract.apply(call, &mut ctx).expect("valid hashkey")
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_contract_storage(c: &mut Criterion) {
+    // storage_bytes is called on every metering pass; it must stay cheap.
+    let mut group = c.benchmark_group("storage_bytes");
+    for n in [3usize, 6, 10] {
+        let d = generators::complete(n);
+        let leaders: Vec<VertexId> = (0..n - 1).map(|i| VertexId::new(i as u32)).collect();
+        let spec = spec_for(d, leaders);
+        let contract = SwapContract::new(spec, swap_digraph::ArcId::new(0), swap_chain::AssetId::new(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &contract, |b, contract| {
+            b.iter(|| contract.storage_bytes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_unlock_verification, bench_contract_storage
+}
+criterion_main!(benches);

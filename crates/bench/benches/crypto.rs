@@ -1,0 +1,121 @@
+//! Criterion benches for the hash-based crypto substrate: the cost of the
+//! primitives every contract call ultimately pays for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swap_crypto::sha256::sha256;
+use swap_crypto::{lamport, MssKeypair, Secret, SigChain};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(std::hint::black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lamport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lamport");
+    let seed = [7u8; 32];
+    group.bench_function("keygen", |b| {
+        b.iter(|| lamport::keygen(std::hint::black_box(&seed), 0))
+    });
+    let msg = sha256(b"message");
+    group.bench_function("sign", |b| {
+        b.iter_batched(
+            || lamport::keygen(&seed, 0).0,
+            |sk| lamport::sign(sk, &msg),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let (sk, pk) = lamport::keygen(&seed, 0);
+    let sig = lamport::sign(sk, &msg);
+    let pk_digest = pk.digest();
+    group.bench_function("verify", |b| {
+        b.iter(|| lamport::verify(std::hint::black_box(&sig), &msg, &pk_digest))
+    });
+    group.finish();
+}
+
+fn bench_mss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mss");
+    group.sample_size(10);
+    for height in [2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("keygen", height), &height, |b, &h| {
+            b.iter(|| MssKeypair::from_seed_with_height([1u8; 32], h))
+        });
+    }
+    let msg = sha256(b"message");
+    group.bench_function("sign_h6", |b| {
+        b.iter_batched(
+            || MssKeypair::from_seed_with_height([1u8; 32], 6),
+            |mut kp| kp.sign(&msg).expect("keys remain"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let mut kp = MssKeypair::from_seed_with_height([1u8; 32], 6);
+    let pk = kp.public_key();
+    let sig = kp.sign(&msg).unwrap();
+    group.bench_function("verify_h6", |b| {
+        b.iter(|| pk.verify(&msg, std::hint::black_box(&sig)))
+    });
+    group.finish();
+}
+
+fn bench_sigchain(c: &mut Criterion) {
+    // Hashkey chains of growing path length — the per-arc unlock cost in
+    // the general protocol.
+    let mut group = c.benchmark_group("sigchain");
+    group.sample_size(10);
+    let secret = Secret::from_bytes([5u8; 32]);
+    for links in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("build", links), &links, |b, &links| {
+            b.iter_batched(
+                || {
+                    (0..links)
+                        .map(|i| MssKeypair::from_seed_with_height([i as u8 + 1; 32], 4))
+                        .collect::<Vec<_>>()
+                },
+                |mut kps| {
+                    let mut chain = SigChain::sign_secret(&mut kps[0], &secret).expect("keys");
+                    for kp in kps.iter_mut().skip(1) {
+                        chain = chain.extend(kp).expect("keys");
+                    }
+                    chain
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        // Verification cost (what the contract pays on `unlock`).
+        let mut kps: Vec<MssKeypair> = (0..links)
+            .map(|i| MssKeypair::from_seed_with_height([i as u8 + 1; 32], 4))
+            .collect();
+        let mut chain = SigChain::sign_secret(&mut kps[0], &secret).expect("keys");
+        for kp in kps.iter_mut().skip(1) {
+            chain = chain.extend(kp).expect("keys");
+        }
+        // Path order: outermost signer first, leader last.
+        let keys: Vec<_> = kps.iter().rev().map(|kp| kp.public_key()).collect();
+        group.bench_with_input(BenchmarkId::new("verify", links), &links, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(&chain)
+                    .verify(&secret, &keys)
+                    .expect("valid chain")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_sha256, bench_lamport, bench_mss, bench_sigchain
+}
+criterion_main!(benches);

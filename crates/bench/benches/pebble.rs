@@ -1,0 +1,64 @@
+//! Criterion benches for the §4.4 pebble games (experiment E5's engine):
+//! lazy (Phase One) and eager (Phase Two) coverage across families.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swap_digraph::{generators, Digraph, FeedbackVertexSet, VertexId};
+use swap_pebble::{EagerPebbleGame, LazyPebbleGame};
+use swap_sim::SimRng;
+
+fn families() -> Vec<(String, Digraph)> {
+    let mut out = Vec::new();
+    for n in [10usize, 40, 160] {
+        out.push((format!("cycle/{n}"), generators::cycle(n)));
+    }
+    for n in [5usize, 10, 20] {
+        out.push((format!("complete/{n}"), generators::complete(n)));
+    }
+    for n in [10usize, 40] {
+        out.push((
+            format!("random/{n}"),
+            generators::random_strongly_connected(n, 0.1, &mut SimRng::from_seed(5)),
+        ));
+    }
+    out
+}
+
+fn bench_lazy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy_game");
+    for (name, d) in families() {
+        let leaders: BTreeSet<VertexId> =
+            FeedbackVertexSet::greedy(&d).into_vertices().into_iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &d, |b, d| {
+            b.iter(|| {
+                let mut game = LazyPebbleGame::new(d, &leaders);
+                game.run_to_completion().expect("covers")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eager_game");
+    for (name, d) in families() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &d, |b, d| {
+            b.iter(|| {
+                let mut game = EagerPebbleGame::new(d, VertexId::new(0));
+                game.run_to_completion().expect("covers")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_lazy, bench_eager
+}
+criterion_main!(benches);

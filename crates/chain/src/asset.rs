@@ -1,0 +1,298 @@
+//! Assets and ownership.
+//!
+//! An asset is anything a blockchain records title to — "a unit of
+//! cryptocurrency or an automobile title" (§2.2). Each asset lives on
+//! exactly one chain and has exactly one owner at a time: a party address or
+//! a contract holding it in escrow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use swap_crypto::Address;
+
+use crate::contract::ContractId;
+
+/// Identifies an asset within one chain.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AssetId(u64);
+
+impl AssetId {
+    /// Creates an asset id.
+    pub const fn new(v: u64) -> Self {
+        AssetId(v)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AssetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asset{}", self.0)
+    }
+}
+
+/// What an asset is: a label plus a quantity (1 for unique titles).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssetDescriptor {
+    /// Human-readable kind, e.g. `"altcoin"`, `"cadillac-title"`.
+    pub kind: String,
+    /// Number of units (1 for non-fungible titles).
+    pub units: u64,
+}
+
+impl AssetDescriptor {
+    /// Creates a descriptor.
+    pub fn new(kind: impl Into<String>, units: u64) -> Self {
+        AssetDescriptor { kind: kind.into(), units }
+    }
+
+    /// A one-unit (title-like) asset.
+    pub fn unique(kind: impl Into<String>) -> Self {
+        Self::new(kind, 1)
+    }
+}
+
+/// Who currently controls an asset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Owner {
+    /// A party, by address.
+    Party(Address),
+    /// A contract holding the asset in escrow.
+    Escrow(ContractId),
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Party(a) => write!(f, "{a}"),
+            Owner::Escrow(c) => write!(f, "escrow:{c}"),
+        }
+    }
+}
+
+/// Errors from asset operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssetError {
+    /// The asset does not exist on this chain.
+    Unknown(AssetId),
+    /// The operation requires a different current owner.
+    NotOwner {
+        /// The asset involved.
+        asset: AssetId,
+        /// Who actually owns it.
+        actual: Owner,
+    },
+}
+
+impl fmt::Display for AssetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssetError::Unknown(a) => write!(f, "unknown asset {a}"),
+            AssetError::NotOwner { asset, actual } => {
+                write!(f, "{asset} is owned by {actual}, not the caller")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssetError {}
+
+/// The per-chain asset ledger: mints assets and tracks every ownership
+/// change.
+///
+/// # Example
+///
+/// ```
+/// use swap_chain::{AssetDescriptor, AssetRegistry, Owner};
+/// use swap_crypto::{Address, Digest32};
+///
+/// let alice = Address::from_digest(Digest32([1u8; 32]));
+/// let bob = Address::from_digest(Digest32([2u8; 32]));
+/// let mut reg = AssetRegistry::new();
+/// let coin = reg.mint(AssetDescriptor::new("altcoin", 100), alice);
+/// assert_eq!(reg.owner(coin), Some(Owner::Party(alice)));
+/// reg.transfer_from(coin, Owner::Party(alice), Owner::Party(bob)).unwrap();
+/// assert_eq!(reg.owner(coin), Some(Owner::Party(bob)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssetRegistry {
+    records: BTreeMap<AssetId, AssetRecord>,
+    next_id: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct AssetRecord {
+    descriptor: AssetDescriptor,
+    owner: Owner,
+}
+
+impl AssetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints a new asset owned by `owner`, returning its id.
+    pub fn mint(&mut self, descriptor: AssetDescriptor, owner: Address) -> AssetId {
+        let id = AssetId::new(self.next_id);
+        self.next_id += 1;
+        self.records.insert(id, AssetRecord { descriptor, owner: Owner::Party(owner) });
+        id
+    }
+
+    /// The current owner of `asset`, if it exists.
+    pub fn owner(&self, asset: AssetId) -> Option<Owner> {
+        self.records.get(&asset).map(|r| r.owner)
+    }
+
+    /// The descriptor of `asset`, if it exists.
+    pub fn descriptor(&self, asset: AssetId) -> Option<&AssetDescriptor> {
+        self.records.get(&asset).map(|r| &r.descriptor)
+    }
+
+    /// Transfers `asset` from `expected_owner` to `new_owner`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`AssetError::Unknown`] for missing assets and
+    /// [`AssetError::NotOwner`] when `expected_owner` does not match — the
+    /// compare-and-swap style rules out races and forged transfers.
+    pub fn transfer_from(
+        &mut self,
+        asset: AssetId,
+        expected_owner: Owner,
+        new_owner: Owner,
+    ) -> Result<(), AssetError> {
+        let record = self.records.get_mut(&asset).ok_or(AssetError::Unknown(asset))?;
+        if record.owner != expected_owner {
+            return Err(AssetError::NotOwner { asset, actual: record.owner });
+        }
+        record.owner = new_owner;
+        Ok(())
+    }
+
+    /// All assets currently owned by `owner`, sorted by id.
+    pub fn assets_of(&self, owner: Owner) -> Vec<AssetId> {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.owner == owner)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Number of minted assets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no assets exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate bytes stored for the registry (for storage metering).
+    pub fn storage_bytes(&self) -> usize {
+        self.records
+            .values()
+            .map(|r| 8 + r.descriptor.kind.len() + 8 + 33)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swap_crypto::Digest32;
+
+    fn addr(b: u8) -> Address {
+        Address::from_digest(Digest32([b; 32]))
+    }
+
+    #[test]
+    fn mint_assigns_sequential_ids() {
+        let mut reg = AssetRegistry::new();
+        let a = reg.mint(AssetDescriptor::unique("title"), addr(1));
+        let b = reg.mint(AssetDescriptor::new("coin", 5), addr(1));
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.descriptor(a).unwrap().units, 1);
+        assert_eq!(reg.descriptor(b).unwrap().units, 5);
+    }
+
+    #[test]
+    fn transfer_happy_path() {
+        let mut reg = AssetRegistry::new();
+        let coin = reg.mint(AssetDescriptor::new("btc", 1), addr(1));
+        reg.transfer_from(coin, Owner::Party(addr(1)), Owner::Party(addr(2))).unwrap();
+        assert_eq!(reg.owner(coin), Some(Owner::Party(addr(2))));
+    }
+
+    #[test]
+    fn transfer_wrong_owner_rejected() {
+        let mut reg = AssetRegistry::new();
+        let coin = reg.mint(AssetDescriptor::new("btc", 1), addr(1));
+        let err = reg
+            .transfer_from(coin, Owner::Party(addr(2)), Owner::Party(addr(3)))
+            .unwrap_err();
+        assert!(matches!(err, AssetError::NotOwner { .. }));
+        // Ownership unchanged.
+        assert_eq!(reg.owner(coin), Some(Owner::Party(addr(1))));
+    }
+
+    #[test]
+    fn transfer_unknown_asset_rejected() {
+        let mut reg = AssetRegistry::new();
+        let err = reg
+            .transfer_from(AssetId::new(99), Owner::Party(addr(1)), Owner::Party(addr(2)))
+            .unwrap_err();
+        assert_eq!(err, AssetError::Unknown(AssetId::new(99)));
+        assert!(err.to_string().contains("asset99"));
+    }
+
+    #[test]
+    fn escrow_roundtrip() {
+        let mut reg = AssetRegistry::new();
+        let car = reg.mint(AssetDescriptor::unique("cadillac"), addr(1));
+        let contract = ContractId::new(7);
+        reg.transfer_from(car, Owner::Party(addr(1)), Owner::Escrow(contract)).unwrap();
+        assert_eq!(reg.owner(car), Some(Owner::Escrow(contract)));
+        // Only the escrow owner matches now.
+        assert!(reg
+            .transfer_from(car, Owner::Party(addr(1)), Owner::Party(addr(2)))
+            .is_err());
+        reg.transfer_from(car, Owner::Escrow(contract), Owner::Party(addr(2))).unwrap();
+        assert_eq!(reg.owner(car), Some(Owner::Party(addr(2))));
+    }
+
+    #[test]
+    fn assets_of_filters_by_owner() {
+        let mut reg = AssetRegistry::new();
+        let a = reg.mint(AssetDescriptor::unique("x"), addr(1));
+        let _b = reg.mint(AssetDescriptor::unique("y"), addr(2));
+        let c = reg.mint(AssetDescriptor::unique("z"), addr(1));
+        assert_eq!(reg.assets_of(Owner::Party(addr(1))), vec![a, c]);
+        assert_eq!(reg.assets_of(Owner::Escrow(ContractId::new(0))), vec![]);
+    }
+
+    #[test]
+    fn storage_bytes_nonzero() {
+        let mut reg = AssetRegistry::new();
+        assert_eq!(reg.storage_bytes(), 0);
+        reg.mint(AssetDescriptor::unique("title"), addr(1));
+        assert!(reg.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn owner_display() {
+        assert!(Owner::Party(addr(1)).to_string().starts_with('@'));
+        assert!(Owner::Escrow(ContractId::new(3)).to_string().contains("escrow"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Hash-chained blocks.
+//!
+//! Tamper-evidence is the one blockchain property the paper leans on that a
+//! plain `Vec` of transactions would not give us honestly, so blocks carry a
+//! parent hash and a Merkle root over their transactions' digests, and
+//! [`crate::Blockchain::verify_integrity`] re-derives the whole chain.
+
+use serde::{Deserialize, Serialize};
+use swap_crypto::merkle::{leaf_hash, MerkleTree};
+use swap_crypto::sha256::{sha256_concat, Digest32};
+use swap_sim::SimTime;
+
+/// A sealed block: header fields plus the digests of its transactions.
+///
+/// Transaction *bodies* live in the ledger's typed transaction log; blocks
+/// commit to them by digest, which is all integrity checking needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the previous block (all zeros for genesis).
+    pub parent: Digest32,
+    /// When the block was sealed.
+    pub time: SimTime,
+    /// Merkle root over `tx_digests` (all zeros when empty).
+    pub tx_root: Digest32,
+    /// Digest of each transaction included, in order.
+    pub tx_digests: Vec<Digest32>,
+}
+
+impl Block {
+    /// Creates the genesis block.
+    pub fn genesis(time: SimTime) -> Self {
+        Block {
+            height: 0,
+            parent: Digest32::ZERO,
+            time,
+            tx_root: Digest32::ZERO,
+            tx_digests: Vec::new(),
+        }
+    }
+
+    /// Seals a successor block over the given transaction digests.
+    pub fn seal(parent: &Block, time: SimTime, tx_digests: Vec<Digest32>) -> Self {
+        Block {
+            height: parent.height + 1,
+            parent: parent.hash(),
+            time,
+            tx_root: merkle_root(&tx_digests),
+            tx_digests,
+        }
+    }
+
+    /// The block's own hash, binding header and transaction root.
+    pub fn hash(&self) -> Digest32 {
+        sha256_concat(&[
+            b"swap/block/v1",
+            &self.height.to_be_bytes(),
+            self.parent.as_bytes(),
+            &self.time.ticks().to_be_bytes(),
+            self.tx_root.as_bytes(),
+        ])
+    }
+
+    /// Verifies this block's internal consistency (root matches digests).
+    pub fn is_consistent(&self) -> bool {
+        self.tx_root == merkle_root(&self.tx_digests)
+    }
+
+    /// Approximate on-chain bytes for the header (hashes + integers).
+    pub const HEADER_BYTES: usize = 32 + 32 + 8 + 8;
+}
+
+/// Merkle root over transaction digests; zero for an empty block.
+pub fn merkle_root(tx_digests: &[Digest32]) -> Digest32 {
+    if tx_digests.is_empty() {
+        return Digest32::ZERO;
+    }
+    let leaves: Vec<Digest32> = tx_digests.iter().map(|d| leaf_hash(d.as_bytes())).collect();
+    *MerkleTree::from_leaves(leaves).expect("non-empty").root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swap_crypto::sha256::sha256;
+
+    #[test]
+    fn genesis_shape() {
+        let g = Block::genesis(SimTime::ZERO);
+        assert_eq!(g.height, 0);
+        assert_eq!(g.parent, Digest32::ZERO);
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn seal_links_to_parent() {
+        let g = Block::genesis(SimTime::ZERO);
+        let txs = vec![sha256(b"tx1"), sha256(b"tx2")];
+        let b1 = Block::seal(&g, SimTime::from_ticks(5), txs.clone());
+        assert_eq!(b1.height, 1);
+        assert_eq!(b1.parent, g.hash());
+        assert!(b1.is_consistent());
+        let b2 = Block::seal(&b1, SimTime::from_ticks(9), vec![]);
+        assert_eq!(b2.parent, b1.hash());
+        assert_eq!(b2.tx_root, Digest32::ZERO);
+    }
+
+    #[test]
+    fn tampering_with_txs_breaks_consistency() {
+        let g = Block::genesis(SimTime::ZERO);
+        let mut b = Block::seal(&g, SimTime::from_ticks(1), vec![sha256(b"tx")]);
+        b.tx_digests.push(sha256(b"injected"));
+        assert!(!b.is_consistent());
+    }
+
+    #[test]
+    fn hash_binds_every_header_field() {
+        let g = Block::genesis(SimTime::ZERO);
+        let base = Block::seal(&g, SimTime::from_ticks(1), vec![sha256(b"tx")]);
+        let mut changed_height = base.clone();
+        changed_height.height += 1;
+        assert_ne!(base.hash(), changed_height.hash());
+        let mut changed_time = base.clone();
+        changed_time.time = SimTime::from_ticks(2);
+        assert_ne!(base.hash(), changed_time.hash());
+        let mut changed_parent = base.clone();
+        changed_parent.parent = sha256(b"evil");
+        assert_ne!(base.hash(), changed_parent.hash());
+    }
+
+    #[test]
+    fn merkle_root_is_order_sensitive() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert_ne!(merkle_root(&[a, b]), merkle_root(&[b, a]));
+        assert_eq!(merkle_root(&[]), Digest32::ZERO);
+    }
+}

@@ -1,0 +1,196 @@
+//! Multiple blockchains: one per swap arc.
+//!
+//! The paper treats "blockchain and arc interchangeably" (§3): each proposed
+//! transfer lives on its own shared blockchain. [`ChainSet`] is the handful
+//! of independent ledgers a swap runs across, addressed by [`ChainId`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use swap_sim::SimTime;
+
+use crate::chain::{Blockchain, StorageReport};
+use crate::contract::ContractLogic;
+
+/// Identifies one blockchain in a [`ChainSet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ChainId(u32);
+
+impl ChainId {
+    /// Creates a chain id.
+    pub const fn new(v: u32) -> Self {
+        ChainId(v)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain{}", self.0)
+    }
+}
+
+/// A set of independent blockchains sharing a contract logic type.
+///
+/// # Example
+///
+/// ```no_run
+/// // Typical setup (C is your ContractLogic type):
+/// // let mut chains: ChainSet<C> = ChainSet::new();
+/// // let btc = chains.create_chain("bitcoin", SimTime::ZERO);
+/// // chains.get_mut(btc).unwrap().publish_contract(...);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChainSet<C: ContractLogic> {
+    chains: BTreeMap<ChainId, Blockchain<C>>,
+    next_id: u32,
+}
+
+impl<C: ContractLogic> ChainSet<C> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ChainSet { chains: BTreeMap::new(), next_id: 0 }
+    }
+
+    /// Creates a new chain, returning its id.
+    pub fn create_chain(&mut self, name: impl Into<String>, genesis_time: SimTime) -> ChainId {
+        let id = ChainId::new(self.next_id);
+        self.next_id += 1;
+        self.chains.insert(id, Blockchain::new(name, genesis_time));
+        id
+    }
+
+    /// Read access to one chain.
+    pub fn get(&self, id: ChainId) -> Option<&Blockchain<C>> {
+        self.chains.get(&id)
+    }
+
+    /// Write access to one chain (to submit transactions).
+    pub fn get_mut(&mut self, id: ChainId) -> Option<&mut Blockchain<C>> {
+        self.chains.get_mut(&id)
+    }
+
+    /// Iterator over `(id, chain)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ChainId, &Blockchain<C>)> {
+        self.chains.iter().map(|(&id, c)| (id, c))
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Aggregated storage across all chains — "bits stored on all
+    /// blockchains", the exact phrase of Theorem 4.10.
+    pub fn storage_report(&self) -> StorageReport {
+        self.chains
+            .values()
+            .map(Blockchain::storage_report)
+            .fold(StorageReport::default(), |acc, r| acc.merge(&r))
+    }
+
+    /// Whether every chain passes integrity verification.
+    pub fn verify_integrity(&self) -> bool {
+        self.chains.values().all(Blockchain::verify_integrity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::AssetDescriptor;
+    use crate::contract::ExecCtx;
+    use swap_crypto::{Address, Digest32};
+
+    #[derive(Debug, Clone)]
+    struct Nop;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct NopError;
+    impl fmt::Display for NopError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "nop")
+        }
+    }
+    impl std::error::Error for NopError {}
+
+    impl ContractLogic for Nop {
+        type Call = ();
+        type Event = ();
+        type Error = NopError;
+        fn on_publish(&mut self, _ctx: &mut ExecCtx<'_>) -> Result<Vec<()>, NopError> {
+            Ok(vec![])
+        }
+        fn apply(&mut self, _call: (), _ctx: &mut ExecCtx<'_>) -> Result<Vec<()>, NopError> {
+            Ok(vec![])
+        }
+        fn storage_bytes(&self) -> usize {
+            10
+        }
+        fn is_terminated(&self) -> bool {
+            false
+        }
+    }
+
+    fn addr(b: u8) -> Address {
+        Address::from_digest(Digest32([b; 32]))
+    }
+
+    #[test]
+    fn create_and_access_chains() {
+        let mut set: ChainSet<Nop> = ChainSet::new();
+        assert!(set.is_empty());
+        let a = set.create_chain("bitcoin", SimTime::ZERO);
+        let b = set.create_chain("altcoin", SimTime::ZERO);
+        assert_ne!(a, b);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(a).unwrap().name(), "bitcoin");
+        assert_eq!(set.get(b).unwrap().name(), "altcoin");
+        assert!(set.get(ChainId::new(99)).is_none());
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn storage_aggregates_across_chains() {
+        let mut set: ChainSet<Nop> = ChainSet::new();
+        let a = set.create_chain("a", SimTime::ZERO);
+        let b = set.create_chain("b", SimTime::ZERO);
+        set.get_mut(a)
+            .unwrap()
+            .publish_contract(Nop, addr(1), SimTime::from_ticks(1))
+            .unwrap();
+        set.get_mut(b)
+            .unwrap()
+            .mint_asset(AssetDescriptor::unique("t"), addr(1), SimTime::from_ticks(1));
+        let report = set.storage_report();
+        assert_eq!(report.contract_bytes, 10);
+        assert!(report.asset_bytes > 0);
+        assert!(report.blocks >= 4); // 2 genesis + 2 txs
+    }
+
+    #[test]
+    fn integrity_across_chains() {
+        let mut set: ChainSet<Nop> = ChainSet::new();
+        set.create_chain("a", SimTime::ZERO);
+        set.create_chain("b", SimTime::ZERO);
+        assert!(set.verify_integrity());
+    }
+
+    #[test]
+    fn chain_id_display() {
+        assert_eq!(ChainId::new(2).to_string(), "chain2");
+        assert_eq!(ChainId::new(2).raw(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Test fixtures shared by this crate's tests and downstream crates'
+//! tests/benches. Not part of the stable public API.
+#![doc(hidden)]
+#![allow(missing_docs)]
+
+use swap_crypto::{Address, MssKeypair, MssPublicKey, Secret};
+use swap_digraph::{Digraph, VertexId};
+use swap_sim::{Delta, SimTime};
+
+use crate::spec::SwapSpec;
+
+/// Builds a minimal valid spec over the given digraph with the given
+/// leaders; key material is derived from tiny deterministic seeds. Leader
+/// `l`'s secret is `[l.raw() as u8 + 100; 32]` — see [`leader_secret`].
+pub fn spec_for(digraph: Digraph, leaders: Vec<VertexId>) -> SwapSpec {
+    let n = digraph.vertex_count();
+    let keys: Vec<MssPublicKey> =
+        (0..n).map(|i| keypair_for(VertexId::new(i as u32)).public_key()).collect();
+    let addresses: Vec<Address> = keys.iter().map(|k| k.address()).collect();
+    let hashlocks = leaders.iter().map(|&l| leader_secret(l).hashlock()).collect();
+    let diam = digraph.diameter() as u64;
+    SwapSpec {
+        digraph,
+        leaders,
+        hashlocks,
+        addresses,
+        keys,
+        start: SimTime::from_ticks(10),
+        delta: Delta::from_ticks(10),
+        diam,
+        broadcast_arcs: false,
+    }
+}
+
+/// The deterministic keypair backing vertex `v` in [`spec_for`] specs.
+pub fn keypair_for(v: VertexId) -> MssKeypair {
+    MssKeypair::from_seed_with_height([v.raw() as u8 + 1; 32], 2)
+}
+
+/// The deterministic secret leader `l` holds in [`spec_for`] specs.
+pub fn leader_secret(l: VertexId) -> Secret {
+    Secret::from_bytes([l.raw() as u8 + 100; 32])
+}

@@ -1,0 +1,160 @@
+//! Property tests for the contracts: no sequence of invalid inputs may
+//! ever move an escrowed asset.
+
+use proptest::prelude::*;
+use swap_chain::{AssetDescriptor, AssetRegistry, ContractId, ContractLogic, ExecCtx, Owner};
+use swap_contract::testkit::{keypair_for, leader_secret, spec_for};
+use swap_contract::{HtlcCall, HtlcContract, SwapCall, SwapContract};
+use swap_crypto::{Address, Digest32, Secret, SigChain};
+use swap_digraph::{generators, VertexPath};
+use swap_sim::SimTime;
+
+fn addr(b: u8) -> Address {
+    Address::from_digest(Digest32([b; 32]))
+}
+
+proptest! {
+    /// HTLC: arbitrary wrong secrets never trigger, regardless of timing,
+    /// and the escrow stays intact.
+    #[test]
+    fn htlc_rejects_wrong_secrets(
+        real in any::<[u8; 32]>(),
+        guess in any::<[u8; 32]>(),
+        when in 0u64..200,
+    ) {
+        prop_assume!(real != guess);
+        let mut assets = AssetRegistry::new();
+        let asset = assets.mint(AssetDescriptor::unique("x"), addr(1));
+        let secret = Secret::from_bytes(real);
+        let mut htlc = HtlcContract::new(
+            asset, addr(1), addr(2), secret.hashlock(), SimTime::from_ticks(100),
+        );
+        let this = ContractId::new(0);
+        let mut ctx = ExecCtx { caller: addr(1), now: SimTime::ZERO, this, assets: &mut assets };
+        htlc.on_publish(&mut ctx).expect("escrow");
+        let mut ctx = ExecCtx {
+            caller: addr(2),
+            now: SimTime::from_ticks(when),
+            this,
+            assets: &mut assets,
+        };
+        let result = htlc.apply(HtlcCall::Reveal { secret: Secret::from_bytes(guess) }, &mut ctx);
+        prop_assert!(result.is_err());
+        prop_assert!(!htlc.is_triggered());
+        prop_assert_eq!(assets.owner(asset), Some(Owner::Escrow(this)));
+    }
+
+    /// HTLC: reveal succeeds iff before the timeout; refund succeeds iff
+    /// at/after — and the two are mutually exclusive forever after.
+    #[test]
+    fn htlc_timeout_dichotomy(timeout in 1u64..100, when in 0u64..200) {
+        let mut assets = AssetRegistry::new();
+        let asset = assets.mint(AssetDescriptor::unique("x"), addr(1));
+        let secret = Secret::from_bytes([9u8; 32]);
+        let mut htlc = HtlcContract::new(
+            asset, addr(1), addr(2), secret.hashlock(), SimTime::from_ticks(timeout),
+        );
+        let this = ContractId::new(0);
+        let mut ctx = ExecCtx { caller: addr(1), now: SimTime::ZERO, this, assets: &mut assets };
+        htlc.on_publish(&mut ctx).expect("escrow");
+        let now = SimTime::from_ticks(when);
+        let mut ctx = ExecCtx { caller: addr(2), now, this, assets: &mut assets };
+        let revealed = htlc.apply(HtlcCall::Reveal { secret }, &mut ctx).is_ok();
+        prop_assert_eq!(revealed, when < timeout);
+        if !revealed {
+            let mut ctx = ExecCtx { caller: addr(1), now, this, assets: &mut assets };
+            let refunded = htlc.apply(HtlcCall::Refund, &mut ctx).is_ok();
+            prop_assert_eq!(refunded, when >= timeout);
+        } else {
+            // Triggered contracts never refund.
+            let mut ctx = ExecCtx {
+                caller: addr(1),
+                now: SimTime::from_ticks(when + 1000),
+                this,
+                assets: &mut assets,
+            };
+            prop_assert!(htlc.apply(HtlcCall::Refund, &mut ctx).is_err());
+        }
+    }
+
+    /// Swap contract: random (index, secret, path-shape) garbage never
+    /// unlocks anything.
+    #[test]
+    fn swap_rejects_garbage_unlocks(
+        index in 0usize..4,
+        guess in any::<[u8; 32]>(),
+        path_pick in 0usize..3,
+        when in 0u64..100,
+    ) {
+        let d = generators::herlihy_three_party();
+        let alice = d.vertex_by_name("alice").unwrap();
+        let bob = d.vertex_by_name("bob").unwrap();
+        let carol = d.vertex_by_name("carol").unwrap();
+        let spec = spec_for(d, vec![alice]);
+        let arc = spec.digraph.arcs_between(alice, bob)[0];
+        let mut assets = AssetRegistry::new();
+        let asset = assets.mint(AssetDescriptor::unique("x"), spec.address_of(alice));
+        let mut contract = SwapContract::new(spec.clone(), arc, asset);
+        let this = ContractId::new(0);
+        let mut ctx = ExecCtx {
+            caller: contract.party(),
+            now: SimTime::from_ticks(10),
+            this,
+            assets: &mut assets,
+        };
+        contract.on_publish(&mut ctx).expect("escrow");
+
+        // The guess differs from the leader's real secret by assumption.
+        prop_assume!(Secret::from_bytes(guess) != leader_secret(alice));
+        let path = match path_pick {
+            0 => VertexPath::single(bob),
+            1 => VertexPath::from_vertices(vec![bob, carol]).unwrap(),
+            _ => VertexPath::from_vertices(vec![bob, carol, alice]).unwrap(),
+        };
+        // A syntactically fine chain signed by the wrong story.
+        let mut mallory = keypair_for(carol);
+        let sig = SigChain::sign_secret(&mut mallory, &Secret::from_bytes(guess)).unwrap();
+        let mut ctx = ExecCtx {
+            caller: contract.counterparty(),
+            now: SimTime::from_ticks(when),
+            this,
+            assets: &mut assets,
+        };
+        let result = contract.apply(
+            SwapCall::Unlock { index, secret: Secret::from_bytes(guess), path, sig },
+            &mut ctx,
+        );
+        prop_assert!(result.is_err());
+        prop_assert!(!contract.is_unlocked(0));
+        prop_assert_eq!(assets.owner(asset), Some(Owner::Escrow(this)));
+    }
+
+    /// Swap contract: claims before full unlocking and refunds before the
+    /// global deadline always fail, at any instant.
+    #[test]
+    fn swap_claim_refund_guards(when in 0u64..69) {
+        let d = generators::herlihy_three_party();
+        let alice = d.vertex_by_name("alice").unwrap();
+        let bob = d.vertex_by_name("bob").unwrap();
+        let spec = spec_for(d, vec![alice]);
+        let arc = spec.digraph.arcs_between(alice, bob)[0];
+        let mut assets = AssetRegistry::new();
+        let asset = assets.mint(AssetDescriptor::unique("x"), spec.address_of(alice));
+        let mut contract = SwapContract::new(spec.clone(), arc, asset);
+        let this = ContractId::new(0);
+        let mut ctx = ExecCtx {
+            caller: contract.party(),
+            now: SimTime::from_ticks(10),
+            this,
+            assets: &mut assets,
+        };
+        contract.on_publish(&mut ctx).expect("escrow");
+        let now = SimTime::from_ticks(when);
+        let mut ctx = ExecCtx { caller: contract.counterparty(), now, this, assets: &mut assets };
+        prop_assert!(contract.apply(SwapCall::Claim, &mut ctx).is_err());
+        // all_hashkeys_dead = start(10) + 2·3·10 = 70 > when.
+        let mut ctx = ExecCtx { caller: contract.party(), now, this, assets: &mut assets };
+        prop_assert!(contract.apply(SwapCall::Refund, &mut ctx).is_err());
+        prop_assert_eq!(assets.owner(asset), Some(Owner::Escrow(this)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Herlihy's atomic cross-chain swap protocol (PODC 2018) — the paper's
+//! primary contribution, executable end to end on simulated blockchains.
+//!
+//! # What's here
+//!
+//! * [`setup`] — provisioning: keys, secrets, validated [`SwapSpec`]s, one
+//!   chain and one asset per arc ([`SwapSetup`]).
+//! * [`party`] — party state machines: the conforming §4.5 protocol
+//!   (Phase One contract propagation, Phase Two hashkey dissemination) and
+//!   a suite of deviating [`Behavior`]s (halts, secret withholding,
+//!   premature reveals, coalition bypasses, fully scripted adversaries).
+//! * [`runner`] — the Δ-round execution engine ([`SwapRunner`]) producing
+//!   [`RunReport`]s with outcomes, per-arc trigger times, traces, and
+//!   storage/communication metrics.
+//! * [`outcome`] — the Figure 3 outcome lattice ([`Outcome`]).
+//! * [`single_leader`] — the §4.6 timeout-only protocol on classic HTLCs,
+//!   plus the Figure 6 feasibility analysis.
+//! * [`hashkey`] — Figure 7 hashkey-path enumeration.
+//! * [`recurrent`] — the §5 recurrent-swap extension (next-round hashlocks
+//!   distributed during Phase Two).
+//! * [`waitsfor`] — the Theorem 4.12 waits-for digraph analysis (who is
+//!   blocked on whom in Phase One, and when that is a deadlock).
+//!
+//! # Quick start
+//!
+//! ```
+//! use swap_core::runner::{RunConfig, SwapRunner};
+//! use swap_core::setup::{SetupConfig, SwapSetup};
+//! use swap_digraph::generators;
+//! use swap_sim::SimRng;
+//!
+//! // Alice, Bob, and Carol's three-way swap (§1 of the paper).
+//! let digraph = generators::herlihy_three_party();
+//! let setup = SwapSetup::generate(
+//!     digraph,
+//!     &SetupConfig::default(),
+//!     &mut SimRng::from_seed(42),
+//! )
+//! .expect("valid swap");
+//! let report = SwapRunner::new(setup, RunConfig::default()).run();
+//! assert!(report.all_deal()); // everyone swapped
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hashkey;
+pub mod outcome;
+pub mod party;
+pub mod recurrent;
+pub mod runner;
+pub mod setup;
+pub mod single_leader;
+pub mod waitsfor;
+
+pub use outcome::Outcome;
+pub use party::{Action, Behavior};
+pub use runner::{RunConfig, RunMetrics, RunReport, SwapRunner};
+pub use setup::{SetupConfig, SwapSetup};
+pub use single_leader::{
+    assign_timeouts, single_leader_of, timeout_assignment_feasible, SingleLeaderSwap,
+};
+
+// Re-exported so downstream users need only this crate for common flows.
+pub use swap_contract::{SwapContract, SwapSpec};

@@ -1,0 +1,233 @@
+//! Protocol outcomes and their partial order (Figure 3, §3).
+//!
+//! An execution's outcome for party `v` is determined by which arcs
+//! incident to `v` *triggered* (the proposed transfer actually happened):
+//!
+//! | entering arcs | leaving arcs | outcome |
+//! |---|---|---|
+//! | all | all | [`Outcome::Deal`] |
+//! | none | none | [`Outcome::NoDeal`] |
+//! | ≥ 1 | none | [`Outcome::FreeRide`] |
+//! | all | some but not all | [`Outcome::Discount`] |
+//! | not all | ≥ 1 | [`Outcome::Underwater`] |
+//!
+//! The paper's preference relation is a *partial* order: `Underwater` is
+//! worse than everything, `NoDeal < Deal < Discount`, `NoDeal < FreeRide`,
+//! while `FreeRide` is incomparable with `Deal` and `Discount`. Everything
+//! except `Underwater` is acceptable to a conforming party.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A party's outcome class (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Acquired assets without relinquishing any: some entering arc
+    /// triggered, no leaving arc did.
+    FreeRide,
+    /// Acquired everything while relinquishing strictly less than agreed.
+    Discount,
+    /// The intended swap: every incident arc triggered.
+    Deal,
+    /// Status quo: nothing changed hands.
+    NoDeal,
+    /// Paid without being fully paid: some leaving arc triggered while some
+    /// entering arc did not. The one unacceptable class.
+    Underwater,
+}
+
+impl Outcome {
+    /// Classifies from trigger counts.
+    ///
+    /// `entering` / `leaving` are `(triggered, total)` pairs for the arcs
+    /// entering and leaving the party. A party with *no* arcs on a side is
+    /// treated as having that side fully satisfied (vacuous truth); in
+    /// strongly connected swap digraphs of two or more parties both sides
+    /// are always non-empty.
+    pub fn classify(entering: (usize, usize), leaving: (usize, usize)) -> Outcome {
+        let (e_trig, e_total) = entering;
+        let (l_trig, l_total) = leaving;
+        assert!(e_trig <= e_total && l_trig <= l_total, "triggered cannot exceed total");
+        let all_entering = e_trig == e_total;
+        let all_leaving = l_trig == l_total;
+        if all_entering && all_leaving {
+            return Outcome::Deal;
+        }
+        if e_trig == 0 && l_trig == 0 {
+            return Outcome::NoDeal;
+        }
+        if l_trig == 0 {
+            // e_trig ≥ 1 here.
+            return Outcome::FreeRide;
+        }
+        if all_entering {
+            // l_trig ≥ 1 and not all leaving.
+            return Outcome::Discount;
+        }
+        Outcome::Underwater
+    }
+
+    /// Whether a conforming party can accept this outcome (§3: everything
+    /// but `Underwater`).
+    pub fn is_acceptable(self) -> bool {
+        self != Outcome::Underwater
+    }
+
+    /// The strict preference relation of Figure 3: `true` iff `self` is
+    /// *strictly better* than `other` in the partial order.
+    ///
+    /// Generators: `Underwater < NoDeal`, `NoDeal < Deal`, `Deal <
+    /// Discount`, `NoDeal < FreeRide` — plus transitive closure. `FreeRide`
+    /// is incomparable with `Deal` and `Discount`.
+    pub fn is_better_than(self, other: Outcome) -> bool {
+        use Outcome::*;
+        matches!(
+            (self, other),
+            (NoDeal, Underwater)
+                | (Deal, Underwater)
+                | (Discount, Underwater)
+                | (FreeRide, Underwater)
+                | (Deal, NoDeal)
+                | (Discount, NoDeal)
+                | (FreeRide, NoDeal)
+                | (Discount, Deal)
+        )
+    }
+
+    /// `true` iff the two outcomes are comparable in the partial order.
+    pub fn is_comparable_with(self, other: Outcome) -> bool {
+        self == other || self.is_better_than(other) || other.is_better_than(self)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Outcome::FreeRide => "FreeRide",
+            Outcome::Discount => "Discount",
+            Outcome::Deal => "Deal",
+            Outcome::NoDeal => "NoDeal",
+            Outcome::Underwater => "Underwater",
+        };
+        f.pad(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Outcome::*;
+
+    #[test]
+    fn classification_table() {
+        // (entering, leaving) -> expected
+        let cases = [
+            (((3, 3), (2, 2)), Deal),
+            (((0, 3), (0, 2)), NoDeal),
+            (((1, 3), (0, 2)), FreeRide),
+            (((3, 3), (0, 2)), FreeRide), // all entering, none leaving: free ride
+            (((3, 3), (1, 2)), Discount),
+            (((2, 3), (1, 2)), Underwater),
+            (((0, 3), (2, 2)), Underwater),
+            (((2, 3), (2, 2)), Underwater),
+        ];
+        for ((e, l), expected) in cases {
+            assert_eq!(Outcome::classify(e, l), expected, "entering {e:?} leaving {l:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_classification_consistency() {
+        // For every small configuration the classifier returns exactly one
+        // class satisfying its textual definition.
+        for e_total in 1..4usize {
+            for l_total in 1..4usize {
+                for e_trig in 0..=e_total {
+                    for l_trig in 0..=l_total {
+                        let o = Outcome::classify((e_trig, e_total), (l_trig, l_total));
+                        let all_e = e_trig == e_total;
+                        let all_l = l_trig == l_total;
+                        match o {
+                            Deal => assert!(all_e && all_l),
+                            NoDeal => assert!(e_trig == 0 && l_trig == 0),
+                            FreeRide => assert!(e_trig >= 1 && l_trig == 0),
+                            Discount => assert!(all_e && l_trig >= 1 && !all_l),
+                            Underwater => assert!(!all_e && l_trig >= 1),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vacuous_sides() {
+        assert_eq!(Outcome::classify((0, 0), (0, 0)), Deal);
+        // No entering arcs at all, but paid: vacuously "all entering
+        // triggered" → Discount territory, not Underwater.
+        assert_eq!(Outcome::classify((0, 0), (1, 2)), Discount);
+    }
+
+    #[test]
+    #[should_panic(expected = "triggered cannot exceed total")]
+    fn invalid_counts_panic() {
+        let _ = Outcome::classify((4, 3), (0, 0));
+    }
+
+    #[test]
+    fn acceptability() {
+        for o in [Deal, NoDeal, Discount, FreeRide] {
+            assert!(o.is_acceptable(), "{o}");
+        }
+        assert!(!Underwater.is_acceptable());
+    }
+
+    #[test]
+    fn partial_order_generators() {
+        assert!(Deal.is_better_than(NoDeal));
+        assert!(Discount.is_better_than(Deal));
+        assert!(FreeRide.is_better_than(NoDeal));
+        assert!(NoDeal.is_better_than(Underwater));
+    }
+
+    #[test]
+    fn partial_order_transitivity() {
+        // Discount > Deal > NoDeal > Underwater, so Discount > Underwater.
+        assert!(Discount.is_better_than(NoDeal));
+        assert!(Discount.is_better_than(Underwater));
+        assert!(Deal.is_better_than(Underwater));
+        assert!(FreeRide.is_better_than(Underwater));
+    }
+
+    #[test]
+    fn freeride_incomparability() {
+        assert!(!FreeRide.is_better_than(Deal));
+        assert!(!Deal.is_better_than(FreeRide));
+        assert!(!FreeRide.is_better_than(Discount));
+        assert!(!Discount.is_better_than(FreeRide));
+        assert!(!FreeRide.is_comparable_with(Deal));
+        assert!(FreeRide.is_comparable_with(NoDeal));
+        assert!(FreeRide.is_comparable_with(FreeRide));
+    }
+
+    #[test]
+    fn order_is_irreflexive_and_antisymmetric() {
+        let all = [FreeRide, Discount, Deal, NoDeal, Underwater];
+        for a in all {
+            assert!(!a.is_better_than(a), "{a} vs itself");
+            for b in all {
+                assert!(
+                    !(a.is_better_than(b) && b.is_better_than(a)),
+                    "{a} <> {b} both directions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Underwater.to_string(), "Underwater");
+        assert_eq!(FreeRide.to_string(), "FreeRide");
+    }
+}

@@ -1,0 +1,767 @@
+//! The protocol runner: executes a swap on the simulated chains.
+//!
+//! # Timing model
+//!
+//! Rounds are Δ apart. Round 0 happens at `T₀ = spec.start − Δ`, the instant
+//! the clearing service's output reaches the parties (§4.2 requires the
+//! start `T` to be at least Δ later, and that slack is exactly what makes
+//! the hashkey deadlines satisfiable — see `swap-contract`'s crate docs).
+//! Within round `k`:
+//!
+//! 1. every party observes a **snapshot** of all chains as of the round
+//!    boundary `T₀ + k·Δ`,
+//! 2. parties emit actions, which execute as transactions at
+//!    `T₀ + k·Δ + Δ/2`,
+//! 3. those transactions become visible at the next boundary.
+//!
+//! One round therefore models the paper's Δ: enough time to publish a
+//! change and for everyone to confirm it. With all parties conforming, the
+//! worked example of Figures 1–2 reproduces tick-for-tick: contracts appear
+//! at +Δ, +2Δ, +3Δ and trigger at +4Δ, +5Δ, +6Δ.
+
+use std::collections::BTreeMap;
+
+use swap_chain::{ChainId, ContractId, Owner, StorageReport};
+use swap_contract::{SwapCall, SwapContract};
+use swap_crypto::Secret;
+use swap_digraph::{ArcId, VertexId};
+use swap_sim::{SimTime, TraceLog};
+
+use crate::outcome::Outcome;
+use crate::party::{Action, Behavior, BulletinEntry, ContractSnapshot, Party, View};
+use crate::setup::SwapSetup;
+
+/// Per-run configuration: who deviates and for how long the runner waits.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Behavior per vertex; unlisted vertexes conform.
+    pub behaviors: BTreeMap<VertexId, Behavior>,
+    /// Maximum number of rounds (default: `2·diam + 6`, enough for the
+    /// worst-case protocol plus the refund round).
+    pub max_rounds: Option<u64>,
+    /// Arcs whose published contract is *corrupted* (wrong hashlocks),
+    /// modeling a malicious publisher; observers detect and abandon.
+    pub corrupt_arcs: Vec<ArcId>,
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Contracts successfully published.
+    pub contracts_published: u64,
+    /// Successful `unlock` calls.
+    pub unlock_calls: u64,
+    /// Total wire bytes of successful `unlock` calls (secret + path +
+    /// signature chain) — the communication quantity of the O(|A|·|L|)
+    /// bound.
+    pub unlock_bytes: u64,
+    /// Successful `claim` calls.
+    pub claim_calls: u64,
+    /// Successful `refund` calls.
+    pub refund_calls: u64,
+    /// Transactions rejected by contracts or chains.
+    pub rejected_calls: u64,
+    /// Bytes published on the broadcast bulletin.
+    pub announce_bytes: u64,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Outcome per vertex (Figure 3 classification).
+    pub outcomes: Vec<Outcome>,
+    /// Whether each arc triggered (its transfer irrevocably happened).
+    pub arc_triggered: Vec<bool>,
+    /// When each arc triggered (first instant its contract became fully
+    /// unlocked, or the direct transfer executed).
+    pub triggered_at: Vec<Option<SimTime>>,
+    /// The instant the last arc triggered, if *all* arcs triggered.
+    pub completion: Option<SimTime>,
+    /// Whether every published contract reached a terminal state.
+    pub settled: bool,
+    /// Which parties were conforming (by configuration).
+    pub conforming: Vec<bool>,
+    /// Which parties abandoned after detecting an invalid contract.
+    pub abandoned: Vec<VertexId>,
+    /// The execution trace (regenerates the paper's timeline figures).
+    pub trace: TraceLog,
+    /// Counters.
+    pub metrics: RunMetrics,
+    /// Bytes stored across all blockchains (Theorem 4.10's quantity).
+    pub storage: StorageReport,
+}
+
+impl RunReport {
+    /// `true` iff every party ended with `Deal` — the all-conforming
+    /// guarantee of Theorem 4.7.
+    pub fn all_deal(&self) -> bool {
+        self.outcomes.iter().all(|&o| o == Outcome::Deal)
+    }
+
+    /// `true` iff no *conforming* party ended `Underwater` — the safety
+    /// guarantee of Theorem 4.9.
+    pub fn no_conforming_underwater(&self) -> bool {
+        self.outcomes
+            .iter()
+            .zip(&self.conforming)
+            .all(|(&o, &conf)| !conf || o != Outcome::Underwater)
+    }
+}
+
+/// Executes one swap instance round by round.
+#[derive(Debug)]
+pub struct SwapRunner {
+    setup: SwapSetup,
+    config: RunConfig,
+    parties: Vec<Party>,
+    conforming: Vec<bool>,
+    contract_of_arc: Vec<Option<ContractId>>,
+    triggered_at: Vec<Option<SimTime>>,
+    bulletin: Vec<(u64, BulletinEntry)>,
+    trace: TraceLog,
+    metrics: RunMetrics,
+}
+
+impl SwapRunner {
+    /// Builds a runner; parties take their keypairs and secrets from the
+    /// setup and their behavior from the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if Δ is smaller than 2 ticks (transactions execute at
+    /// mid-round, which needs Δ/2 ≥ 1) or if the spec starts less than Δ
+    /// after the epoch.
+    pub fn new(setup: SwapSetup, config: RunConfig) -> Self {
+        let spec = &setup.spec;
+        assert!(spec.delta.ticks() >= 2, "delta must be at least 2 ticks");
+        assert!(
+            spec.start >= SimTime::ZERO + spec.delta.times(1),
+            "spec must start at least one delta after the epoch"
+        );
+        let parties: Vec<Party> = spec
+            .digraph
+            .vertices()
+            .map(|v| {
+                let behavior = config.behaviors.get(&v).cloned().unwrap_or_default();
+                Party::new(v, setup.keypairs[v.index()].clone(), setup.secrets[v.index()], behavior)
+            })
+            .collect();
+        let conforming: Vec<bool> = spec
+            .digraph
+            .vertices()
+            .map(|v| matches!(config.behaviors.get(&v), None | Some(Behavior::Conforming)))
+            .collect();
+        let arc_count = spec.digraph.arc_count();
+        SwapRunner {
+            setup,
+            config,
+            parties,
+            conforming,
+            contract_of_arc: vec![None; arc_count],
+            triggered_at: vec![None; arc_count],
+            bulletin: Vec::new(),
+            trace: TraceLog::new(),
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Runs to settlement (or the round limit) and reports.
+    pub fn run(mut self) -> RunReport {
+        let delta = self.setup.spec.delta;
+        let t0 = self.setup.spec.start - delta.times(1);
+        let max_rounds = self
+            .config
+            .max_rounds
+            .unwrap_or(2 * self.setup.spec.diam + 6);
+        for round in 0..=max_rounds {
+            self.metrics.rounds = round;
+            let now = t0 + delta.times(round);
+            let exec_time = now + delta.duration() / 2;
+            let snapshots = self.snapshots();
+            let bulletin: Vec<BulletinEntry> = self
+                .bulletin
+                .iter()
+                .filter(|(announced, _)| *announced < round)
+                .map(|(_, e)| e.clone())
+                .collect();
+            // Decide (against the snapshot), then apply.
+            let mut batch: Vec<(VertexId, Action)> = Vec::new();
+            for party in &mut self.parties {
+                let view = View {
+                    spec: &self.setup.spec,
+                    round,
+                    now,
+                    contracts: &snapshots,
+                    bulletin: &bulletin,
+                };
+                let vertex = party.vertex();
+                for action in party.step(&view) {
+                    batch.push((vertex, action));
+                }
+            }
+            for (vertex, action) in batch {
+                self.apply(vertex, action, round, exec_time);
+            }
+            self.record_triggers(exec_time);
+            if self.all_settled() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Builds per-arc contract snapshots for the current round boundary.
+    fn snapshots(&self) -> Vec<Option<ContractSnapshot>> {
+        let spec = &self.setup.spec;
+        let leaders = spec.leaders.len();
+        spec.digraph
+            .arcs()
+            .map(|arc| {
+                let id = self.contract_of_arc[arc.id.index()]?;
+                let chain = self
+                    .setup
+                    .chains
+                    .get(self.setup.chain_of_arc[arc.id.index()])
+                    .expect("chain exists");
+                let contract = chain.contract(id)?;
+                let valid = contract.spec() == spec
+                    && contract.arc() == arc.id
+                    && contract.asset() == self.setup.asset_of_arc[arc.id.index()];
+                Some(ContractSnapshot {
+                    unlock_records: (0..leaders).map(|i| contract.unlock_record(i).cloned()).collect(),
+                    fully_unlocked: contract.fully_unlocked(),
+                    claimed: contract.is_claimed(),
+                    refunded: contract.is_refunded(),
+                    valid,
+                })
+            })
+            .collect()
+    }
+
+    fn chain_of(&mut self, arc: ArcId) -> (ChainId, &mut swap_chain::Blockchain<SwapContract>) {
+        let chain_id = self.setup.chain_of_arc[arc.index()];
+        (chain_id, self.setup.chains.get_mut(chain_id).expect("chain exists"))
+    }
+
+    fn apply(&mut self, actor: VertexId, action: Action, round: u64, exec_time: SimTime) {
+        let actor_addr = self.setup.spec.address_of(actor);
+        let actor_name = self.setup.spec.digraph.name(actor).to_string();
+        match action {
+            Action::Publish { arc } => {
+                if self.contract_of_arc[arc.index()].is_some() {
+                    self.metrics.rejected_calls += 1;
+                    return;
+                }
+                let asset = self.setup.asset_of_arc[arc.index()];
+                // The contract stores its own spec copy (that *is* the
+                // O(|A|) per-contract storage of Theorem 4.10).
+                let mut contract_spec = self.setup.spec.clone();
+                if self.config.corrupt_arcs.contains(&arc) {
+                    // A malicious publisher substitutes hashlocks nobody can
+                    // open; observers must detect the mismatch and abandon.
+                    for h in contract_spec.hashlocks.iter_mut() {
+                        *h = Secret::from_bytes([0xBA; 32]).hashlock();
+                    }
+                }
+                let contract = SwapContract::new(contract_spec, arc, asset);
+                let (_, chain) = self.chain_of(arc);
+                match chain.publish_contract(contract, actor_addr, exec_time) {
+                    Ok(id) => {
+                        self.contract_of_arc[arc.index()] = Some(id);
+                        self.metrics.contracts_published += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "contract.published",
+                            format!("arc {arc} round {round}"),
+                        );
+                    }
+                    Err(e) => {
+                        self.metrics.rejected_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "tx.rejected",
+                            format!("publish {arc}: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::Unlock { arc, index, secret, path, sig } => {
+                let Some(id) = self.contract_of_arc[arc.index()] else {
+                    self.metrics.rejected_calls += 1;
+                    return;
+                };
+                let wire = 32 + path.to_bytes().len() + sig.byte_len();
+                let path_len = path.len();
+                let (_, chain) = self.chain_of(arc);
+                match chain.call_contract(
+                    id,
+                    actor_addr,
+                    SwapCall::Unlock { index, secret, path, sig },
+                    exec_time,
+                    wire,
+                ) {
+                    Ok(_) => {
+                        self.metrics.unlock_calls += 1;
+                        self.metrics.unlock_bytes += wire as u64;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "hashlock.unlocked",
+                            format!("arc {arc} index {index} path_len {path_len}"),
+                        );
+                    }
+                    Err(e) => {
+                        self.metrics.rejected_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "tx.rejected",
+                            format!("unlock {arc}[{index}]: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::Claim { arc } => {
+                let Some(id) = self.contract_of_arc[arc.index()] else {
+                    self.metrics.rejected_calls += 1;
+                    return;
+                };
+                let (_, chain) = self.chain_of(arc);
+                match chain.call_contract(id, actor_addr, SwapCall::Claim, exec_time, 40) {
+                    Ok(_) => {
+                        self.metrics.claim_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "arc.claimed",
+                            format!("arc {arc}"),
+                        );
+                    }
+                    Err(e) => {
+                        self.metrics.rejected_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "tx.rejected",
+                            format!("claim {arc}: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::Refund { arc } => {
+                let Some(id) = self.contract_of_arc[arc.index()] else {
+                    self.metrics.rejected_calls += 1;
+                    return;
+                };
+                let (_, chain) = self.chain_of(arc);
+                match chain.call_contract(id, actor_addr, SwapCall::Refund, exec_time, 40) {
+                    Ok(_) => {
+                        self.metrics.refund_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "arc.refunded",
+                            format!("arc {arc}"),
+                        );
+                    }
+                    Err(e) => {
+                        self.metrics.rejected_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "tx.rejected",
+                            format!("refund {arc}: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::DirectTransfer { arc } => {
+                let asset = self.setup.asset_of_arc[arc.index()];
+                let tail_addr =
+                    self.setup.spec.address_of(self.setup.spec.digraph.tail(arc));
+                let (_, chain) = self.chain_of(arc);
+                match chain.transfer_asset(asset, actor_addr, tail_addr, exec_time) {
+                    Ok(()) => {
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "asset.direct_transfer",
+                            format!("arc {arc}"),
+                        );
+                        if self.triggered_at[arc.index()].is_none() {
+                            self.triggered_at[arc.index()] = Some(exec_time);
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.rejected_calls += 1;
+                        self.trace.record(
+                            exec_time,
+                            actor_name,
+                            "tx.rejected",
+                            format!("direct {arc}: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::Announce { leader_index, secret, base_sig } => {
+                self.metrics.announce_bytes += 32 + base_sig.byte_len() as u64;
+                self.bulletin.push((
+                    round,
+                    BulletinEntry { leader_index, secret, base_sig },
+                ));
+                self.trace.record(
+                    exec_time,
+                    actor_name,
+                    "secret.announced",
+                    format!("leader index {leader_index}"),
+                );
+            }
+        }
+    }
+
+    /// Records the first instant each arc became fully unlocked.
+    fn record_triggers(&mut self, exec_time: SimTime) {
+        for arc in 0..self.triggered_at.len() {
+            if self.triggered_at[arc].is_some() {
+                continue;
+            }
+            let Some(id) = self.contract_of_arc[arc] else { continue };
+            let chain = self
+                .setup
+                .chains
+                .get(self.setup.chain_of_arc[arc])
+                .expect("chain exists");
+            if let Some(contract) = chain.contract(id) {
+                if contract.fully_unlocked() || contract.is_claimed() {
+                    self.triggered_at[arc] = Some(exec_time);
+                    self.trace.record(
+                        exec_time,
+                        "sim",
+                        "arc.triggered",
+                        format!("arc a{arc}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether every arc's fate is sealed (contract terminal, or triggered).
+    fn all_settled(&self) -> bool {
+        self.setup.spec.digraph.arcs().all(|arc| {
+            match self.contract_of_arc[arc.id.index()] {
+                None => false,
+                Some(id) => {
+                    let chain = self
+                        .setup
+                        .chains
+                        .get(self.setup.chain_of_arc[arc.id.index()])
+                        .expect("chain exists");
+                    chain.contract(id).is_some_and(|c| c.is_claimed() || c.is_refunded())
+                }
+            }
+        })
+    }
+
+    fn finish(self) -> RunReport {
+        let spec = &self.setup.spec;
+        let n = spec.digraph.vertex_count();
+        // An arc triggered iff its transfer irrevocably happened: the asset
+        // reached the counterparty, or the contract is fully unlocked (only
+        // the counterparty can ever take the asset).
+        let arc_triggered: Vec<bool> = spec
+            .digraph
+            .arcs()
+            .map(|arc| {
+                let chain = self
+                    .setup
+                    .chains
+                    .get(self.setup.chain_of_arc[arc.id.index()])
+                    .expect("chain exists");
+                let asset = self.setup.asset_of_arc[arc.id.index()];
+                let tail_addr = spec.address_of(arc.tail);
+                if chain.assets().owner(asset) == Some(Owner::Party(tail_addr)) {
+                    return true;
+                }
+                self.contract_of_arc[arc.id.index()]
+                    .and_then(|id| chain.contract(id))
+                    .is_some_and(|c| c.fully_unlocked() || c.is_claimed())
+            })
+            .collect();
+        let outcomes: Vec<Outcome> = (0..n)
+            .map(|i| {
+                let v = VertexId::new(i as u32);
+                let entering = {
+                    let total = spec.digraph.in_degree(v);
+                    let triggered = spec
+                        .digraph
+                        .in_arcs(v)
+                        .filter(|a| arc_triggered[a.id.index()])
+                        .count();
+                    (triggered, total)
+                };
+                let leaving = {
+                    let total = spec.digraph.out_degree(v);
+                    let triggered = spec
+                        .digraph
+                        .out_arcs(v)
+                        .filter(|a| arc_triggered[a.id.index()])
+                        .count();
+                    (triggered, total)
+                };
+                Outcome::classify(entering, leaving)
+            })
+            .collect();
+        let completion = if arc_triggered.iter().all(|&t| t) {
+            self.triggered_at.iter().filter_map(|&t| t).max()
+        } else {
+            None
+        };
+        let settled = self.all_settled();
+        let abandoned = self
+            .parties
+            .iter()
+            .filter(|p| p.abandoned())
+            .map(|p| p.vertex())
+            .collect();
+        RunReport {
+            outcomes,
+            arc_triggered,
+            triggered_at: self.triggered_at,
+            completion,
+            settled,
+            conforming: self.conforming,
+            abandoned,
+            trace: self.trace,
+            metrics: self.metrics,
+            storage: self.setup.chains.storage_report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{SetupConfig, SwapSetup};
+    use swap_digraph::generators;
+    use swap_sim::SimRng;
+
+    fn run_three_party(config: RunConfig) -> RunReport {
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d, &SetupConfig::default(), &mut SimRng::from_seed(7)).unwrap();
+        SwapRunner::new(setup, config).run()
+    }
+
+    #[test]
+    fn all_conforming_three_party_all_deal() {
+        let report = run_three_party(RunConfig::default());
+        assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
+        assert!(report.settled);
+        assert!(report.no_conforming_underwater());
+        assert_eq!(report.metrics.contracts_published, 3);
+        assert_eq!(report.metrics.claim_calls, 3);
+        assert_eq!(report.metrics.refund_calls, 0);
+        assert!(report.arc_triggered.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn figure_1_and_2_timeline() {
+        // Δ = 10, T₀ = 0, start = 10. Contracts at Δ·(1,2,3) mid-round;
+        // triggers at 4Δ, 5Δ, 6Δ (here mid-round: 35, 45, 55 exec times
+        // visible at 40, 50, 60).
+        let report = run_three_party(RunConfig::default());
+        let publishes: Vec<u64> = report
+            .trace
+            .entries_of_kind("contract.published")
+            .map(|e| e.time.ticks())
+            .collect();
+        assert_eq!(publishes, vec![5, 15, 25], "deploys in consecutive rounds");
+        let triggers: Vec<u64> = report
+            .trace
+            .entries_of_kind("arc.triggered")
+            .map(|e| e.time.ticks())
+            .collect();
+        assert_eq!(triggers, vec![35, 45, 55], "triggers in consecutive rounds");
+        // Completion within 2·diam·Δ of the start (Theorem 4.7):
+        // 55 - 10 = 45 ≤ 60.
+        let completion = report.completion.unwrap();
+        let spec_start = 10;
+        assert!(completion.ticks() - spec_start <= 60);
+    }
+
+    #[test]
+    fn two_leader_triangle_conforming() {
+        let d = generators::two_leader_triangle();
+        let setup =
+            SwapSetup::generate(d, &SetupConfig::default(), &mut SimRng::from_seed(8)).unwrap();
+        let diam = setup.spec.diam;
+        let start = setup.spec.start;
+        let delta = setup.spec.delta;
+        let report = SwapRunner::new(setup, RunConfig::default()).run();
+        assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
+        let completion = report.completion.unwrap();
+        assert!(completion <= start + delta.times(2 * diam));
+    }
+
+    #[test]
+    fn halted_leader_everyone_refunded() {
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d, &SetupConfig::default(), &mut SimRng::from_seed(9)).unwrap();
+        let leader = setup.spec.leaders[0];
+        let mut config = RunConfig::default();
+        config.behaviors.insert(leader, Behavior::Halt { at_round: 0 });
+        let report = SwapRunner::new(setup, config).run();
+        // Leader never publishes; nothing propagates; nothing triggers.
+        assert!(report.outcomes.iter().all(|&o| o == Outcome::NoDeal));
+        assert!(report.no_conforming_underwater());
+        assert_eq!(report.metrics.contracts_published, 0);
+        assert!(report.completion.is_none());
+    }
+
+    #[test]
+    fn withholding_leader_all_contracts_refund() {
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d, &SetupConfig::default(), &mut SimRng::from_seed(10)).unwrap();
+        let leader = setup.spec.leaders[0];
+        let mut config = RunConfig::default();
+        config.behaviors.insert(leader, Behavior::WithholdSecret);
+        let report = SwapRunner::new(setup, config).run();
+        assert!(report.outcomes.iter().all(|&o| o == Outcome::NoDeal));
+        assert!(report.settled, "all contracts should be refunded");
+        assert_eq!(report.metrics.refund_calls, 3);
+        assert!(report.no_conforming_underwater());
+    }
+
+    #[test]
+    fn mid_protocol_halt_no_conforming_underwater() {
+        // Carol halts right when she should trigger: she alone is damaged
+        // (the §1 discussion of who gets hurt).
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(11))
+                .unwrap();
+        let carol = d.vertex_by_name("carol").unwrap();
+        for halt_round in 0..10 {
+            let setup = SwapSetup::generate(
+                d.clone(),
+                &SetupConfig::default(),
+                &mut SimRng::from_seed(11),
+            )
+            .unwrap();
+            let mut config = RunConfig::default();
+            config.behaviors.insert(carol, Behavior::Halt { at_round: halt_round });
+            let report = SwapRunner::new(setup, config).run();
+            assert!(
+                report.no_conforming_underwater(),
+                "halt at round {halt_round}: {:?}",
+                report.outcomes
+            );
+        }
+        drop(setup);
+    }
+
+    #[test]
+    fn corrupt_contract_detected_and_abandoned() {
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(12))
+                .unwrap();
+        // Corrupt the leader's (alice's) published contract on arc a0.
+        let mut config = RunConfig::default();
+        config.corrupt_arcs.push(swap_digraph::ArcId::new(0));
+        let report = SwapRunner::new(setup, config).run();
+        // Bob sees the bad contract on his entering arc and abandons; the
+        // swap dies with refunds; nobody conforming is underwater.
+        let bob = d.vertex_by_name("bob").unwrap();
+        assert!(report.abandoned.contains(&bob));
+        assert!(report.no_conforming_underwater());
+        assert!(!report.arc_triggered.iter().any(|&t| t));
+    }
+
+    #[test]
+    fn premature_reveal_hurts_only_the_leaker() {
+        // Irrational Alice reveals s at round 0. Bob and Carol can exploit
+        // the leak, but Alice must not drag any conforming party underwater.
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(13))
+                .unwrap();
+        let leader = setup.spec.leaders[0];
+        let mut config = RunConfig::default();
+        config.behaviors.insert(leader, Behavior::PrematureReveal);
+        let report = SwapRunner::new(setup, config).run();
+        assert!(report.no_conforming_underwater(), "outcomes: {:?}", report.outcomes);
+        for (i, &o) in report.outcomes.iter().enumerate() {
+            if VertexId::new(i as u32) != leader {
+                assert!(o.is_acceptable());
+            }
+        }
+    }
+
+    #[test]
+    fn no_claim_still_counts_as_triggered() {
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(14))
+                .unwrap();
+        let bob = d.vertex_by_name("bob").unwrap();
+        let mut config = RunConfig::default();
+        config.behaviors.insert(bob, Behavior::NoClaim);
+        let report = SwapRunner::new(setup, config).run();
+        // Bob never claims his entering arc, but it is fully unlocked, so
+        // everyone still ends in Deal.
+        assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
+        assert!(!report.settled, "bob's entering arc is never terminal");
+    }
+
+    #[test]
+    fn broadcast_optimization_still_all_deal() {
+        let d = generators::two_leader_triangle();
+        let mut setup =
+            SwapSetup::generate(d, &SetupConfig::default(), &mut SimRng::from_seed(15)).unwrap();
+        setup.spec.broadcast_arcs = true;
+        let report = SwapRunner::new(setup, RunConfig::default()).run();
+        assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
+        assert!(report.metrics.announce_bytes > 0, "leaders must announce");
+    }
+
+    #[test]
+    fn never_publish_deviator_cannot_hurt_conforming() {
+        let d = generators::two_leader_triangle();
+        for victim in 0..3u32 {
+            let setup = SwapSetup::generate(
+                d.clone(),
+                &SetupConfig::default(),
+                &mut SimRng::from_seed(16),
+            )
+            .unwrap();
+            let mut config = RunConfig::default();
+            config
+                .behaviors
+                .insert(VertexId::new(victim), Behavior::NeverPublish { arcs: None });
+            let report = SwapRunner::new(setup, config).run();
+            assert!(
+                report.no_conforming_underwater(),
+                "deviator {victim}: {:?}",
+                report.outcomes
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_unlock_accounting() {
+        let report = run_three_party(RunConfig::default());
+        // |A| = 3 arcs, |L| = 1 leader → 3 unlocks.
+        assert_eq!(report.metrics.unlock_calls, 3);
+        assert!(report.metrics.unlock_bytes > 0);
+        assert_eq!(report.metrics.rejected_calls, 0);
+        assert!(report.storage.total_bytes() > 0);
+        assert!(report.storage.contract_bytes > 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! HMAC-SHA256 (RFC 2104), used for deterministic key derivation in the
+//! Lamport/Merkle signature machinery and for seeding per-party randomness.
+
+use crate::sha256::{Digest32, Sha256};
+
+const BLOCK: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::hmac::hmac_sha256;
+/// // RFC 4231 test case 2.
+/// let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(
+///     mac.to_hex(),
+///     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest32 {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kh = crate::sha256::sha256(key);
+        key_block[..32].copy_from_slice(kh.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize()
+}
+
+/// Derives a labeled, indexed subkey: `HMAC(key, label || be64(index))`.
+/// This is the single derivation primitive behind every deterministic key
+/// tree in the workspace.
+pub fn derive_key(key: &[u8], label: &str, index: u64) -> Digest32 {
+    let mut msg = Vec::with_capacity(label.len() + 8);
+    msg.extend_from_slice(label.as_bytes());
+    msg.extend_from_slice(&index.to_be_bytes());
+    hmac_sha256(key, &msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            mac.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            mac.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &msg);
+        assert_eq!(
+            mac.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (1..=25).collect();
+        let msg = [0xcdu8; 50];
+        let mac = hmac_sha256(&key, &msg);
+        assert_eq!(
+            mac.to_hex(),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // 131-byte key: exercises the hash-the-key path.
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            mac.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_message() {
+        let key = [0xaau8; 131];
+        let msg: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let mac = hmac_sha256(&key, msg);
+        assert_eq!(
+            mac.to_hex(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn derive_key_is_deterministic_and_separated() {
+        let k = b"master seed";
+        let a = derive_key(k, "ots", 0);
+        let b = derive_key(k, "ots", 0);
+        assert_eq!(a, b);
+        assert_ne!(derive_key(k, "ots", 1), a);
+        assert_ne!(derive_key(k, "tree", 0), a);
+        assert_ne!(derive_key(b"other", "ots", 0), a);
+    }
+}

@@ -1,0 +1,268 @@
+//! Lamport one-time signatures over 256-bit message digests.
+//!
+//! The classic hash-based scheme: the secret key is 256 pairs of random
+//! 32-byte values, the public key is their hashes, and a signature reveals
+//! one value per message bit. Security rests only on the preimage resistance
+//! of SHA-256 — no number theory, which keeps this crate's trust base equal
+//! to the hashlock primitive itself.
+//!
+//! A key pair must sign **at most one** message; the [`mss`](crate::mss)
+//! module lifts these one-time keys into a many-time identity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hmac::derive_key;
+use crate::sha256::{sha256, Digest32, Sha256};
+
+/// Bits per message digest, i.e. value pairs per key.
+pub const BITS: usize = 256;
+
+/// A Lamport one-time secret key, derived deterministically from a seed.
+#[derive(Clone)]
+pub struct LamportSecretKey {
+    /// `values[i][b]` is revealed when message bit `i` equals `b`.
+    values: Box<[[Digest32; 2]; BITS]>,
+}
+
+impl std::fmt::Debug for LamportSecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LamportSecretKey(<redacted>)")
+    }
+}
+
+/// A Lamport one-time public key: the hash of each secret value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LamportPublicKey {
+    hashes: Vec<[Digest32; 2]>,
+}
+
+impl LamportPublicKey {
+    /// Compresses the 2·256 hash blocks into a single digest — the form in
+    /// which one-time keys appear as Merkle leaves.
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        for pair in &self.hashes {
+            h.update(pair[0].as_bytes());
+            h.update(pair[1].as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+/// A Lamport signature: per message bit, the revealed secret value plus the
+/// complementary public hash (so a verifier can reconstruct the compressed
+/// public key digest without out-of-band key blocks).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LamportSignature {
+    /// Revealed secret value for each message bit.
+    revealed: Vec<Digest32>,
+    /// Public hash of the *unrevealed* partner value for each bit.
+    complement: Vec<Digest32>,
+}
+
+impl LamportSignature {
+    /// Wire size in bytes: 2 × 256 × 32.
+    pub const ENCODED_LEN: usize = 2 * BITS * 32;
+
+    /// Byte size of this signature as transmitted.
+    pub fn byte_len(&self) -> usize {
+        Self::ENCODED_LEN
+    }
+
+    /// Folds the signature contents into a digest, used when an outer party
+    /// signs *this signature* in a hashkey chain.
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        for d in &self.revealed {
+            h.update(d.as_bytes());
+        }
+        for d in &self.complement {
+            h.update(d.as_bytes());
+        }
+        h.finalize()
+    }
+
+    /// Reconstructs the compressed one-time public key digest this signature
+    /// commits to for `message`, or `None` if the signature is structurally
+    /// invalid. Verification is "reconstruct, then compare to the trusted
+    /// key digest".
+    pub fn reconstruct_pk_digest(&self, message: &Digest32) -> Option<Digest32> {
+        if self.revealed.len() != BITS || self.complement.len() != BITS {
+            return None;
+        }
+        let mut h = Sha256::new();
+        for i in 0..BITS {
+            let bit = bit_of(message, i);
+            let revealed_hash = sha256(self.revealed[i].as_bytes());
+            let (h0, h1) = if bit == 0 {
+                (revealed_hash, self.complement[i])
+            } else {
+                (self.complement[i], revealed_hash)
+            };
+            h.update(h0.as_bytes());
+            h.update(h1.as_bytes());
+        }
+        Some(h.finalize())
+    }
+}
+
+/// Generates a key pair deterministically from `seed` and a key index.
+///
+/// Distinct `(seed, index)` pairs yield independent keys, which is how the
+/// Merkle scheme derives its leaf keys.
+pub fn keygen(seed: &[u8; 32], index: u64) -> (LamportSecretKey, LamportPublicKey) {
+    let mut values = Box::new([[Digest32::ZERO; 2]; BITS]);
+    let mut hashes = Vec::with_capacity(BITS);
+    for i in 0..BITS {
+        let v0 = derive_key(seed, "lamport/v0", index * BITS as u64 + i as u64);
+        let v1 = derive_key(seed, "lamport/v1", index * BITS as u64 + i as u64);
+        values[i] = [v0, v1];
+        hashes.push([sha256(v0.as_bytes()), sha256(v1.as_bytes())]);
+    }
+    (LamportSecretKey { values }, LamportPublicKey { hashes })
+}
+
+/// Signs a 256-bit message digest, consuming the one-time key.
+///
+/// Taking the key by value enforces one-time use at the type level: a
+/// `LamportSecretKey` cannot be signed with twice without cloning, and
+/// cloning to re-sign is a deliberate (and greppable) act.
+pub fn sign(key: LamportSecretKey, message: &Digest32) -> LamportSignature {
+    let mut revealed = Vec::with_capacity(BITS);
+    let mut complement = Vec::with_capacity(BITS);
+    for i in 0..BITS {
+        let bit = bit_of(message, i);
+        revealed.push(key.values[i][bit]);
+        complement.push(sha256(key.values[i][1 - bit].as_bytes()));
+    }
+    LamportSignature { revealed, complement }
+}
+
+/// Verifies `sig` on `message` against a compressed public key digest.
+///
+/// Reconstructs the full public key from the revealed values (hashing them)
+/// and the complementary hashes, compresses it, and compares with
+/// `pk_digest`.
+pub fn verify(sig: &LamportSignature, message: &Digest32, pk_digest: &Digest32) -> bool {
+    sig.reconstruct_pk_digest(message) == Some(*pk_digest)
+}
+
+/// Bit `i` of a digest, MSB-first within each byte.
+fn bit_of(d: &Digest32, i: usize) -> usize {
+    let byte = d.as_bytes()[i / 8];
+    ((byte >> (7 - (i % 8))) & 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn msg(text: &[u8]) -> Digest32 {
+        sha256(text)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let seed = [42u8; 32];
+        let (sk, pk) = keygen(&seed, 0);
+        let m = msg(b"hello");
+        let sig = sign(sk, &m);
+        assert!(verify(&sig, &m, &pk.digest()));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (sk, pk) = keygen(&[1u8; 32], 0);
+        let sig = sign(sk, &msg(b"pay bob 5"));
+        assert!(!verify(&sig, &msg(b"pay mallory 500"), &pk.digest()));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (sk, _) = keygen(&[1u8; 32], 0);
+        let (_, pk2) = keygen(&[2u8; 32], 0);
+        let m = msg(b"x");
+        let sig = sign(sk, &m);
+        assert!(!verify(&sig, &m, &pk2.digest()));
+    }
+
+    #[test]
+    fn distinct_indices_yield_distinct_keys() {
+        let seed = [9u8; 32];
+        let (_, pk0) = keygen(&seed, 0);
+        let (_, pk1) = keygen(&seed, 1);
+        assert_ne!(pk0.digest(), pk1.digest());
+    }
+
+    #[test]
+    fn keygen_deterministic() {
+        let seed = [7u8; 32];
+        let (_, a) = keygen(&seed, 3);
+        let (_, b) = keygen(&seed, 3);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (sk, pk) = keygen(&[5u8; 32], 0);
+        let m = msg(b"msg");
+        let mut sig = sign(sk, &m);
+        sig.revealed[17] = sha256(b"tamper");
+        assert!(!verify(&sig, &m, &pk.digest()));
+    }
+
+    #[test]
+    fn tampered_complement_rejected() {
+        let (sk, pk) = keygen(&[5u8; 32], 0);
+        let m = msg(b"msg");
+        let mut sig = sign(sk, &m);
+        sig.complement[200] = sha256(b"tamper");
+        assert!(!verify(&sig, &m, &pk.digest()));
+    }
+
+    #[test]
+    fn truncated_signature_rejected() {
+        let (sk, pk) = keygen(&[5u8; 32], 0);
+        let m = msg(b"msg");
+        let mut sig = sign(sk, &m);
+        sig.revealed.pop();
+        assert!(!verify(&sig, &m, &pk.digest()));
+    }
+
+    #[test]
+    fn signature_digest_is_content_sensitive() {
+        let (sk, _) = keygen(&[5u8; 32], 0);
+        let m = msg(b"msg");
+        let sig = sign(sk, &m);
+        let d1 = sig.digest();
+        let mut tampered = sig.clone();
+        tampered.revealed[0] = sha256(b"other");
+        assert_ne!(d1, tampered.digest());
+    }
+
+    #[test]
+    fn byte_len_constant() {
+        let (sk, _) = keygen(&[5u8; 32], 0);
+        let sig = sign(sk, &msg(b"m"));
+        assert_eq!(sig.byte_len(), LamportSignature::ENCODED_LEN);
+        assert_eq!(sig.byte_len(), 16384);
+    }
+
+    #[test]
+    fn secret_key_debug_redacted() {
+        let (sk, _) = keygen(&[1u8; 32], 0);
+        assert_eq!(format!("{sk:?}"), "LamportSecretKey(<redacted>)");
+    }
+
+    #[test]
+    fn bit_extraction_msb_first() {
+        let mut b = [0u8; 32];
+        b[0] = 0b1000_0000;
+        b[1] = 0b0000_0001;
+        let d = Digest32(b);
+        assert_eq!(bit_of(&d, 0), 1);
+        assert_eq!(bit_of(&d, 1), 0);
+        assert_eq!(bit_of(&d, 15), 1);
+    }
+}

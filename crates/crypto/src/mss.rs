@@ -1,0 +1,289 @@
+//! A Merkle signature scheme (MSS): many-time identities from one-time keys.
+//!
+//! Each party derives `2^h` Lamport one-time key pairs from a seed and
+//! publishes only the Merkle root of their public key digests. Signature
+//! `i` consists of the Lamport signature under leaf key `i`, that leaf's
+//! public key digest, and a Merkle inclusion proof. This is the `sig(x, v)`
+//! primitive of the paper (§2.2) — hash-based end to end, matching the
+//! hashlock trust assumptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lamport::{self, LamportSignature};
+use crate::merkle::{leaf_hash, MerkleProof, MerkleTree};
+use crate::sha256::{tagged_hash, Digest32, Sha256};
+
+const ADDRESS_TAG: &str = "swap/address/v1";
+
+/// Default tree height: `2^6 = 64` signatures per identity, plenty for any
+/// single swap while keeping keygen fast in tests.
+pub const DEFAULT_HEIGHT: u32 = 6;
+
+/// A party's signing identity: seed, derived one-time keys, and a use
+/// counter enforcing one-time discipline.
+#[derive(Debug, Clone)]
+pub struct MssKeypair {
+    seed: [u8; 32],
+    tree: MerkleTree,
+    next_leaf: u64,
+    height: u32,
+}
+
+/// The public half: the Merkle root over one-time public key digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MssPublicKey {
+    root: Digest32,
+    height: u32,
+}
+
+/// A complete MSS signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MssSignature {
+    leaf_index: u64,
+    ots: LamportSignature,
+    proof: MerkleProof,
+}
+
+/// Error: all `2^h` one-time keys have been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeysExhaustedError {
+    /// The height of the exhausted key pair.
+    pub height: u32,
+}
+
+impl std::fmt::Display for KeysExhaustedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all 2^{} one-time keys have been used", self.height)
+    }
+}
+
+impl std::error::Error for KeysExhaustedError {}
+
+impl MssKeypair {
+    /// Derives a key pair of the default height from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        Self::from_seed_with_height(seed, DEFAULT_HEIGHT)
+    }
+
+    /// Derives a key pair with `2^height` one-time keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 16` (65 536 leaves) — keygen cost is `O(2^h)`
+    /// hashing and anything larger is a configuration error in this
+    /// simulation context.
+    pub fn from_seed_with_height(seed: [u8; 32], height: u32) -> Self {
+        assert!(height <= 16, "MSS height {height} too large");
+        let leaf_count = 1u64 << height;
+        let leaves: Vec<Digest32> = (0..leaf_count)
+            .map(|i| {
+                let (_, pk) = lamport::keygen(&seed, i);
+                leaf_hash(pk.digest().as_bytes())
+            })
+            .collect();
+        let tree = MerkleTree::from_leaves(leaves).expect("leaf_count >= 1");
+        MssKeypair { seed, tree, next_leaf: 0, height }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> MssPublicKey {
+        MssPublicKey { root: *self.tree.root(), height: self.height }
+    }
+
+    /// How many signatures remain.
+    pub fn remaining(&self) -> u64 {
+        (1u64 << self.height) - self.next_leaf
+    }
+
+    /// Signs a 256-bit message digest with the next unused one-time key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeysExhaustedError`] once all `2^h` keys are spent.
+    pub fn sign(&mut self, message: &Digest32) -> Result<MssSignature, KeysExhaustedError> {
+        if self.next_leaf >= (1u64 << self.height) {
+            return Err(KeysExhaustedError { height: self.height });
+        }
+        let index = self.next_leaf;
+        self.next_leaf += 1;
+        let (sk, _) = lamport::keygen(&self.seed, index);
+        let ots = lamport::sign(sk, message);
+        let proof = self.tree.prove(index as usize).expect("index < leaf count");
+        Ok(MssSignature { leaf_index: index, ots, proof })
+    }
+}
+
+impl MssPublicKey {
+    /// Verifies `sig` over `message`.
+    ///
+    /// Checks: (1) the Lamport signature reconstructs some one-time public
+    /// key digest, and (2) that digest sits at `sig.leaf_index` under this
+    /// identity's Merkle root.
+    pub fn verify(&self, message: &Digest32, sig: &MssSignature) -> bool {
+        if sig.leaf_index >= (1u64 << self.height) {
+            return false;
+        }
+        // Reconstruct the claimed one-time pk digest from the signature.
+        let Some(claimed_pk_digest) = reconstruct_ots_pk(&sig.ots, message) else {
+            return false;
+        };
+        let leaf = leaf_hash(claimed_pk_digest.as_bytes());
+        sig.proof.index() == sig.leaf_index as usize && sig.proof.verify(&leaf, &self.root)
+    }
+
+    /// The on-chain address of this identity: a tagged hash of the root.
+    pub fn address(&self) -> crate::sigchain::Address {
+        crate::sigchain::Address::from_digest(tagged_hash(ADDRESS_TAG, self.root.as_bytes()))
+    }
+
+    /// The raw Merkle root.
+    pub const fn root(&self) -> &Digest32 {
+        &self.root
+    }
+
+    /// The tree height.
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+/// Rebuilds the one-time public key digest a Lamport signature commits to,
+/// or `None` if the signature is structurally invalid.
+fn reconstruct_ots_pk(sig: &LamportSignature, message: &Digest32) -> Option<Digest32> {
+    sig.reconstruct_pk_digest(message)
+}
+
+impl MssSignature {
+    /// The one-time key index used.
+    pub fn leaf_index(&self) -> u64 {
+        self.leaf_index
+    }
+
+    /// Wire size in bytes.
+    pub fn byte_len(&self) -> usize {
+        8 + self.ots.byte_len() + self.proof.byte_len()
+    }
+
+    /// Digest of the whole signature, used when an outer hashkey chain link
+    /// signs this one.
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        h.update(&self.leaf_index.to_be_bytes());
+        h.update(self.ots.digest().as_bytes());
+        h.update(&(self.proof.index() as u64).to_be_bytes());
+        for sibling in self.proof.siblings() {
+            h.update(sibling.as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn pair() -> MssKeypair {
+        MssKeypair::from_seed_with_height([3u8; 32], 3)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut kp = pair();
+        let pk = kp.public_key();
+        let m = sha256(b"hello");
+        let sig = kp.sign(&m).unwrap();
+        assert!(pk.verify(&m, &sig));
+    }
+
+    #[test]
+    fn multiple_signatures_distinct_leaves() {
+        let mut kp = pair();
+        let pk = kp.public_key();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..8u64 {
+            let m = sha256(&i.to_be_bytes());
+            let sig = kp.sign(&m).unwrap();
+            assert!(pk.verify(&m, &sig), "sig {i}");
+            assert!(seen.insert(sig.leaf_index()), "leaf reuse at {i}");
+        }
+        assert_eq!(kp.remaining(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut kp = MssKeypair::from_seed_with_height([1u8; 32], 1);
+        let m = sha256(b"x");
+        kp.sign(&m).unwrap();
+        kp.sign(&m).unwrap();
+        let err = kp.sign(&m).unwrap_err();
+        assert_eq!(err, KeysExhaustedError { height: 1 });
+        assert!(err.to_string().contains("2^1"));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut kp = pair();
+        let pk = kp.public_key();
+        let sig = kp.sign(&sha256(b"real")).unwrap();
+        assert!(!pk.verify(&sha256(b"forged"), &sig));
+    }
+
+    #[test]
+    fn wrong_identity_rejected() {
+        let mut kp = pair();
+        let other = MssKeypair::from_seed_with_height([4u8; 32], 3).public_key();
+        let m = sha256(b"m");
+        let sig = kp.sign(&m).unwrap();
+        assert!(!other.verify(&m, &sig));
+    }
+
+    #[test]
+    fn out_of_range_leaf_rejected() {
+        let mut kp = pair();
+        let pk = kp.public_key();
+        let m = sha256(b"m");
+        let mut sig = kp.sign(&m).unwrap();
+        sig.leaf_index = 1 << 3;
+        assert!(!pk.verify(&m, &sig));
+    }
+
+    #[test]
+    fn public_key_deterministic() {
+        let a = MssKeypair::from_seed_with_height([8u8; 32], 2).public_key();
+        let b = MssKeypair::from_seed_with_height([8u8; 32], 2).public_key();
+        assert_eq!(a, b);
+        assert_eq!(a.address(), b.address());
+        assert_eq!(a.height(), 2);
+    }
+
+    #[test]
+    fn addresses_differ_per_identity() {
+        let a = MssKeypair::from_seed_with_height([8u8; 32], 2).public_key();
+        let b = MssKeypair::from_seed_with_height([9u8; 32], 2).public_key();
+        assert_ne!(a.address(), b.address());
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn signature_sizes() {
+        let mut kp = pair();
+        let sig = kp.sign(&sha256(b"m")).unwrap();
+        // 8 (index) + 16384 (lamport) + (8 + 32*3) (proof at height 3).
+        assert_eq!(sig.byte_len(), 8 + 16384 + 8 + 96);
+    }
+
+    #[test]
+    fn signature_digests_differ() {
+        let mut kp = pair();
+        let s1 = kp.sign(&sha256(b"a")).unwrap();
+        let s2 = kp.sign(&sha256(b"b")).unwrap();
+        assert_ne!(s1.digest(), s2.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_height_rejected() {
+        let _ = MssKeypair::from_seed_with_height([0u8; 32], 17);
+    }
+}

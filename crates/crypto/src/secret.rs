@@ -1,0 +1,150 @@
+//! Secrets and hashlocks — the atoms of hashed timelock contracts.
+//!
+//! A leader creates a secret `s` and publishes `h = H(s)` (§1, §4.1). The
+//! contract releases its asset when shown a preimage of `h`. [`Secret`]
+//! deliberately does not implement `Display` and redacts itself in `Debug`,
+//! so simulation logs cannot leak preimages by accident.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::sha256::{tagged_hash, Digest32};
+
+/// Domain-separation tag for hashlock hashing.
+const HASHLOCK_TAG: &str = "swap/hashlock/v1";
+
+/// A 256-bit hashlock secret.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::Secret;
+/// let s = Secret::from_bytes([1u8; 32]);
+/// let h = s.hashlock();
+/// assert!(h.matches(&s));
+/// // Debug output never shows the preimage.
+/// assert_eq!(format!("{s:?}"), "Secret(<redacted>)");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Secret([u8; 32]);
+
+impl Secret {
+    /// Wraps raw bytes as a secret.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Secret(bytes)
+    }
+
+    /// Draws a fresh random secret.
+    pub fn random<R: RngCore>(rng: &mut R) -> Self {
+        let mut b = [0u8; 32];
+        rng.fill_bytes(&mut b);
+        Secret(b)
+    }
+
+    /// The matching hashlock `h = H(s)`.
+    pub fn hashlock(&self) -> Hashlock {
+        Hashlock(tagged_hash(HASHLOCK_TAG, &self.0))
+    }
+
+    /// The raw bytes — needed when a secret is revealed on-chain.
+    pub const fn reveal(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Secret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Secret(<redacted>)")
+    }
+}
+
+/// A hashlock `h = H(s)`: publishable commitment to a secret.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::{Hashlock, Secret};
+/// let s = Secret::from_bytes([2u8; 32]);
+/// let h: Hashlock = s.hashlock();
+/// assert_eq!(h, s.hashlock()); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Hashlock(Digest32);
+
+impl Hashlock {
+    /// Whether `candidate` is the preimage of this hashlock.
+    pub fn matches(&self, candidate: &Secret) -> bool {
+        candidate.hashlock().0 == self.0
+    }
+
+    /// The digest value published on-chain.
+    pub const fn digest(&self) -> &Digest32 {
+        &self.0
+    }
+
+    /// Byte size of a hashlock as stored on-chain.
+    pub const ENCODED_LEN: usize = 32;
+}
+
+impl std::fmt::Display for Hashlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h:{}", self.0.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matching_is_exact() {
+        let s = Secret::from_bytes([3u8; 32]);
+        let h = s.hashlock();
+        assert!(h.matches(&s));
+        let mut other = *s.reveal();
+        other[31] ^= 1;
+        assert!(!h.matches(&Secret::from_bytes(other)));
+    }
+
+    #[test]
+    fn random_secrets_differ() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Secret::random(&mut rng);
+        let b = Secret::random(&mut rng);
+        assert_ne!(a, b);
+        assert_ne!(a.hashlock(), b.hashlock());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Secret::random(&mut StdRng::seed_from_u64(9));
+        let b = Secret::random(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let s = Secret::from_bytes([0xffu8; 32]);
+        let dbg = format!("{s:?}");
+        assert!(!dbg.contains("ff"));
+        assert!(dbg.contains("redacted"));
+    }
+
+    #[test]
+    fn hashlock_display_short() {
+        let h = Secret::from_bytes([1u8; 32]).hashlock();
+        let text = h.to_string();
+        assert!(text.starts_with("h:"));
+        assert_eq!(text.len(), 2 + 8);
+    }
+
+    #[test]
+    fn domain_separation_from_plain_sha() {
+        // The hashlock is not the bare SHA-256 of the secret, so a secret
+        // reused in another hashing context cannot be confused for a lock.
+        let s = Secret::from_bytes([7u8; 32]);
+        assert_ne!(*s.hashlock().digest(), crate::sha256::sha256(s.reveal()));
+    }
+}

@@ -1,0 +1,380 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! The sanctioned dependency list has no hashing crate, and the whole swap
+//! protocol rests on hashlocks, so the primitive lives here with the NIST
+//! example vectors as tests. The implementation favors clarity over speed;
+//! it still hashes a few hundred MiB/s, far more than any simulation needs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit digest — the output of [`sha256`] and the base unit of every
+/// hash-derived identity in the workspace (hashlocks, addresses, Merkle
+/// nodes).
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::sha256;
+/// let d = sha256(b"abc");
+/// assert_eq!(
+///     d.to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest32(pub [u8; 32]);
+
+impl Digest32 {
+    /// The all-zero digest (useful as a genesis placeholder, never a real
+    /// hash output in practice).
+    pub const ZERO: Digest32 = Digest32([0u8; 32]);
+
+    /// The raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a 64-character lowercase/uppercase hex string.
+    pub fn from_hex(hex: &str) -> Option<Digest32> {
+        if hex.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(Digest32(out))
+    }
+
+    /// A short 8-hex-character prefix for logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Debug for Digest32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest32({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Digest32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest32 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest32 {
+    fn from(b: [u8; 32]) -> Self {
+        Digest32(b)
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::sha256::{sha256, Sha256};
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha256(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buffer: [0u8; 64], buffered: 0, total_len: 0 }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self
+            .total_len
+            .checked_add(data.len() as u64)
+            .expect("SHA-256 input exceeds u64 bytes");
+        let mut input = data;
+        if self.buffered > 0 {
+            let want = 64 - self.buffered;
+            let take = want.min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            input = rest;
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finalize(mut self) -> Digest32 {
+        let bit_len = self.total_len * 8;
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        self.raw_update_padding(&[0x80]);
+        while self.buffered != 56 {
+            self.raw_update_padding(&[0]);
+        }
+        self.raw_update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest32(out)
+    }
+
+    /// Like `update` but without advancing `total_len` (padding bytes do not
+    /// count toward the message length).
+    fn raw_update_padding(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buffer[self.buffered] = byte;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// SHA-256 of the concatenation of several byte slices, without allocating.
+pub fn sha256_concat(parts: &[&[u8]]) -> Digest32 {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Domain-separated hash: `SHA-256(tag_len || tag || data)`. Tags keep the
+/// workspace's many hash uses (hashlocks, tree nodes, signatures, addresses)
+/// from colliding with each other.
+pub fn tagged_hash(tag: &str, data: &[u8]) -> Digest32 {
+    let tag_bytes = tag.as_bytes();
+    let len = [tag_bytes.len() as u8];
+    sha256_concat(&[&len, tag_bytes, data])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NIST FIPS 180-4 example vectors plus RFC test strings.
+    const VECTORS: &[(&[u8], &str)] = &[
+        (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+        (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+        (b"The quick brown fox jumps over the lazy dog",
+         "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"),
+    ];
+
+    #[test]
+    fn nist_vectors() {
+        for (input, expected) in VECTORS {
+            assert_eq!(sha256(input).to_hex(), *expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4: one million repetitions of 'a'.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_all_split_points() {
+        let msg: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let expected = sha256(&msg);
+        for split in 0..msg.len() {
+            let mut h = Sha256::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finalize(), expected, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Padding edge cases: 55, 56, 63, 64, 65 bytes.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let msg = vec![0x5au8; len];
+            let d1 = sha256(&msg);
+            let mut h = Sha256::new();
+            for b in &msg {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn concat_helper() {
+        assert_eq!(sha256_concat(&[b"ab", b"c"]), sha256(b"abc"));
+        assert_eq!(sha256_concat(&[]), sha256(b""));
+    }
+
+    #[test]
+    fn tagged_hash_domain_separates() {
+        let a = tagged_hash("hashlock", b"data");
+        let b = tagged_hash("address", b"data");
+        assert_ne!(a, b);
+        // And differs from untagged.
+        assert_ne!(a, sha256(b"data"));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest32::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest32::from_hex("xy"), None);
+        assert_eq!(Digest32::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn digest_display_and_debug() {
+        let d = sha256(b"abc");
+        assert_eq!(d.to_string().len(), 64);
+        assert!(format!("{d:?}").contains("ba7816bf"));
+        assert_eq!(d.short().len(), 8);
+    }
+
+    #[test]
+    fn zero_digest() {
+        assert_eq!(Digest32::ZERO.as_bytes(), &[0u8; 32]);
+        assert_ne!(sha256(b""), Digest32::ZERO);
+    }
+
+    #[test]
+    fn from_array() {
+        let arr = [9u8; 32];
+        let d: Digest32 = arr.into();
+        assert_eq!(d.as_bytes(), &arr);
+        assert_eq!(d.as_ref(), &arr[..]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Nested hashkey signature chains (§4.1 of the paper).
+//!
+//! A hashkey for hashlock `h` on arc `(u, v)` is a triple `(s, p, σ)` where
+//! `p = (u₀, …, u_k)` is a path from the counterparty `u₀ = v` to the leader
+//! `u_k` who generated `s`, and
+//!
+//! ```text
+//! σ = sig(··· sig(s, u_k) ···, u₀)
+//! ```
+//!
+//! — the leader signs the secret, then each party along the path (walking
+//! outward) signs the previous signature. A [`SigChain`] stores these links
+//! innermost-first, so `links[0]` is the leader's signature and
+//! `links[k]` belongs to `u₀`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::mss::{KeysExhaustedError, MssKeypair, MssPublicKey, MssSignature};
+use crate::secret::Secret;
+use crate::sha256::{tagged_hash, Digest32};
+
+const LEADER_MSG_TAG: &str = "swap/sigchain/leader/v1";
+const WRAP_MSG_TAG: &str = "swap/sigchain/wrap/v1";
+
+/// An on-chain party address: a tagged hash of the party's public key.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::MssKeypair;
+/// let kp = MssKeypair::from_seed_with_height([1u8; 32], 2);
+/// let addr = kp.public_key().address();
+/// assert_eq!(addr, kp.public_key().address()); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Address(Digest32);
+
+impl Address {
+    /// Wraps an already-computed digest as an address.
+    pub const fn from_digest(d: Digest32) -> Self {
+        Address(d)
+    }
+
+    /// The underlying digest.
+    pub const fn digest(&self) -> &Digest32 {
+        &self.0
+    }
+
+    /// Byte size as stored on-chain.
+    pub const ENCODED_LEN: usize = 32;
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0.short())
+    }
+}
+
+/// Why a [`SigChain`] failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigChainError {
+    /// The chain's link count differs from the path's vertex count.
+    LengthMismatch {
+        /// Number of links in the chain.
+        links: usize,
+        /// Number of vertexes in the path.
+        path_vertices: usize,
+    },
+    /// A link failed signature verification.
+    BadSignature {
+        /// Zero-based position, innermost (leader) first.
+        position: usize,
+    },
+    /// A signer ran out of one-time keys while extending the chain.
+    Exhausted(KeysExhaustedError),
+}
+
+impl fmt::Display for SigChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigChainError::LengthMismatch { links, path_vertices } => write!(
+                f,
+                "chain has {links} links but path has {path_vertices} vertexes"
+            ),
+            SigChainError::BadSignature { position } => {
+                write!(f, "signature at chain position {position} is invalid")
+            }
+            SigChainError::Exhausted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SigChainError {}
+
+impl From<KeysExhaustedError> for SigChainError {
+    fn from(e: KeysExhaustedError) -> Self {
+        SigChainError::Exhausted(e)
+    }
+}
+
+/// The nested signature `σ` of a hashkey, innermost (leader) link first.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::{MssKeypair, Secret, SigChain};
+/// let mut leader = MssKeypair::from_seed_with_height([1u8; 32], 2);
+/// let mut relay = MssKeypair::from_seed_with_height([2u8; 32], 2);
+/// let s = Secret::from_bytes([9u8; 32]);
+///
+/// // Leader signs the secret; the relay wraps the leader's signature.
+/// let chain = SigChain::sign_secret(&mut leader, &s).unwrap();
+/// let chain = chain.extend(&mut relay).unwrap();
+///
+/// // Path order is (counterparty .. leader) = (relay, leader).
+/// let keys = [relay.public_key(), leader.public_key()];
+/// assert!(chain.verify(&s, &keys).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SigChain {
+    links: Vec<MssSignature>,
+}
+
+impl SigChain {
+    /// Starts a chain: the leader signs `sig(s, u_k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the leader's one-time keys are exhausted.
+    pub fn sign_secret(leader: &mut MssKeypair, secret: &Secret) -> Result<Self, SigChainError> {
+        let msg = leader_message(secret);
+        let link = leader.sign(&msg)?;
+        Ok(SigChain { links: vec![link] })
+    }
+
+    /// Extends the chain one hop outward: party `v` computes
+    /// `sig(σ_prev, v)`, matching the paper's `unlock(s, v + p, sig(σ, v))`
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the signer's one-time keys are exhausted.
+    pub fn extend(&self, signer: &mut MssKeypair) -> Result<Self, SigChainError> {
+        let msg = wrap_message(self.links.last().expect("chains are non-empty"));
+        let link = signer.sign(&msg)?;
+        let mut links = self.links.clone();
+        links.push(link);
+        Ok(SigChain { links })
+    }
+
+    /// Verifies the chain against `secret` and the path's public keys.
+    ///
+    /// `path_keys` is in *path order* `(u₀, …, u_k)`: counterparty first,
+    /// leader last — the same order as the hashkey's path argument, so the
+    /// contract can zip path vertexes with registered keys directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigChainError::LengthMismatch`] or the first
+    /// [`SigChainError::BadSignature`] encountered (checked innermost-out).
+    pub fn verify(&self, secret: &Secret, path_keys: &[MssPublicKey]) -> Result<(), SigChainError> {
+        if self.links.len() != path_keys.len() {
+            return Err(SigChainError::LengthMismatch {
+                links: self.links.len(),
+                path_vertices: path_keys.len(),
+            });
+        }
+        // links[0] = leader = path_keys[last]; links[i] = path_keys[k - i].
+        let k = path_keys.len() - 1;
+        let mut expected_msg = leader_message(secret);
+        for (i, link) in self.links.iter().enumerate() {
+            let key = &path_keys[k - i];
+            if !key.verify(&expected_msg, link) {
+                return Err(SigChainError::BadSignature { position: i });
+            }
+            expected_msg = wrap_message(link);
+        }
+        Ok(())
+    }
+
+    /// Number of links (path vertexes covered).
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Chains are never empty; this exists for clippy-friendliness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total wire size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.links.iter().map(MssSignature::byte_len).sum()
+    }
+}
+
+fn leader_message(secret: &Secret) -> Digest32 {
+    tagged_hash(LEADER_MSG_TAG, secret.reveal())
+}
+
+fn wrap_message(prev: &MssSignature) -> Digest32 {
+    tagged_hash(WRAP_MSG_TAG, prev.digest().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(seed: u8) -> MssKeypair {
+        MssKeypair::from_seed_with_height([seed; 32], 3)
+    }
+
+    #[test]
+    fn leader_only_chain() {
+        let mut leader = kp(1);
+        let s = Secret::from_bytes([7u8; 32]);
+        let chain = SigChain::sign_secret(&mut leader, &s).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert!(!chain.is_empty());
+        // Degenerate path (leader unlocking its own entering arc).
+        assert!(chain.verify(&s, &[leader.public_key()]).is_ok());
+    }
+
+    #[test]
+    fn three_hop_chain_verifies_in_path_order() {
+        let mut leader = kp(1);
+        let mut mid = kp(2);
+        let mut outer = kp(3);
+        let s = Secret::from_bytes([9u8; 32]);
+        let chain = SigChain::sign_secret(&mut leader, &s)
+            .unwrap()
+            .extend(&mut mid)
+            .unwrap()
+            .extend(&mut outer)
+            .unwrap();
+        assert_eq!(chain.len(), 3);
+        // Path (outer, mid, leader).
+        let keys = [outer.public_key(), mid.public_key(), leader.public_key()];
+        assert!(chain.verify(&s, &keys).is_ok());
+    }
+
+    #[test]
+    fn wrong_secret_rejected() {
+        let mut leader = kp(1);
+        let s = Secret::from_bytes([9u8; 32]);
+        let chain = SigChain::sign_secret(&mut leader, &s).unwrap();
+        let wrong = Secret::from_bytes([10u8; 32]);
+        assert_eq!(
+            chain.verify(&wrong, &[leader.public_key()]),
+            Err(SigChainError::BadSignature { position: 0 })
+        );
+    }
+
+    #[test]
+    fn shuffled_keys_rejected() {
+        let mut leader = kp(1);
+        let mut mid = kp(2);
+        let s = Secret::from_bytes([9u8; 32]);
+        let chain = SigChain::sign_secret(&mut leader, &s).unwrap().extend(&mut mid).unwrap();
+        // Keys in the wrong order (leader first).
+        let err = chain.verify(&s, &[leader.public_key(), mid.public_key()]).unwrap_err();
+        assert!(matches!(err, SigChainError::BadSignature { .. }));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut leader = kp(1);
+        let s = Secret::from_bytes([9u8; 32]);
+        let chain = SigChain::sign_secret(&mut leader, &s).unwrap();
+        let err = chain
+            .verify(&s, &[leader.public_key(), kp(2).public_key()])
+            .unwrap_err();
+        assert_eq!(err, SigChainError::LengthMismatch { links: 1, path_vertices: 2 });
+        assert!(err.to_string().contains("1 links"));
+    }
+
+    #[test]
+    fn impostor_extension_detected() {
+        // Mallory extends the chain but the path claims Bob signed.
+        let mut leader = kp(1);
+        let mut mallory = kp(66);
+        let bob = kp(2);
+        let s = Secret::from_bytes([9u8; 32]);
+        let chain =
+            SigChain::sign_secret(&mut leader, &s).unwrap().extend(&mut mallory).unwrap();
+        let err = chain.verify(&s, &[bob.public_key(), leader.public_key()]).unwrap_err();
+        assert_eq!(err, SigChainError::BadSignature { position: 1 });
+    }
+
+    #[test]
+    fn middle_link_tamper_detected() {
+        let mut leader = kp(1);
+        let mut mid = kp(2);
+        let mut outer = kp(3);
+        let s = Secret::from_bytes([9u8; 32]);
+        let good = SigChain::sign_secret(&mut leader, &s)
+            .unwrap()
+            .extend(&mut mid)
+            .unwrap()
+            .extend(&mut outer)
+            .unwrap();
+        // Replace the middle link with a signature over something else.
+        let mut evil_mid = kp(2);
+        let decoy = SigChain::sign_secret(&mut evil_mid, &Secret::from_bytes([1u8; 32])).unwrap();
+        let mut tampered = good.clone();
+        tampered.links[1] = decoy.links[0].clone();
+        let keys = [outer.public_key(), mid.public_key(), leader.public_key()];
+        let err = tampered.verify(&s, &keys).unwrap_err();
+        assert!(matches!(err, SigChainError::BadSignature { position } if position >= 1));
+    }
+
+    #[test]
+    fn byte_len_grows_per_link() {
+        let mut leader = kp(1);
+        let mut mid = kp(2);
+        let s = Secret::from_bytes([9u8; 32]);
+        let one = SigChain::sign_secret(&mut leader, &s).unwrap();
+        let two = one.extend(&mut mid).unwrap();
+        assert!(two.byte_len() > one.byte_len());
+        assert_eq!(two.byte_len(), one.byte_len() * 2);
+    }
+
+    #[test]
+    fn exhaustion_bubbles_up() {
+        let mut tiny = MssKeypair::from_seed_with_height([1u8; 32], 0);
+        let s = Secret::from_bytes([9u8; 32]);
+        let _ = SigChain::sign_secret(&mut tiny, &s).unwrap();
+        let err = SigChain::sign_secret(&mut tiny, &s).unwrap_err();
+        assert!(matches!(err, SigChainError::Exhausted(_)));
+    }
+
+    #[test]
+    fn address_display() {
+        let addr = kp(5).public_key().address();
+        assert!(addr.to_string().starts_with('@'));
+        assert_eq!(Address::ENCODED_LEN, 32);
+        assert_eq!(addr.digest().as_bytes().len(), 32);
+    }
+}

@@ -1,0 +1,484 @@
+//! Graph algorithms: strong connectivity, acyclicity, condensation,
+//! reachability, and the paper's longest-path diameter.
+
+use std::collections::BTreeSet;
+
+use crate::digraph::Digraph;
+use crate::ids::VertexId;
+
+/// Largest vertex count for which [`diameter_exact`] runs the exponential
+/// longest-path dynamic program. Beyond this, callers fall back to the safe
+/// `|V|` upper bound.
+pub const EXACT_DIAMETER_LIMIT: usize = 15;
+
+/// Vertexes reachable from `start` (including `start`), as a dense mask.
+pub fn reachable_from(d: &Digraph, start: VertexId) -> Vec<bool> {
+    let mut seen = vec![false; d.vertex_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        for arc in d.out_arcs(v) {
+            if !seen[arc.tail.index()] {
+                seen[arc.tail.index()] = true;
+                stack.push(arc.tail);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether every vertex reaches every other vertex. Empty and singleton
+/// digraphs are vacuously strongly connected.
+pub fn is_strongly_connected(d: &Digraph) -> bool {
+    let n = d.vertex_count();
+    if n <= 1 {
+        return true;
+    }
+    let start = VertexId::new(0);
+    if reachable_from(d, start).iter().any(|&r| !r) {
+        return false;
+    }
+    let t = d.transpose();
+    reachable_from(&t, start).iter().all(|&r| r)
+}
+
+/// Tarjan's strongly connected components, iteratively (no recursion, so
+/// large graphs cannot overflow the stack). Components are returned in
+/// reverse topological order of the condensation (a component appears before
+/// any component it has arcs into... specifically, Tarjan emits sinks first).
+pub fn strongly_connected_components(d: &Digraph) -> Vec<Vec<VertexId>> {
+    let n = d.vertex_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+
+    // Explicit DFS machine: (vertex, iterator position over successors).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let out = &d.out_arcs(VertexId::new(v as u32)).collect::<Vec<_>>();
+            if *pos < out.len() {
+                let w = out[*pos].tail.index();
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // v finished.
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        on_stack[w] = false;
+                        comp.push(VertexId::new(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    components.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The condensation of `d`: one vertex per strongly connected component,
+/// one arc per inter-component arc of `d` (parallel condensation arcs are
+/// deduplicated). Returns the condensation digraph and, for each original
+/// vertex, the index of its component vertex.
+pub fn condensation(d: &Digraph) -> (Digraph, Vec<usize>) {
+    let comps = strongly_connected_components(d);
+    let mut member = vec![0usize; d.vertex_count()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            member[v.index()] = ci;
+        }
+    }
+    let mut c = Digraph::new();
+    for (ci, comp) in comps.iter().enumerate() {
+        let names: Vec<&str> = comp.iter().map(|&v| d.name(v)).collect();
+        c.add_vertex(format!("scc{}({})", ci, names.join(",")));
+    }
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for arc in d.arcs() {
+        let (h, t) = (member[arc.head.index()], member[arc.tail.index()]);
+        if h != t && seen.insert((h, t)) {
+            c.add_arc(VertexId::new(h as u32), VertexId::new(t as u32))
+                .expect("condensation arc valid");
+        }
+    }
+    (c, member)
+}
+
+/// Whether `d` has no cycles (Kahn's algorithm; parallel arcs are fine).
+pub fn is_acyclic(d: &Digraph) -> bool {
+    topological_order(d).is_some()
+}
+
+/// A topological order of the vertexes, or `None` if `d` has a cycle.
+/// Isolated vertexes are included.
+pub fn topological_order(d: &Digraph) -> Option<Vec<VertexId>> {
+    let n = d.vertex_count();
+    let mut indeg: Vec<usize> = (0..n).map(|v| d.in_degree(VertexId::new(v as u32))).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        let vid = VertexId::new(v as u32);
+        order.push(vid);
+        for arc in d.out_arcs(vid) {
+            let w = arc.tail.index();
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// The paper's `diam(D)` computed exactly, or `None` when the digraph exceeds
+/// [`EXACT_DIAMETER_LIMIT`] vertexes.
+///
+/// Definition (§2.1): a path `(u₀, …, u_ℓ)` requires `u₀, …, u_{ℓ-1}`
+/// distinct, so the final vertex may close a cycle. `diam(D)` is the maximum
+/// path length over all vertex pairs; in the paper's three-party cycle this
+/// is 3 (the full cycle), which is exactly what makes Alice's contract
+/// timelock 6Δ = (diam + D(B,A) + 1)·Δ work out.
+pub fn diameter_exact(d: &Digraph) -> Option<usize> {
+    let n = d.vertex_count();
+    if n == 0 {
+        return Some(0);
+    }
+    if n > EXACT_DIAMETER_LIMIT {
+        return None;
+    }
+    // Successor masks (dedup parallel arcs).
+    let succ: Vec<u32> = (0..n)
+        .map(|v| {
+            let mut m = 0u32;
+            for arc in d.out_arcs(VertexId::new(v as u32)) {
+                m |= 1 << arc.tail.index();
+            }
+            m
+        })
+        .collect();
+    let mut best = 0usize;
+    // For each start vertex s, dp[mask] = set of possible end vertexes of a
+    // simple path starting at s visiting exactly `mask`.
+    for s in 0..n {
+        let mut dp = vec![0u32; 1 << n];
+        dp[1 << s] = 1 << s;
+        for mask in 0u32..(1u32 << n) {
+            if mask & (1 << s) == 0 {
+                continue;
+            }
+            let ends = dp[mask as usize];
+            if ends == 0 {
+                continue;
+            }
+            let len = mask.count_ones() as usize - 1;
+            best = best.max(len);
+            let mut rest = ends;
+            while rest != 0 {
+                let last = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let nexts = succ[last];
+                // Closing the cycle back to s: path length = |mask| arcs.
+                if nexts & (1 << s) != 0 && mask.count_ones() >= 2 {
+                    best = best.max(mask.count_ones() as usize);
+                }
+                let mut fresh = nexts & !mask;
+                while fresh != 0 {
+                    let w = fresh.trailing_zeros();
+                    fresh &= fresh - 1;
+                    dp[(mask | (1 << w)) as usize] |= 1 << w;
+                }
+            }
+        }
+    }
+    Some(best)
+}
+
+/// `D(v, target)`: the length of the longest path from `from` to `target`
+/// in which `target` appears only as the final vertex, or `None` if no such
+/// path exists.
+///
+/// This is the quantity in the paper's single-leader timeout formula
+/// `(diam(D) + D(v, v̂) + 1)·Δ` (Lemma 4.13). `D(v̂, v̂) = 0` by the trivial
+/// path. The computation deletes `target`, requiring the rest of the walk to
+/// be a simple path:
+///
+/// * if `D \ {target}` is acyclic (always true when `target` is the unique
+///   leader, i.e. a feedback vertex), longest path is computed on the DAG in
+///   linear time;
+/// * otherwise an exponential search is used for graphs within
+///   [`EXACT_DIAMETER_LIMIT`], and `None` is returned beyond that.
+pub fn longest_path_to(d: &Digraph, from: VertexId, target: VertexId) -> Option<usize> {
+    if from == target {
+        return Some(0);
+    }
+    let removed: BTreeSet<VertexId> = [target].into_iter().collect();
+    let rest = d.delete_vertices(&removed);
+    // Predecessors of target in the full digraph (arc u -> target exists).
+    let preds: BTreeSet<VertexId> = d.in_arcs(target).map(|a| a.head).collect();
+    if preds.is_empty() {
+        return None;
+    }
+    if let Some(order) = topological_order(&rest) {
+        // Longest simple path in the DAG from `from`, then +1 hop to target.
+        let n = d.vertex_count();
+        let mut dist = vec![None::<usize>; n];
+        dist[from.index()] = Some(0);
+        for &v in &order {
+            let Some(dv) = dist[v.index()] else { continue };
+            for arc in rest.out_arcs(v) {
+                let w = arc.tail.index();
+                let cand = dv + 1;
+                if dist[w].map_or(true, |old| cand > old) {
+                    dist[w] = Some(cand);
+                }
+            }
+        }
+        preds
+            .iter()
+            .filter_map(|&u| dist[u.index()])
+            .max()
+            .map(|len| len + 1)
+    } else {
+        if d.vertex_count() > EXACT_DIAMETER_LIMIT {
+            return None;
+        }
+        // Exponential DFS over simple paths avoiding target as interior.
+        fn dfs(
+            d: &Digraph,
+            v: VertexId,
+            target: VertexId,
+            visited: &mut Vec<bool>,
+            best: &mut Option<usize>,
+            len: usize,
+        ) {
+            for arc in d.out_arcs(v) {
+                let w = arc.tail;
+                if w == target {
+                    if best.map_or(true, |b| len + 1 > b) {
+                        *best = Some(len + 1);
+                    }
+                } else if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    dfs(d, w, target, visited, best, len + 1);
+                    visited[w.index()] = false;
+                }
+            }
+        }
+        let mut visited = vec![false; d.vertex_count()];
+        visited[from.index()] = true;
+        let mut best = None;
+        dfs(d, from, target, &mut visited, &mut best, 0);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+    use crate::generators;
+
+    fn triangle() -> Digraph {
+        generators::herlihy_three_party()
+    }
+
+    #[test]
+    fn reachability_on_path_digraph() {
+        let d = DigraphBuilder::new()
+            .vertices(["a", "b", "c"])
+            .arc("a", "b")
+            .arc("b", "c")
+            .build();
+        let a = d.vertex_by_name("a").unwrap();
+        let c = d.vertex_by_name("c").unwrap();
+        assert_eq!(reachable_from(&d, a), vec![true, true, true]);
+        assert_eq!(reachable_from(&d, c), vec![false, false, true]);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        assert!(is_strongly_connected(&triangle()));
+        let path = DigraphBuilder::new().vertices(["a", "b"]).arc("a", "b").build();
+        assert!(!is_strongly_connected(&path));
+    }
+
+    #[test]
+    fn scc_of_triangle_is_single_component() {
+        let comps = strongly_connected_components(&triangle());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn scc_of_two_cycles_with_bridge() {
+        // (a<->b) -> (c<->d)
+        let d = DigraphBuilder::new()
+            .vertices(["a", "b", "c", "d"])
+            .arc("a", "b")
+            .arc("b", "a")
+            .arc("b", "c")
+            .arc("c", "d")
+            .arc("d", "c")
+            .build();
+        let comps = strongly_connected_components(&d);
+        assert_eq!(comps.len(), 2);
+        // Tarjan emits the sink component {c,d} first.
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![2, 2]);
+        let (cond, member) = condensation(&d);
+        assert_eq!(cond.vertex_count(), 2);
+        assert_eq!(cond.arc_count(), 1);
+        assert!(cond.is_acyclic());
+        let a = d.vertex_by_name("a").unwrap();
+        let c = d.vertex_by_name("c").unwrap();
+        assert_ne!(member[a.index()], member[c.index()]);
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(!is_acyclic(&triangle()));
+        let dag = DigraphBuilder::new()
+            .vertices(["a", "b", "c"])
+            .arc("a", "b")
+            .arc("a", "c")
+            .arc("b", "c")
+            .build();
+        assert!(is_acyclic(&dag));
+        let order = topological_order(&dag).unwrap();
+        let pos = |name: &str| {
+            let v = dag.vertex_by_name(name).unwrap();
+            order.iter().position(|&x| x == v).unwrap()
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn diameter_of_cycle_counts_full_cycle() {
+        // The worked example in §1: timelock 6Δ on arc (A,B) implies
+        // diam(C₃) = 3.
+        assert_eq!(diameter_exact(&triangle()), Some(3));
+        let c5 = generators::cycle(5);
+        assert_eq!(diameter_exact(&c5), Some(5));
+    }
+
+    #[test]
+    fn diameter_of_dag_is_longest_simple_path() {
+        let dag = DigraphBuilder::new()
+            .vertices(["a", "b", "c", "d"])
+            .arc("a", "b")
+            .arc("b", "c")
+            .arc("c", "d")
+            .arc("a", "d")
+            .build();
+        assert_eq!(diameter_exact(&dag), Some(3));
+    }
+
+    #[test]
+    fn diameter_of_complete_digraph() {
+        // K₄ with all ordered pairs: longest path is a Hamiltonian cycle of
+        // length 4.
+        let k4 = generators::complete(4);
+        assert_eq!(diameter_exact(&k4), Some(4));
+    }
+
+    #[test]
+    fn diameter_bails_out_above_limit() {
+        let big = generators::cycle(EXACT_DIAMETER_LIMIT + 1);
+        assert_eq!(diameter_exact(&big), None);
+        // The public method falls back to |V|, which for a cycle is exact.
+        assert_eq!(big.diameter(), EXACT_DIAMETER_LIMIT + 1);
+    }
+
+    #[test]
+    fn diameter_of_two_cycle() {
+        let d = DigraphBuilder::new().vertices(["a", "b"]).arc("a", "b").arc("b", "a").build();
+        assert_eq!(diameter_exact(&d), Some(2));
+    }
+
+    #[test]
+    fn longest_path_to_leader_in_triangle() {
+        let d = triangle();
+        let a = d.vertex_by_name("alice").unwrap();
+        let b = d.vertex_by_name("bob").unwrap();
+        let c = d.vertex_by_name("carol").unwrap();
+        // Leader v̂ = alice: D(B,A)=2 (B→C→A), D(C,A)=1, D(A,A)=0, matching
+        // the 6Δ/5Δ/4Δ timelocks of Figure 1.
+        assert_eq!(longest_path_to(&d, b, a), Some(2));
+        assert_eq!(longest_path_to(&d, c, a), Some(1));
+        assert_eq!(longest_path_to(&d, a, a), Some(0));
+    }
+
+    #[test]
+    fn longest_path_to_unreachable_is_none() {
+        let d = DigraphBuilder::new().vertices(["a", "b"]).arc("a", "b").build();
+        let a = d.vertex_by_name("a").unwrap();
+        let b = d.vertex_by_name("b").unwrap();
+        assert_eq!(longest_path_to(&d, b, a), None);
+        assert_eq!(longest_path_to(&d, a, b), Some(1));
+    }
+
+    #[test]
+    fn longest_path_with_cyclic_remainder_uses_search() {
+        // Complete digraph on 4 vertexes: removing the target leaves a
+        // 3-vertex cyclic digraph, forcing the exponential fallback.
+        let k4 = generators::complete(4);
+        let v0 = VertexId::new(0);
+        let v1 = VertexId::new(1);
+        // Longest: v1 -> x -> y -> v0 visiting the other two first.
+        assert_eq!(longest_path_to(&k4, v1, v0), Some(3));
+    }
+
+    #[test]
+    fn topological_order_none_on_cycle() {
+        assert!(topological_order(&triangle()).is_none());
+    }
+
+    #[test]
+    fn scc_singleton_vertices() {
+        let mut d = Digraph::new();
+        d.add_vertex("lonely");
+        let comps = strongly_connected_components(&d);
+        assert_eq!(comps.len(), 1);
+        assert!(is_strongly_connected(&d));
+        assert!(is_acyclic(&d));
+    }
+
+    #[test]
+    fn condensation_names_mention_members() {
+        let (cond, _) = condensation(&triangle());
+        assert_eq!(cond.vertex_count(), 1);
+        assert!(cond.name(VertexId::new(0)).contains("alice"));
+    }
+}

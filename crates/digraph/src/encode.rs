@@ -1,0 +1,200 @@
+//! Canonical binary encoding of digraphs.
+//!
+//! Every swap contract stores a copy of the swap digraph (Figure 4, line 3),
+//! which is what drives the paper's `O(|A|²)` space bound (Theorem 4.10: |A|
+//! contracts × O(|A|) bits each). The chain substrate meters stored bytes,
+//! so the encoding must be canonical and deterministic.
+//!
+//! Layout (all integers big-endian `u32`):
+//!
+//! ```text
+//! magic "SWDG" | vertex_count | arc_count | (head, tail)*arc_count
+//! ```
+//!
+//! Vertex names are *not* encoded: contracts identify parties by their
+//! on-chain addresses, not display names.
+
+use std::fmt;
+
+use crate::digraph::Digraph;
+use crate::ids::VertexId;
+
+const MAGIC: &[u8; 4] = b"SWDG";
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer did not start with the expected magic bytes.
+    BadMagic,
+    /// The buffer ended before the declared structure was complete.
+    Truncated,
+    /// An arc referenced a vertex outside the declared vertex count, or was
+    /// a self-loop.
+    InvalidArc {
+        /// Index of the offending arc.
+        index: usize,
+    },
+    /// Trailing bytes followed the declared structure.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "missing SWDG magic prefix"),
+            DecodeError::Truncated => write!(f, "buffer ended before structure was complete"),
+            DecodeError::InvalidArc { index } => write!(f, "arc {index} is invalid"),
+            DecodeError::TrailingBytes => write!(f, "unexpected trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes `d` into the canonical byte layout.
+///
+/// The size is `12 + 8·|A|` bytes: linear in `|A|`, as Theorem 4.10 assumes.
+pub fn encode(d: &Digraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + 8 * d.arc_count());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(d.vertex_count() as u32).to_be_bytes());
+    out.extend_from_slice(&(d.arc_count() as u32).to_be_bytes());
+    for arc in d.arcs() {
+        out.extend_from_slice(&arc.head.raw().to_be_bytes());
+        out.extend_from_slice(&arc.tail.raw().to_be_bytes());
+    }
+    out
+}
+
+/// The encoded size in bytes without materializing the encoding.
+pub fn encoded_len(d: &Digraph) -> usize {
+    12 + 8 * d.arc_count()
+}
+
+/// Decodes a digraph previously produced by [`encode`]. Vertex names are
+/// synthesized as `v0..v{n-1}`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first structural problem found.
+pub fn decode(bytes: &[u8]) -> Result<Digraph, DecodeError> {
+    let read_u32 = |at: usize| -> Result<u32, DecodeError> {
+        let slice = bytes.get(at..at + 4).ok_or(DecodeError::Truncated)?;
+        Ok(u32::from_be_bytes(slice.try_into().expect("4-byte slice")))
+    };
+    if bytes.get(..4) != Some(MAGIC.as_slice()) {
+        return Err(DecodeError::BadMagic);
+    }
+    let n = read_u32(4)? as usize;
+    let m = read_u32(8)? as usize;
+    let expected = 12 + 8 * m;
+    if bytes.len() < expected {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes.len() > expected {
+        return Err(DecodeError::TrailingBytes);
+    }
+    let mut d = Digraph::new();
+    d.add_vertices(n);
+    for i in 0..m {
+        let head = read_u32(12 + 8 * i)?;
+        let tail = read_u32(16 + 8 * i)?;
+        if head as usize >= n || tail as usize >= n || head == tail {
+            return Err(DecodeError::InvalidArc { index: i });
+        }
+        d.add_arc(VertexId::new(head), VertexId::new(tail))
+            .map_err(|_| DecodeError::InvalidArc { index: i })?;
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_three_party() {
+        let d = generators::herlihy_three_party();
+        let bytes = encode(&d);
+        assert_eq!(bytes.len(), encoded_len(&d));
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.vertex_count(), 3);
+        assert_eq!(back.arc_count(), 3);
+        for (orig, dec) in d.arcs().zip(back.arcs()) {
+            assert_eq!(orig.head, dec.head);
+            assert_eq!(orig.tail, dec.tail);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multigraph() {
+        let d = generators::multigraph_pair();
+        let back = decode(&encode(&d)).unwrap();
+        assert_eq!(back.arc_count(), 3);
+        let a = VertexId::new(0);
+        let b = VertexId::new(1);
+        assert_eq!(back.arcs_between(a, b).len(), 2);
+    }
+
+    #[test]
+    fn size_is_linear_in_arcs() {
+        // This linearity is the per-contract half of Theorem 4.10.
+        for n in [2usize, 4, 8] {
+            let d = generators::complete(n);
+            assert_eq!(encoded_len(&d), 12 + 8 * n * (n - 1));
+            assert_eq!(encode(&d).len(), encoded_len(&d));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE"), Err(DecodeError::BadMagic));
+        assert_eq!(decode(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let d = generators::herlihy_three_party();
+        let bytes = encode(&d);
+        assert_eq!(decode(&bytes[..bytes.len() - 1]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&bytes[..10]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let d = generators::herlihy_three_party();
+        let mut bytes = encode(&d);
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn invalid_arc_rejected() {
+        // Hand-craft: 2 vertexes, 1 arc referencing vertex 5.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SWDG");
+        bytes.extend_from_slice(&2u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&5u32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidArc { index: 0 }));
+    }
+
+    #[test]
+    fn self_loop_in_encoding_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SWDG");
+        bytes.extend_from_slice(&2u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidArc { index: 0 }));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeError::InvalidArc { index: 3 }.to_string().contains("3"));
+    }
+}

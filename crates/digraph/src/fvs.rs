@@ -1,0 +1,431 @@
+//! Feedback vertex sets — the *leader* sets of the swap protocol.
+//!
+//! Theorem 4.12 of the paper shows that in any uniform hashed-timelock swap
+//! protocol the leaders must form a feedback vertex set of the swap digraph.
+//! Finding a *minimum* directed feedback vertex set is NP-complete (Karp
+//! 1972, cited as [15]); the paper notes an efficient 2-approximation exists
+//! for the undirected variant. This module provides:
+//!
+//! * [`FeedbackVertexSet::is_feedback_vertex_set`] — the defining check,
+//! * [`FeedbackVertexSet::minimum`] — exact branch-and-bound for graphs of
+//!   practical swap size (cycle-branching FPT search),
+//! * [`FeedbackVertexSet::greedy`] — a fast heuristic (repeatedly delete the
+//!   vertex with maximum in·out degree product among cycle participants,
+//!   then minimalize), whose quality the bench harness compares against the
+//!   exact optimum.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::algo::strongly_connected_components;
+use crate::digraph::Digraph;
+use crate::ids::VertexId;
+
+/// A verified feedback vertex set for a particular digraph shape.
+///
+/// Construction always verifies the defining property, so holding a
+/// `FeedbackVertexSet` is proof that deleting its vertexes leaves the
+/// digraph acyclic.
+///
+/// # Example
+///
+/// ```
+/// use swap_digraph::{generators, FeedbackVertexSet};
+/// let d = generators::two_leader_triangle();
+/// let exact = FeedbackVertexSet::minimum(&d).unwrap();
+/// assert_eq!(exact.vertices().len(), 2); // this digraph needs two leaders
+/// let greedy = FeedbackVertexSet::greedy(&d);
+/// assert!(greedy.vertices().len() >= exact.vertices().len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackVertexSet {
+    vertices: BTreeSet<VertexId>,
+}
+
+/// Error when a claimed leader set is not a feedback vertex set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotFeedbackError {
+    /// A cycle that survives deletion of the claimed set (as a vertex list).
+    pub witness_cycle: Vec<VertexId>,
+}
+
+impl std::fmt::Display for NotFeedbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "set is not a feedback vertex set; surviving cycle: {:?}",
+            self.witness_cycle
+        )
+    }
+}
+
+impl std::error::Error for NotFeedbackError {}
+
+impl FeedbackVertexSet {
+    /// Wraps a candidate set after verifying it is a feedback vertex set of
+    /// `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotFeedbackError`] with a witness cycle if deletion of the
+    /// set leaves a cycle.
+    pub fn verify(d: &Digraph, vertices: BTreeSet<VertexId>) -> Result<Self, NotFeedbackError> {
+        let rest = d.delete_vertices(&vertices);
+        match find_cycle(&rest) {
+            None => Ok(FeedbackVertexSet { vertices }),
+            Some(cycle) => Err(NotFeedbackError { witness_cycle: cycle }),
+        }
+    }
+
+    /// The defining check, without constructing the witness type.
+    pub fn is_feedback_vertex_set(d: &Digraph, vertices: &BTreeSet<VertexId>) -> bool {
+        d.delete_vertices(vertices).is_acyclic()
+    }
+
+    /// Exact minimum feedback vertex set by cycle-branching search.
+    ///
+    /// Finds a shortest surviving cycle, branches on which of its vertexes
+    /// joins the set, and prunes with the current best. Practical up to a
+    /// few dozen vertexes (swap digraphs are small — every vertex is a
+    /// distinct real-world party); returns `None` if the search exceeds an
+    /// internal node budget.
+    pub fn minimum(d: &Digraph) -> Option<Self> {
+        let mut best: Option<BTreeSet<VertexId>> = None;
+        let mut budget: u64 = 2_000_000;
+        branch(d, &mut BTreeSet::new(), &mut best, &mut budget);
+        if budget == 0 {
+            return None;
+        }
+        best.map(|vertices| FeedbackVertexSet { vertices })
+    }
+
+    /// Greedy heuristic: repeatedly delete the vertex with the largest
+    /// in-degree × out-degree product among vertexes on cycles, then
+    /// *minimalize* by re-admitting any vertex whose removal from the set
+    /// keeps acyclicity.
+    ///
+    /// Always returns a valid (not necessarily minimum) feedback vertex set.
+    pub fn greedy(d: &Digraph) -> Self {
+        let mut removed: BTreeSet<VertexId> = BTreeSet::new();
+        loop {
+            let rest = d.delete_vertices(&removed);
+            if rest.is_acyclic() {
+                break;
+            }
+            // Only vertexes inside nontrivial SCCs can lie on cycles.
+            let candidate = strongly_connected_components(&rest)
+                .into_iter()
+                .filter(|c| {
+                    c.len() > 1 || {
+                        let v = c[0];
+                        rest.arcs_between(v, v).len() > 0 // impossible (no self-loops) but explicit
+                    }
+                })
+                .flatten()
+                .max_by_key(|&v| {
+                    (rest.in_degree(v) * rest.out_degree(v), std::cmp::Reverse(v))
+                });
+            match candidate {
+                Some(v) => {
+                    removed.insert(v);
+                }
+                None => break, // acyclic after all
+            }
+        }
+        // Minimalize: drop redundant members (smallest ids first for
+        // determinism).
+        let members: Vec<VertexId> = removed.iter().copied().collect();
+        for v in members {
+            let mut trial = removed.clone();
+            trial.remove(&v);
+            if Self::is_feedback_vertex_set(d, &trial) {
+                removed = trial;
+            }
+        }
+        FeedbackVertexSet { vertices: removed }
+    }
+
+    /// The vertexes of the set, sorted.
+    pub fn vertices(&self) -> &BTreeSet<VertexId> {
+        &self.vertices
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Consumes the witness, returning the raw set.
+    pub fn into_vertices(self) -> BTreeSet<VertexId> {
+        self.vertices
+    }
+}
+
+/// Finds any cycle in `d`, returned as the vertex sequence of the cycle
+/// (first vertex repeated implicitly), or `None` if acyclic.
+pub fn find_cycle(d: &Digraph) -> Option<Vec<VertexId>> {
+    let n = d.vertex_count();
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<VertexId>)> = vec![(
+            root,
+            d.successors(VertexId::new(root as u32)),
+        )];
+        color[root] = 1;
+        while let Some((v, succs)) = stack.last_mut() {
+            if let Some(w) = succs.pop() {
+                match color[w.index()] {
+                    0 => {
+                        color[w.index()] = 1;
+                        parent[w.index()] = Some(VertexId::new(*v as u32));
+                        stack.push((w.index(), d.successors(w)));
+                    }
+                    1 => {
+                        // Found a back arc v -> w: reconstruct cycle w ... v.
+                        let mut cycle = vec![VertexId::new(*v as u32)];
+                        let mut cur = VertexId::new(*v as u32);
+                        while cur != w {
+                            cur = parent[cur.index()].expect("on-stack vertex has parent");
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[*v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+fn branch(
+    d: &Digraph,
+    chosen: &mut BTreeSet<VertexId>,
+    best: &mut Option<BTreeSet<VertexId>>,
+    budget: &mut u64,
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    if let Some(b) = best {
+        if chosen.len() >= b.len() {
+            return; // cannot improve
+        }
+    }
+    let rest = d.delete_vertices(chosen);
+    let Some(cycle) = find_shortest_cycle(&rest) else {
+        // Acyclic: chosen is a feedback vertex set.
+        *best = Some(chosen.clone());
+        return;
+    };
+    for v in cycle {
+        chosen.insert(v);
+        branch(d, chosen, best, budget);
+        chosen.remove(&v);
+    }
+}
+
+/// Shortest cycle via BFS from each vertex back to itself (on the
+/// deduplicated successor relation).
+fn find_shortest_cycle(d: &Digraph) -> Option<Vec<VertexId>> {
+    let n = d.vertex_count();
+    let mut best: Option<Vec<VertexId>> = None;
+    for s in 0..n {
+        let sv = VertexId::new(s as u32);
+        // BFS from successors of s back to s.
+        let mut prev: Vec<Option<VertexId>> = vec![None; n];
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[s] = 0;
+        queue.push_back(sv);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for w in d.successors(v) {
+                if w == sv && v != sv {
+                    // Cycle s -> ... -> v -> s.
+                    let mut cycle = vec![v];
+                    let mut cur = v;
+                    while cur != sv {
+                        cur = prev[cur.index()].expect("bfs predecessor");
+                        cycle.push(cur);
+                    }
+                    cycle.reverse();
+                    if best.as_ref().map_or(true, |b| cycle.len() < b.len()) {
+                        best = Some(cycle);
+                    }
+                    break 'bfs;
+                }
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    prev[w.index()] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if best.as_ref().is_some_and(|b| b.len() == 2) {
+            break; // cannot beat a 2-cycle
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn triangle_needs_one_leader() {
+        let d = generators::herlihy_three_party();
+        let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+        assert_eq!(fvs.vertices().len(), 1);
+        let v = *fvs.vertices().iter().next().unwrap();
+        assert!(fvs.contains(v));
+    }
+
+    #[test]
+    fn two_leader_triangle_needs_two() {
+        let d = generators::two_leader_triangle();
+        let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+        assert_eq!(fvs.vertices().len(), 2);
+    }
+
+    #[test]
+    fn acyclic_digraph_needs_no_leaders() {
+        let dag = DigraphBuilder::new()
+            .vertices(["a", "b", "c"])
+            .arc("a", "b")
+            .arc("b", "c")
+            .build();
+        let fvs = FeedbackVertexSet::minimum(&dag).unwrap();
+        assert!(fvs.vertices().is_empty());
+        assert!(FeedbackVertexSet::greedy(&dag).vertices().is_empty());
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_invalid() {
+        let d = generators::two_leader_triangle();
+        let a = d.vertex_by_name("alice").unwrap();
+        let b = d.vertex_by_name("bob").unwrap();
+        let good: BTreeSet<_> = [a, b].into_iter().collect();
+        assert!(FeedbackVertexSet::verify(&d, good).is_ok());
+        let bad: BTreeSet<_> = [a].into_iter().collect();
+        let err = FeedbackVertexSet::verify(&d, bad).unwrap_err();
+        assert!(!err.witness_cycle.is_empty());
+        assert!(err.to_string().contains("not a feedback vertex set"));
+    }
+
+    #[test]
+    fn witness_cycle_is_a_real_cycle() {
+        let d = generators::two_leader_triangle();
+        let a = d.vertex_by_name("alice").unwrap();
+        let bad: BTreeSet<_> = [a].into_iter().collect();
+        let err = FeedbackVertexSet::verify(&d, bad).unwrap_err();
+        let cycle = &err.witness_cycle;
+        // Every consecutive pair (and the wrap-around) must be an arc of the
+        // digraph with alice deleted.
+        let rest = d.delete_vertices(&[a].into_iter().collect());
+        for i in 0..cycle.len() {
+            let u = cycle[i];
+            let v = cycle[(i + 1) % cycle.len()];
+            assert!(rest.has_arc_between(u, v), "cycle edge {u}->{v} missing");
+        }
+    }
+
+    #[test]
+    fn greedy_is_always_valid() {
+        for n in 2..8 {
+            let d = generators::complete(n);
+            let fvs = FeedbackVertexSet::greedy(&d);
+            assert!(FeedbackVertexSet::is_feedback_vertex_set(&d, fvs.vertices()));
+        }
+    }
+
+    #[test]
+    fn complete_digraph_minimum_is_n_minus_1() {
+        // K_n (all ordered pairs): any two remaining vertexes form a
+        // 2-cycle, so the minimum FVS has n-1 vertexes.
+        for n in 2..6 {
+            let d = generators::complete(n);
+            let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+            assert_eq!(fvs.vertices().len(), n - 1, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn cycle_minimum_is_one() {
+        for n in 2..9 {
+            let d = generators::cycle(n);
+            assert_eq!(FeedbackVertexSet::minimum(&d).unwrap().vertices().len(), 1);
+        }
+    }
+
+    #[test]
+    fn fvs_for_d_is_fvs_for_transpose() {
+        // §2.1: any feedback vertex set for D is also one for Dᵀ.
+        let d = generators::two_leader_triangle();
+        let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+        let t = d.transpose();
+        assert!(FeedbackVertexSet::is_feedback_vertex_set(&t, fvs.vertices()));
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        let dag = DigraphBuilder::new()
+            .vertices(["a", "b"])
+            .arc("a", "b")
+            .build();
+        assert!(find_cycle(&dag).is_none());
+    }
+
+    #[test]
+    fn find_cycle_on_triangle() {
+        let d = generators::herlihy_three_party();
+        let cycle = find_cycle(&d).unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn shortest_cycle_prefers_two_cycle() {
+        // A 2-cycle nested beside a 5-cycle.
+        let mut d = generators::cycle(5);
+        let v0 = VertexId::new(0);
+        let v1 = VertexId::new(1);
+        d.add_arc(v1, v0).unwrap();
+        let cycle = find_shortest_cycle(&d).unwrap();
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn into_vertices_roundtrip() {
+        let d = generators::cycle(4);
+        let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+        let raw = fvs.clone().into_vertices();
+        assert_eq!(&raw, fvs.vertices());
+    }
+
+    #[test]
+    fn greedy_on_random_strongly_connected() {
+        use swap_sim::SimRng;
+        let mut rng = SimRng::from_seed(12345);
+        for n in [4usize, 6, 8, 10] {
+            let d = generators::random_strongly_connected(n, 0.3, &mut rng);
+            let greedy = FeedbackVertexSet::greedy(&d);
+            assert!(FeedbackVertexSet::is_feedback_vertex_set(&d, greedy.vertices()));
+            if let Some(exact) = FeedbackVertexSet::minimum(&d) {
+                assert!(greedy.vertices().len() >= exact.vertices().len());
+            }
+        }
+    }
+}

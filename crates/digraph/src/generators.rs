@@ -1,0 +1,372 @@
+//! Digraph generators: the paper's worked examples plus parameterized
+//! families used by the experiment harness.
+
+use rand::Rng;
+
+use crate::digraph::Digraph;
+use crate::ids::VertexId;
+
+/// The §1 motivating example: Alice pays Bob alt-coins, Bob pays Carol
+/// bitcoins, Carol signs her Cadillac title over to Alice — a directed
+/// 3-cycle.
+///
+/// Vertex names are `alice`, `bob`, `carol`; arcs are
+/// `alice→bob`, `bob→carol`, `carol→alice`.
+pub fn herlihy_three_party() -> Digraph {
+    let mut d = Digraph::new();
+    let a = d.add_vertex("alice");
+    let b = d.add_vertex("bob");
+    let c = d.add_vertex("carol");
+    d.add_arc(a, b).expect("valid");
+    d.add_arc(b, c).expect("valid");
+    d.add_arc(c, a).expect("valid");
+    d
+}
+
+/// The two-leader digraph of Figures 6–8: three parties with *all six* arcs.
+/// Its minimum feedback vertex set has size two (deleting any single vertex
+/// leaves a 2-cycle), so two leaders are required and simple per-arc
+/// timeouts cannot work (Figure 6, right side).
+pub fn two_leader_triangle() -> Digraph {
+    let mut d = Digraph::new();
+    let a = d.add_vertex("alice");
+    let b = d.add_vertex("bob");
+    let c = d.add_vertex("carol");
+    for (u, v) in [(a, b), (b, a), (b, c), (c, b), (c, a), (a, c)] {
+        d.add_arc(u, v).expect("valid");
+    }
+    d
+}
+
+/// The directed cycle `C_n`: vertex `i` pays vertex `(i+1) mod n`.
+/// Strongly connected; minimum feedback vertex set size 1; `diam = n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (a cycle needs at least two parties).
+pub fn cycle(n: usize) -> Digraph {
+    assert!(n >= 2, "cycle needs at least 2 vertexes");
+    let mut d = Digraph::new();
+    let vs = d.add_vertices(n);
+    for i in 0..n {
+        d.add_arc(vs[i], vs[(i + 1) % n]).expect("valid");
+    }
+    d
+}
+
+/// The complete digraph `K̂_n`: every ordered pair of distinct vertexes is an
+/// arc. Strongly connected; minimum feedback vertex set size `n-1`;
+/// `diam = n` (a Hamiltonian cycle).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Digraph {
+    assert!(n >= 2, "complete digraph needs at least 2 vertexes");
+    let mut d = Digraph::new();
+    let vs = d.add_vertices(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                d.add_arc(vs[i], vs[j]).expect("valid");
+            }
+        }
+    }
+    d
+}
+
+/// The directed path `P_n` (v0 → v1 → … → v_{n-1}); *not* strongly
+/// connected, used to exercise the Theorem 3.5 impossibility direction.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn path(n: usize) -> Digraph {
+    assert!(n >= 2, "path needs at least 2 vertexes");
+    let mut d = Digraph::new();
+    let vs = d.add_vertices(n);
+    for i in 0..n - 1 {
+        d.add_arc(vs[i], vs[i + 1]).expect("valid");
+    }
+    d
+}
+
+/// A hub-and-spoke swap: a central `hub` trades bidirectionally with each of
+/// `n` spokes (hub→spoke and spoke→hub arcs). Strongly connected; minimum
+/// feedback vertex set is `{hub}`; `diam = 2` for `n ≥ 2`.
+///
+/// Models a market maker clearing many two-party swaps at once.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Digraph {
+    assert!(n >= 1, "star needs at least one spoke");
+    let mut d = Digraph::new();
+    let hub = d.add_vertex("hub");
+    for i in 0..n {
+        let s = d.add_vertex(format!("spoke{i}"));
+        d.add_arc(hub, s).expect("valid");
+        d.add_arc(s, hub).expect("valid");
+    }
+    d
+}
+
+/// `k` directed cycles of length `len` sharing one common vertex — the
+/// "flower" digraph. Minimum feedback vertex set is the shared vertex;
+/// `diam` grows with `len`. Models one broker bridging several otherwise
+/// disjoint swap rings.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `len < 2`.
+pub fn flower(k: usize, len: usize) -> Digraph {
+    assert!(k >= 1 && len >= 2, "flower needs k >= 1 petals of len >= 2");
+    let mut d = Digraph::new();
+    let center = d.add_vertex("center");
+    for p in 0..k {
+        let mut prev = center;
+        for i in 1..len {
+            let v = d.add_vertex(format!("p{p}_{i}"));
+            d.add_arc(prev, v).expect("valid");
+            prev = v;
+        }
+        d.add_arc(prev, center).expect("valid");
+    }
+    d
+}
+
+/// A random strongly connected digraph: a random Hamiltonian cycle (which
+/// guarantees strong connectivity) plus each other ordered pair
+/// independently with probability `extra_arc_prob`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `extra_arc_prob` is not within `[0, 1]`.
+pub fn random_strongly_connected<R: Rng>(n: usize, extra_arc_prob: f64, rng: &mut R) -> Digraph {
+    assert!(n >= 2, "need at least 2 vertexes");
+    assert!((0.0..=1.0).contains(&extra_arc_prob), "probability out of range");
+    let mut d = Digraph::new();
+    let vs = d.add_vertices(n);
+    // Random Hamiltonian cycle.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut on_cycle = vec![vec![false; n]; n];
+    for i in 0..n {
+        let u = perm[i];
+        let v = perm[(i + 1) % n];
+        d.add_arc(vs[u], vs[v]).expect("valid");
+        on_cycle[u][v] = true;
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && !on_cycle[u][v] && rng.gen_bool(extra_arc_prob) {
+                d.add_arc(vs[u], vs[v]).expect("valid");
+            }
+        }
+    }
+    d
+}
+
+/// An Erdős–Rényi random digraph: each ordered pair independently with
+/// probability `p`. May or may not be strongly connected — used when the
+/// experiment needs both kinds.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn random_digraph<R: Rng>(n: usize, p: f64, rng: &mut R) -> Digraph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut d = Digraph::new();
+    let vs = d.add_vertices(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                d.add_arc(vs[u], vs[v]).expect("valid");
+            }
+        }
+    }
+    d
+}
+
+/// The minimal non-strongly-connected swap: `x` pays `y` and gets nothing
+/// back. Lemma 3.4's coalition construction applies with `X = {x}`,
+/// `Y = {y}`.
+pub fn one_way_pair() -> Digraph {
+    let mut d = Digraph::new();
+    let x = d.add_vertex("x");
+    let y = d.add_vertex("y");
+    d.add_arc(x, y).expect("valid");
+    d
+}
+
+/// Two strongly connected 3-cycles joined by a single one-way bridge —
+/// connected, cyclic, but *not* strongly connected. Exercises Lemma 3.4 on a
+/// digraph where both sides internally look healthy.
+pub fn bridged_cycles() -> Digraph {
+    let mut d = Digraph::new();
+    let xs: Vec<VertexId> = (0..3).map(|i| d.add_vertex(format!("x{i}"))).collect();
+    let ys: Vec<VertexId> = (0..3).map(|i| d.add_vertex(format!("y{i}"))).collect();
+    for i in 0..3 {
+        d.add_arc(xs[i], xs[(i + 1) % 3]).expect("valid");
+        d.add_arc(ys[i], ys[(i + 1) % 3]).expect("valid");
+    }
+    d.add_arc(xs[0], ys[0]).expect("valid");
+    d
+}
+
+/// A two-party swap across *two* blockchains in each direction: parallel
+/// arcs `a→b`, `a→b`, `b→a` — the §5 multigraph extension (Alice transfers
+/// assets on distinct blockchains to Bob).
+pub fn multigraph_pair() -> Digraph {
+    let mut d = Digraph::new();
+    let a = d.add_vertex("alice");
+    let b = d.add_vertex("bob");
+    d.add_arc(a, b).expect("valid");
+    d.add_arc(a, b).expect("valid");
+    d.add_arc(b, a).expect("valid");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fvs::FeedbackVertexSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn three_party_shape() {
+        let d = herlihy_three_party();
+        assert_eq!(d.vertex_count(), 3);
+        assert_eq!(d.arc_count(), 3);
+        assert!(d.is_strongly_connected());
+        assert_eq!(d.diameter(), 3);
+    }
+
+    #[test]
+    fn two_leader_triangle_shape() {
+        let d = two_leader_triangle();
+        assert_eq!(d.arc_count(), 6);
+        assert!(d.is_strongly_connected());
+        assert_eq!(FeedbackVertexSet::minimum(&d).unwrap().vertices().len(), 2);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        for n in 2..8 {
+            let d = cycle(n);
+            assert!(d.is_strongly_connected(), "C_{n}");
+            assert_eq!(d.arc_count(), n);
+            assert_eq!(d.diameter(), n);
+        }
+    }
+
+    #[test]
+    fn complete_properties() {
+        for n in 2..6 {
+            let d = complete(n);
+            assert!(d.is_strongly_connected());
+            assert_eq!(d.arc_count(), n * (n - 1));
+            assert_eq!(d.diameter(), n);
+        }
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected() {
+        let d = path(4);
+        assert!(!d.is_strongly_connected());
+        assert!(d.is_acyclic());
+    }
+
+    #[test]
+    fn star_properties() {
+        let d = star(5);
+        assert!(d.is_strongly_connected());
+        assert_eq!(d.vertex_count(), 6);
+        assert_eq!(d.arc_count(), 10);
+        let hub = d.vertex_by_name("hub").unwrap();
+        let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+        assert_eq!(fvs.vertices().len(), 1);
+        assert!(fvs.contains(hub));
+    }
+
+    #[test]
+    fn flower_properties() {
+        let d = flower(3, 4);
+        assert!(d.is_strongly_connected());
+        assert_eq!(d.vertex_count(), 1 + 3 * 3);
+        let fvs = FeedbackVertexSet::minimum(&d).unwrap();
+        assert_eq!(fvs.vertices().len(), 1);
+        assert!(fvs.contains(d.vertex_by_name("center").unwrap()));
+    }
+
+    #[test]
+    fn random_strongly_connected_is_strongly_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 5, 10, 25] {
+            for p in [0.0, 0.2, 0.8] {
+                let d = random_strongly_connected(n, p, &mut rng);
+                assert!(d.is_strongly_connected(), "n={n} p={p}");
+                assert!(d.arc_count() >= n);
+            }
+        }
+    }
+
+    #[test]
+    fn random_strongly_connected_deterministic_per_seed() {
+        let d1 = random_strongly_connected(8, 0.3, &mut StdRng::seed_from_u64(9));
+        let d2 = random_strongly_connected(8, 0.3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn random_digraph_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = random_digraph(5, 0.0, &mut rng);
+        assert_eq!(empty.arc_count(), 0);
+        let full = random_digraph(5, 1.0, &mut rng);
+        assert_eq!(full.arc_count(), 20);
+    }
+
+    #[test]
+    fn one_way_pair_not_strongly_connected() {
+        let d = one_way_pair();
+        assert!(!d.is_strongly_connected());
+        assert_eq!(d.arc_count(), 1);
+    }
+
+    #[test]
+    fn bridged_cycles_shape() {
+        let d = bridged_cycles();
+        assert!(!d.is_strongly_connected());
+        assert!(!d.is_acyclic());
+        assert_eq!(d.vertex_count(), 6);
+        assert_eq!(d.arc_count(), 7);
+    }
+
+    #[test]
+    fn multigraph_pair_has_parallel_arcs() {
+        let d = multigraph_pair();
+        let a = d.vertex_by_name("alice").unwrap();
+        let b = d.vertex_by_name("bob").unwrap();
+        assert_eq!(d.arcs_between(a, b).len(), 2);
+        assert!(d.is_strongly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn cycle_rejects_tiny() {
+        let _ = cycle(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn random_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_strongly_connected(3, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,132 @@
+//! Identifier newtypes for vertexes (parties) and arcs (proposed transfers).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a vertex (a *party*) within one [`Digraph`](crate::Digraph).
+///
+/// Vertex ids are dense indices `0..n`, assigned in insertion order, so they
+/// double as array indices throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use swap_digraph::VertexId;
+/// let v = VertexId::new(2);
+/// assert_eq!(v.index(), 2);
+/// assert_eq!(v.to_string(), "v2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        VertexId(index)
+    }
+
+    /// The dense index of this vertex.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Identifies an arc (a *proposed transfer*) within one
+/// [`Digraph`](crate::Digraph).
+///
+/// Arc ids are dense indices `0..m` in insertion order. Because the model is
+/// a multigraph, two parallel arcs `(u, v)` have distinct `ArcId`s.
+///
+/// # Example
+///
+/// ```
+/// use swap_digraph::ArcId;
+/// let a = ArcId::new(0);
+/// assert_eq!(a.to_string(), "a0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ArcId(u32);
+
+impl ArcId {
+    /// Creates an arc id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        ArcId(index)
+    }
+
+    /// The dense index of this arc.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for ArcId {
+    fn from(v: u32) -> Self {
+        ArcId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_roundtrip() {
+        let v = VertexId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.raw(), 7);
+        assert_eq!(VertexId::from(7u32), v);
+    }
+
+    #[test]
+    fn arc_roundtrip() {
+        let a = ArcId::new(3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(a.raw(), 3);
+        assert_eq!(ArcId::from(3u32), a);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(ArcId::new(0) < ArcId::new(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VertexId::new(4).to_string(), "v4");
+        assert_eq!(ArcId::new(11).to_string(), "a11");
+    }
+}

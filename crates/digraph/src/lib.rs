@@ -1,0 +1,49 @@
+//! Swap digraphs: the graph model underlying Herlihy's atomic cross-chain
+//! swap protocol (PODC 2018, §2.1 and §3).
+//!
+//! A cross-chain swap is a directed graph `D = (V, A)` whose vertexes are
+//! *parties* and whose arcs are *proposed asset transfers*. Following the
+//! paper's conventions exactly:
+//!
+//! * an arc `(u, v)` has **head** `u` and **tail** `v`; it *leaves* its head
+//!   and *enters* its tail (so the asset flows from `u` to `v`),
+//! * a **path** `(u₀, …, u_ℓ)` has length `ℓ` and requires `u₀, …, u_{ℓ-1}`
+//!   distinct (so a cycle — `u₀ = u_ℓ` — is a path),
+//! * `D(u, v)` is the length of the **longest** path from `u` to `v`, and
+//!   `diam(D)` is the longest path between any pair — note this is the
+//!   *longest*-path diameter, not the usual shortest-path one,
+//! * a **feedback vertex set** is a vertex subset whose deletion leaves `D`
+//!   acyclic; the protocol's *leaders* must form one (Theorem 4.12).
+//!
+//! The crate supports directed *multigraphs* (parallel arcs), which §5 of the
+//! paper calls out as the natural extension when one party transfers assets
+//! to another on several distinct blockchains.
+//!
+//! # Example
+//!
+//! ```
+//! use swap_digraph::{generators, FeedbackVertexSet};
+//!
+//! // Alice -> Bob -> Carol -> Alice, the paper's §1 motivating example.
+//! let d = generators::herlihy_three_party();
+//! assert!(d.is_strongly_connected());
+//! assert_eq!(d.diameter(), 3); // the 3-cycle itself is the longest path
+//! let fvs = FeedbackVertexSet::minimum(&d).expect("small graph");
+//! assert_eq!(fvs.vertices().len(), 1); // one leader suffices
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod digraph;
+pub mod encode;
+pub mod fvs;
+pub mod generators;
+pub mod ids;
+pub mod path;
+
+pub use digraph::{ArcRef, Digraph, DigraphBuilder};
+pub use fvs::FeedbackVertexSet;
+pub use ids::{ArcId, VertexId};
+pub use path::VertexPath;

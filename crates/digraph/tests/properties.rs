@@ -1,0 +1,155 @@
+//! Property tests for the digraph layer: structural invariants the
+//! protocol's theorems lean on.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use swap_digraph::path::enumerate_paths;
+use swap_digraph::{algo, encode, generators, FeedbackVertexSet, VertexId};
+use swap_sim::SimRng;
+
+fn arb_strongly_connected() -> impl Strategy<Value = swap_digraph::Digraph> {
+    (2usize..9, 0.0f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        generators::random_strongly_connected(n, p, &mut SimRng::from_seed(seed))
+    })
+}
+
+fn arb_any_digraph() -> impl Strategy<Value = swap_digraph::Digraph> {
+    (1usize..9, 0.0f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        generators::random_digraph(n, p, &mut SimRng::from_seed(seed))
+    })
+}
+
+proptest! {
+    /// Transposition is an involution preserving counts and reversing arcs.
+    #[test]
+    fn transpose_involution(d in arb_any_digraph()) {
+        let t = d.transpose();
+        prop_assert_eq!(t.vertex_count(), d.vertex_count());
+        prop_assert_eq!(t.arc_count(), d.arc_count());
+        prop_assert_eq!(t.transpose(), d.clone());
+        for arc in d.arcs() {
+            prop_assert_eq!(t.head(arc.id), arc.tail);
+            prop_assert_eq!(t.tail(arc.id), arc.head);
+        }
+        // §2.1: D strongly connected ⇔ Dᵀ strongly connected.
+        prop_assert_eq!(d.is_strongly_connected(), t.is_strongly_connected());
+    }
+
+    /// Minimum and greedy feedback vertex sets are always valid, greedy is
+    /// never smaller than minimum, and an FVS for D is one for Dᵀ.
+    #[test]
+    fn fvs_invariants(d in arb_strongly_connected()) {
+        let exact = FeedbackVertexSet::minimum(&d).expect("small digraph");
+        let greedy = FeedbackVertexSet::greedy(&d);
+        prop_assert!(FeedbackVertexSet::is_feedback_vertex_set(&d, exact.vertices()));
+        prop_assert!(FeedbackVertexSet::is_feedback_vertex_set(&d, greedy.vertices()));
+        prop_assert!(greedy.vertices().len() >= exact.vertices().len());
+        prop_assert!(FeedbackVertexSet::is_feedback_vertex_set(&d.transpose(), exact.vertices()));
+        // Strongly connected with ≥2 vertexes means there is a cycle, so
+        // the FVS is non-empty.
+        if d.vertex_count() >= 2 {
+            prop_assert!(!exact.vertices().is_empty());
+        }
+    }
+
+    /// Deleting an FVS really leaves an acyclic digraph with a topological
+    /// order consistent with the surviving arcs.
+    #[test]
+    fn fvs_deletion_gives_topo_order(d in arb_strongly_connected()) {
+        let fvs = FeedbackVertexSet::minimum(&d).expect("small digraph");
+        let rest = d.delete_vertices(fvs.vertices());
+        let order = algo::topological_order(&rest).expect("acyclic after deletion");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; rest.vertex_count()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for arc in rest.arcs() {
+            prop_assert!(pos[arc.head.index()] < pos[arc.tail.index()]);
+        }
+    }
+
+    /// The exact diameter is bounded by |V| and reaches |V| exactly on
+    /// Hamiltonian-cycle-bearing digraphs; all enumerated hashkey paths
+    /// respect it.
+    #[test]
+    fn diameter_bounds_paths(d in arb_strongly_connected()) {
+        prop_assume!(d.vertex_count() <= 8);
+        let diam = algo::diameter_exact(&d).expect("within limit");
+        prop_assert!(diam <= d.vertex_count());
+        prop_assert!(diam >= 2, "strongly connected with n ≥ 2 has a cycle ≥ 2");
+        let fvs = FeedbackVertexSet::minimum(&d).expect("small digraph");
+        for &leader in fvs.vertices() {
+            for v in d.vertices() {
+                for p in enumerate_paths(&d, v, leader) {
+                    prop_assert!(p.len() <= diam, "path {p} longer than diam {diam}");
+                    prop_assert!(p.is_valid_in(&d));
+                    prop_assert_eq!(p.start(), v);
+                    prop_assert_eq!(p.end(), leader);
+                }
+            }
+        }
+    }
+
+    /// Paths enumerated between any pair are distinct and valid.
+    #[test]
+    fn enumerated_paths_unique_and_valid(d in arb_strongly_connected()) {
+        let vs: Vec<VertexId> = d.vertices().collect();
+        let from = vs[0];
+        let to = vs[vs.len() - 1];
+        let paths = enumerate_paths(&d, from, to);
+        let set: BTreeSet<_> = paths.iter().collect();
+        prop_assert_eq!(set.len(), paths.len(), "duplicate paths");
+        for p in &paths {
+            prop_assert!(p.is_valid_in(&d));
+        }
+        // Strong connectivity guarantees at least one path between any
+        // ordered pair.
+        prop_assert!(!paths.is_empty());
+    }
+
+    /// Binary encoding round-trips every digraph.
+    #[test]
+    fn encode_decode_roundtrip(d in arb_any_digraph()) {
+        let bytes = encode::encode(&d);
+        prop_assert_eq!(bytes.len(), encode::encoded_len(&d));
+        let back = encode::decode(&bytes).expect("roundtrip");
+        prop_assert_eq!(back.vertex_count(), d.vertex_count());
+        prop_assert_eq!(back.arc_count(), d.arc_count());
+        for (a, b) in d.arcs().zip(back.arcs()) {
+            prop_assert_eq!(a.head, b.head);
+            prop_assert_eq!(a.tail, b.tail);
+        }
+    }
+
+    /// SCC decomposition partitions the vertexes, and the condensation is
+    /// acyclic.
+    #[test]
+    fn scc_partition_and_condensation(d in arb_any_digraph()) {
+        let comps = algo::strongly_connected_components(&d);
+        let mut seen = BTreeSet::new();
+        for comp in &comps {
+            for v in comp {
+                prop_assert!(seen.insert(*v), "vertex in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), d.vertex_count());
+        let (cond, member) = algo::condensation(&d);
+        prop_assert!(cond.is_acyclic());
+        prop_assert_eq!(member.len(), d.vertex_count());
+        // Strong connectivity ⇔ single component.
+        prop_assert_eq!(d.is_strongly_connected(), cond.vertex_count() <= 1);
+    }
+
+    /// In-degrees and out-degrees both sum to |A|.
+    #[test]
+    fn degree_sums(d in arb_any_digraph()) {
+        let in_sum: usize = d.vertices().map(|v| d.in_degree(v)).sum();
+        let out_sum: usize = d.vertices().map(|v| d.out_degree(v)).sum();
+        prop_assert_eq!(in_sum, d.arc_count());
+        prop_assert_eq!(out_sum, d.arc_count());
+    }
+}

@@ -1,0 +1,416 @@
+//! Offer collection and cycle clearing.
+//!
+//! The "clearing problem" — deciding *which* swaps to execute — is the
+//! barter-exchange matching the paper cites (Kaplan; Abraham et al. for
+//! kidney exchanges). This module implements the classic single-offer
+//! variant: each party offers to give one asset kind and wants one asset
+//! kind; the service matches gives to wants and decomposes the resulting
+//! assignment into disjoint trade cycles, each of which becomes an atomic
+//! swap instance.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use swap_contract::SwapSpec;
+use swap_crypto::{Hashlock, MssPublicKey};
+use swap_digraph::{Digraph, VertexId};
+use swap_sim::{Delta, SimTime};
+
+use crate::builder::{BuildError, LeaderStrategy, SpecBuilder};
+
+/// A label for a tradable asset category, e.g. `"btc"`, `"altcoin"`,
+/// `"cadillac-title"`. Matching is exact on the label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AssetKind(pub String);
+
+impl AssetKind {
+    /// Creates a kind label.
+    pub fn new(s: impl Into<String>) -> Self {
+        AssetKind(s.into())
+    }
+}
+
+impl fmt::Display for AssetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies a submitted offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OfferId(u64);
+
+impl OfferId {
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for OfferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offer{}", self.0)
+    }
+}
+
+/// What a party sends the clearing service (§4.2): its verification key,
+/// its freshly generated hashlock, and the trade it is willing to make.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Offer {
+    /// The party's signature-verification key (address derives from it).
+    pub key: MssPublicKey,
+    /// The party's hashlock `H(s)` — every party sends one, whether or not
+    /// it ends up a leader.
+    pub hashlock: Hashlock,
+    /// The asset kind this party will relinquish.
+    pub gives: AssetKind,
+    /// The asset kind this party demands.
+    pub wants: AssetKind,
+}
+
+/// One cleared swap instance: the published spec plus the offer-level
+/// bookkeeping parties need to re-verify it.
+#[derive(Debug, Clone)]
+pub struct ClearedSwap {
+    /// The validated swap specification.
+    pub spec: SwapSpec,
+    /// Which offer each digraph vertex corresponds to.
+    pub offer_of_vertex: Vec<OfferId>,
+    /// The asset kind carried by each arc (indexed by arc id).
+    pub arc_kinds: Vec<AssetKind>,
+}
+
+/// Errors from [`ClearingService::clear`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClearError {
+    /// Spec assembly failed for a matched cycle (should not happen for
+    /// well-formed offers; surfaced rather than hidden).
+    Build(BuildError),
+}
+
+impl fmt::Display for ClearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClearError::Build(e) => write!(f, "failed to assemble cleared swap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClearError {}
+
+impl From<BuildError> for ClearError {
+    fn from(e: BuildError) -> Self {
+        ClearError::Build(e)
+    }
+}
+
+/// The (untrusted) market-clearing service.
+///
+/// # Example
+///
+/// ```
+/// use swap_crypto::{MssKeypair, Secret};
+/// use swap_market::{AssetKind, ClearingService, Offer};
+/// use swap_sim::{Delta, SimTime};
+///
+/// let mut svc = ClearingService::new();
+/// // Alice: altcoin → wants cadillac; Bob: btc → wants altcoin;
+/// // Carol: cadillac → wants btc. One 3-cycle clears.
+/// for (i, (gives, wants)) in [("altcoin", "cadillac"), ("btc", "altcoin"), ("cadillac", "btc")]
+///     .iter()
+///     .enumerate()
+/// {
+///     let kp = MssKeypair::from_seed_with_height([i as u8 + 1; 32], 2);
+///     let s = Secret::from_bytes([i as u8 + 10; 32]);
+///     svc.submit(Offer {
+///         key: kp.public_key(),
+///         hashlock: s.hashlock(),
+///         gives: AssetKind::new(*gives),
+///         wants: AssetKind::new(*wants),
+///     });
+/// }
+/// let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+/// assert_eq!(swaps.len(), 1);
+/// assert_eq!(swaps[0].spec.digraph.vertex_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClearingService {
+    offers: Vec<Offer>,
+    leader_strategy: LeaderStrategy,
+}
+
+impl ClearingService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the leader-election strategy for cleared swaps.
+    pub fn with_leader_strategy(mut self, strategy: LeaderStrategy) -> Self {
+        self.leader_strategy = strategy;
+        self
+    }
+
+    /// Accepts an offer, returning its id.
+    pub fn submit(&mut self, offer: Offer) -> OfferId {
+        self.offers.push(offer);
+        OfferId(self.offers.len() as u64 - 1)
+    }
+
+    /// The offer with the given id.
+    pub fn offer(&self, id: OfferId) -> Option<&Offer> {
+        self.offers.get(id.0 as usize)
+    }
+
+    /// Number of submitted offers.
+    pub fn offer_count(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Matches offers into disjoint trade cycles and publishes one
+    /// [`ClearedSwap`] per cycle. Unmatched offers are left for a future
+    /// round (their ids remain valid).
+    ///
+    /// The matching is greedy FIFO per asset kind: the first submitted
+    /// demand for kind `k` is paired with the first unmatched supply of
+    /// `k`. Deterministic, order-sensitive, and O(n) — richer strategies
+    /// (maximum-cycle-cover) belong to the clearing literature the paper
+    /// cites, not to the swap protocol itself.
+    ///
+    /// The start time of every published spec is `now + Δ` ("at least Δ in
+    /// the future").
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec-assembly failures (which indicate malformed offers,
+    /// e.g. duplicate keys).
+    pub fn clear(&self, delta: Delta, now: SimTime) -> Result<Vec<ClearedSwap>, ClearError> {
+        let n = self.offers.len();
+        // supply[kind] = queue of offer indices giving that kind.
+        let mut supply: BTreeMap<&AssetKind, VecDeque<usize>> = BTreeMap::new();
+        for (i, o) in self.offers.iter().enumerate() {
+            supply.entry(&o.gives).or_default().push_back(i);
+        }
+        // successor[i] = offer receiving i's asset.
+        let mut successor: Vec<Option<usize>> = vec![None; n];
+        let mut has_supplier = vec![false; n];
+        for (i, o) in self.offers.iter().enumerate() {
+            if let Some(queue) = supply.get_mut(&o.wants) {
+                if let Some(giver) = queue.pop_front() {
+                    successor[giver] = Some(i);
+                    has_supplier[i] = true;
+                }
+            }
+        }
+        // An offer participates only if it both gives to someone and
+        // receives from someone; walk permutation cycles among those.
+        let mut visited = vec![false; n];
+        let mut swaps = Vec::new();
+        for start in 0..n {
+            if visited[start] || successor[start].is_none() || !has_supplier[start] {
+                continue;
+            }
+            // Trace the cycle; bail if it wanders into non-participants.
+            let mut cycle = vec![start];
+            visited[start] = true;
+            let mut cur = successor[start].expect("checked above");
+            let mut closed = false;
+            while !visited[cur] {
+                visited[cur] = true;
+                cycle.push(cur);
+                match successor[cur] {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            if cur == start {
+                closed = true;
+            }
+            if !closed || cycle.len() < 2 {
+                continue;
+            }
+            swaps.push(self.assemble(&cycle, delta, now)?);
+        }
+        Ok(swaps)
+    }
+
+    /// Builds the digraph and spec for one cleared cycle of offer indices.
+    fn assemble(
+        &self,
+        cycle: &[usize],
+        delta: Delta,
+        now: SimTime,
+    ) -> Result<ClearedSwap, ClearError> {
+        let mut digraph = Digraph::new();
+        for &i in cycle {
+            digraph.add_vertex(format!("offer{i}"));
+        }
+        let k = cycle.len();
+        let mut arc_kinds = Vec::with_capacity(k);
+        for pos in 0..k {
+            let head = VertexId::new(pos as u32);
+            let tail = VertexId::new(((pos + 1) % k) as u32);
+            digraph.add_arc(head, tail).expect("cycle arcs valid");
+            arc_kinds.push(self.offers[cycle[pos]].gives.clone());
+        }
+        let mut builder = SpecBuilder::new(digraph);
+        builder
+            .delta(delta)
+            .start(now + delta.times(1))
+            .leader_strategy(self.leader_strategy);
+        for (pos, &i) in cycle.iter().enumerate() {
+            let offer = &self.offers[i];
+            builder.identity(VertexId::new(pos as u32), offer.key, offer.hashlock);
+        }
+        let spec = builder.build()?;
+        Ok(ClearedSwap {
+            spec,
+            offer_of_vertex: cycle.iter().map(|&i| OfferId(i as u64)).collect(),
+            arc_kinds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swap_crypto::{MssKeypair, Secret};
+
+    fn offer(seed: u8, gives: &str, wants: &str) -> Offer {
+        let kp = MssKeypair::from_seed_with_height([seed; 32], 2);
+        Offer {
+            key: kp.public_key(),
+            hashlock: Secret::from_bytes([seed + 100; 32]).hashlock(),
+            gives: AssetKind::new(gives),
+            wants: AssetKind::new(wants),
+        }
+    }
+
+    #[test]
+    fn three_way_cycle_clears() {
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "altcoin", "cadillac"));
+        svc.submit(offer(2, "btc", "altcoin"));
+        svc.submit(offer(3, "cadillac", "btc"));
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert_eq!(swaps.len(), 1);
+        let swap = &swaps[0];
+        assert_eq!(swap.spec.digraph.vertex_count(), 3);
+        assert_eq!(swap.spec.digraph.arc_count(), 3);
+        assert!(swap.spec.digraph.is_strongly_connected());
+        swap.spec.validate().unwrap();
+        // Start at least Δ in the future.
+        assert!(swap.spec.start >= SimTime::ZERO + Delta::from_ticks(10).times(1));
+        // Arc kinds follow the givers around the cycle.
+        assert_eq!(swap.arc_kinds.len(), 3);
+    }
+
+    #[test]
+    fn two_way_swap_clears() {
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "btc", "eth"));
+        svc.submit(offer(2, "eth", "btc"));
+        let swaps = svc.clear(Delta::from_ticks(5), SimTime::from_ticks(100)).unwrap();
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(swaps[0].spec.digraph.vertex_count(), 2);
+        assert_eq!(swaps[0].spec.leaders.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_cycles_clear_separately() {
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "a", "b"));
+        svc.submit(offer(2, "b", "a"));
+        svc.submit(offer(3, "x", "y"));
+        svc.submit(offer(4, "y", "z"));
+        svc.submit(offer(5, "z", "x"));
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert_eq!(swaps.len(), 2);
+        let sizes: Vec<usize> =
+            swaps.iter().map(|s| s.spec.digraph.vertex_count()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&3));
+    }
+
+    #[test]
+    fn unmatched_offers_left_out() {
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "btc", "eth"));
+        svc.submit(offer(2, "eth", "btc"));
+        svc.submit(offer(3, "doge", "btc")); // nobody gives doge demand… nobody wants doge
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        // The btc/eth pair may still clear; doge cannot.
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(swaps[0].spec.digraph.vertex_count(), 2);
+        assert_eq!(svc.offer_count(), 3);
+        assert!(svc.offer(OfferId(2)).is_some());
+    }
+
+    #[test]
+    fn no_offers_no_swaps() {
+        let svc = ClearingService::new();
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert!(swaps.is_empty());
+    }
+
+    #[test]
+    fn self_satisfying_offer_not_a_swap() {
+        // A party giving and wanting the same kind would form a self-loop;
+        // cycles of length 1 are rejected.
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "btc", "btc"));
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert!(swaps.is_empty());
+    }
+
+    #[test]
+    fn offer_of_vertex_maps_back() {
+        let mut svc = ClearingService::new();
+        let id0 = svc.submit(offer(1, "a", "b"));
+        let id1 = svc.submit(offer(2, "b", "a"));
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        let cleared = &swaps[0];
+        assert_eq!(cleared.offer_of_vertex.len(), 2);
+        assert!(cleared.offer_of_vertex.contains(&id0));
+        assert!(cleared.offer_of_vertex.contains(&id1));
+        // Vertex identities match the offers' keys.
+        for (pos, oid) in cleared.offer_of_vertex.iter().enumerate() {
+            let o = svc.offer(*oid).unwrap();
+            assert_eq!(cleared.spec.keys[pos], o.key);
+        }
+    }
+
+    #[test]
+    fn clearing_is_deterministic() {
+        let mut svc = ClearingService::new();
+        for i in 0..4 {
+            svc.submit(offer(i + 1, &format!("k{i}"), &format!("k{}", (i + 1) % 4)));
+        }
+        let a = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        let b = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+        }
+    }
+
+    #[test]
+    fn larger_market_mixed_kinds() {
+        let mut svc = ClearingService::new();
+        // 4-cycle plus a 2-cycle plus two stragglers.
+        svc.submit(offer(1, "a", "b"));
+        svc.submit(offer(2, "b", "c"));
+        svc.submit(offer(3, "c", "d"));
+        svc.submit(offer(4, "d", "a"));
+        svc.submit(offer(5, "p", "q"));
+        svc.submit(offer(6, "q", "p"));
+        svc.submit(offer(7, "zzz", "a")); // loses the race for kind "a"
+        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert_eq!(swaps.len(), 2);
+        let total: usize = swaps.iter().map(|s| s.spec.digraph.vertex_count()).sum();
+        assert_eq!(total, 6);
+        for s in &swaps {
+            s.spec.validate().unwrap();
+        }
+    }
+}

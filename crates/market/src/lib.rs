@@ -1,0 +1,35 @@
+//! The market-clearing service (§4.2 of the paper).
+//!
+//! "For simplicity, assume the swap digraph is constructed by a (possibly
+//! centralized) market-clearing service. … The clearing service is **not a
+//! trusted party**, because the parties can check the consistency of the
+//! clearing service's responses."
+//!
+//! This crate implements both halves of that sentence:
+//!
+//! * [`ClearingService`] — collects [`Offer`]s (each party's hashlock plus
+//!   what it gives and wants), matches them into disjoint swap cycles (the
+//!   "clearing problem" the paper references to Kaplan's barter-exchange
+//!   work), elects leaders via feedback-vertex-set computation, and
+//!   publishes one [`ClearedSwap`] per cycle group;
+//! * [`verify_cleared_swap`] — the *party-side* consistency check: before
+//!   participating, a party confirms the published spec is structurally
+//!   valid, that its own identity, hashlock, and offered asset kinds appear
+//!   exactly as submitted, and that the start time leaves the required Δ
+//!   slack.
+//!
+//! [`SpecBuilder`] is the lower-level brick: given any digraph and identity
+//! table it assembles a validated [`SwapSpec`], choosing leaders exactly or
+//! greedily. The protocol runner and benches use it to set up swaps over
+//! arbitrary digraph families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod clearing;
+pub mod verify;
+
+pub use builder::{BuildError, LeaderStrategy, SpecBuilder};
+pub use clearing::{AssetKind, ClearedSwap, ClearingService, Offer, OfferId};
+pub use verify::{verify_cleared_swap, VerifyError};

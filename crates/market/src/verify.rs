@@ -1,0 +1,270 @@
+//! Party-side verification of a cleared swap.
+//!
+//! The clearing service is untrusted (§4.2): before escrowing anything, a
+//! party checks that the published [`ClearedSwap`] is structurally sound
+//! *and* faithful to the offer the party actually submitted. A party that
+//! detects any inconsistency simply abandons the protocol — at that point it
+//! has signed nothing and escrowed nothing.
+
+use std::fmt;
+
+use swap_contract::spec::SpecError;
+use swap_crypto::Hashlock;
+use swap_digraph::VertexId;
+use swap_sim::SimTime;
+
+use crate::clearing::{AssetKind, ClearedSwap, Offer};
+
+/// Ways a published swap can betray a party's offer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The spec itself is structurally invalid.
+    Spec(SpecError),
+    /// The party's key does not appear at the claimed vertex.
+    WrongIdentity,
+    /// The party is listed as a leader but with a hashlock it never
+    /// generated (it could never reveal that secret).
+    ForeignHashlock {
+        /// The hashlock the spec attributes to this party.
+        published: Hashlock,
+    },
+    /// An arc leaving the party carries a different asset kind than offered.
+    WrongGiveKind {
+        /// What the spec says the party relinquishes.
+        published: AssetKind,
+        /// What the party actually offered.
+        offered: AssetKind,
+    },
+    /// An arc entering the party carries a different asset kind than wanted.
+    WrongWantKind {
+        /// What the spec says the party acquires.
+        published: AssetKind,
+        /// What the party actually demanded.
+        offered: AssetKind,
+    },
+    /// The party has no entering arc — it would pay without acquiring.
+    NoEnteringArc,
+    /// The party has no leaving arc — a free ride someone will veto.
+    NoLeavingArc,
+    /// The start time is not far enough in the future for Phase One to be
+    /// possible (`T` must be at least Δ away).
+    StartTooSoon {
+        /// The published start.
+        start: SimTime,
+        /// The earliest acceptable start.
+        earliest: SimTime,
+    },
+    /// The kinds table does not cover every arc.
+    MalformedKinds,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Spec(e) => write!(f, "invalid spec: {e}"),
+            VerifyError::WrongIdentity => write!(f, "published key is not mine"),
+            VerifyError::ForeignHashlock { .. } => {
+                write!(f, "published hashlock is not the one I generated")
+            }
+            VerifyError::WrongGiveKind { published, offered } => {
+                write!(f, "spec has me giving {published}, I offered {offered}")
+            }
+            VerifyError::WrongWantKind { published, offered } => {
+                write!(f, "spec has me acquiring {published}, I wanted {offered}")
+            }
+            VerifyError::NoEnteringArc => write!(f, "I would pay without acquiring anything"),
+            VerifyError::NoLeavingArc => write!(f, "I am given a free ride; swap is malformed"),
+            VerifyError::StartTooSoon { start, earliest } => {
+                write!(f, "start {start} is before earliest acceptable {earliest}")
+            }
+            VerifyError::MalformedKinds => write!(f, "arc kind table malformed"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<SpecError> for VerifyError {
+    fn from(e: SpecError) -> Self {
+        VerifyError::Spec(e)
+    }
+}
+
+/// Checks a published [`ClearedSwap`] from the standpoint of the party at
+/// `my_vertex` who submitted `my_offer` at time `now`.
+///
+/// # Errors
+///
+/// The first inconsistency found, as a [`VerifyError`].
+pub fn verify_cleared_swap(
+    cleared: &ClearedSwap,
+    my_vertex: VertexId,
+    my_offer: &Offer,
+    now: SimTime,
+) -> Result<(), VerifyError> {
+    let spec = &cleared.spec;
+    spec.validate()?;
+    if cleared.arc_kinds.len() != spec.digraph.arc_count() {
+        return Err(VerifyError::MalformedKinds);
+    }
+    // My identity is where the service says it is.
+    if spec.keys.get(my_vertex.index()) != Some(&my_offer.key) {
+        return Err(VerifyError::WrongIdentity);
+    }
+    // If I am a leader, the hashlock must be mine (otherwise I can never
+    // reveal "my" secret and the swap dies with my asset locked).
+    if let Some(i) = spec.leader_index(my_vertex) {
+        if spec.hashlocks[i] != my_offer.hashlock {
+            return Err(VerifyError::ForeignHashlock { published: spec.hashlocks[i] });
+        }
+    }
+    // Degree sanity: strongly connected implies both, but check locally so
+    // the error is attributable.
+    if spec.digraph.in_degree(my_vertex) == 0 {
+        return Err(VerifyError::NoEnteringArc);
+    }
+    if spec.digraph.out_degree(my_vertex) == 0 {
+        return Err(VerifyError::NoLeavingArc);
+    }
+    // Every arc leaving me carries what I give; every arc entering me
+    // carries what I want.
+    for arc in spec.digraph.out_arcs(my_vertex) {
+        let kind = &cleared.arc_kinds[arc.id.index()];
+        if kind != &my_offer.gives {
+            return Err(VerifyError::WrongGiveKind {
+                published: kind.clone(),
+                offered: my_offer.gives.clone(),
+            });
+        }
+    }
+    for arc in spec.digraph.in_arcs(my_vertex) {
+        let kind = &cleared.arc_kinds[arc.id.index()];
+        if kind != &my_offer.wants {
+            return Err(VerifyError::WrongWantKind {
+                published: kind.clone(),
+                offered: my_offer.wants.clone(),
+            });
+        }
+    }
+    // Phase One needs at least Δ between publication and start.
+    let earliest = now + spec.delta.times(1);
+    if spec.start < earliest {
+        return Err(VerifyError::StartTooSoon { start: spec.start, earliest });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clearing::ClearingService;
+    use swap_crypto::{MssKeypair, Secret};
+    use swap_sim::Delta;
+
+    fn offer(seed: u8, gives: &str, wants: &str) -> Offer {
+        let kp = MssKeypair::from_seed_with_height([seed; 32], 2);
+        Offer {
+            key: kp.public_key(),
+            hashlock: Secret::from_bytes([seed + 100; 32]).hashlock(),
+            gives: AssetKind::new(gives),
+            wants: AssetKind::new(wants),
+        }
+    }
+
+    fn cleared_triangle() -> (ClearedSwap, Vec<Offer>) {
+        let offers =
+            vec![offer(1, "altcoin", "cadillac"), offer(2, "btc", "altcoin"), offer(3, "cadillac", "btc")];
+        let mut svc = ClearingService::new();
+        for o in &offers {
+            svc.submit(o.clone());
+        }
+        let mut swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        (swaps.remove(0), offers)
+    }
+
+    #[test]
+    fn honest_clearing_verifies_for_every_party() {
+        let (cleared, offers) = cleared_triangle();
+        for (pos, oid) in cleared.offer_of_vertex.iter().enumerate() {
+            let my_offer = &offers[oid.raw() as usize];
+            verify_cleared_swap(&cleared, VertexId::new(pos as u32), my_offer, SimTime::ZERO)
+                .unwrap_or_else(|e| panic!("party {pos}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wrong_identity_detected() {
+        let (cleared, offers) = cleared_triangle();
+        // Party 0 checks vertex 1's slot.
+        let err =
+            verify_cleared_swap(&cleared, VertexId::new(1), &offers[0], SimTime::ZERO).unwrap_err();
+        assert_eq!(err, VerifyError::WrongIdentity);
+    }
+
+    #[test]
+    fn swapped_hashlock_detected_by_leader() {
+        let (mut cleared, offers) = cleared_triangle();
+        let leader = cleared.spec.leaders[0];
+        let victim_offer = &offers[cleared.offer_of_vertex[leader.index()].raw() as usize];
+        // Service substitutes its own hashlock for the leader's.
+        cleared.spec.hashlocks[0] = Secret::from_bytes([0xEE; 32]).hashlock();
+        let err =
+            verify_cleared_swap(&cleared, leader, victim_offer, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VerifyError::ForeignHashlock { .. }));
+    }
+
+    #[test]
+    fn wrong_arc_kind_detected() {
+        let (mut cleared, offers) = cleared_triangle();
+        // Corrupt the kind on vertex 0's leaving arc.
+        let v0 = VertexId::new(0);
+        let out_arc = cleared.spec.digraph.out_arcs(v0).next().unwrap().id;
+        cleared.arc_kinds[out_arc.index()] = AssetKind::new("peanuts");
+        let my_offer = &offers[cleared.offer_of_vertex[0].raw() as usize];
+        let err = verify_cleared_swap(&cleared, v0, my_offer, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VerifyError::WrongGiveKind { .. }));
+    }
+
+    #[test]
+    fn wrong_want_kind_detected() {
+        let (mut cleared, offers) = cleared_triangle();
+        let v0 = VertexId::new(0);
+        let in_arc = cleared.spec.digraph.in_arcs(v0).next().unwrap().id;
+        cleared.arc_kinds[in_arc.index()] = AssetKind::new("peanuts");
+        let my_offer = &offers[cleared.offer_of_vertex[0].raw() as usize];
+        let err = verify_cleared_swap(&cleared, v0, my_offer, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VerifyError::WrongWantKind { .. }));
+    }
+
+    #[test]
+    fn start_too_soon_detected() {
+        let (cleared, offers) = cleared_triangle();
+        let my_offer = &offers[cleared.offer_of_vertex[0].raw() as usize];
+        // Checking "now" so late that the published start is < now + Δ.
+        let late_now = cleared.spec.start;
+        let err =
+            verify_cleared_swap(&cleared, VertexId::new(0), my_offer, late_now).unwrap_err();
+        assert!(matches!(err, VerifyError::StartTooSoon { .. }));
+    }
+
+    #[test]
+    fn malformed_kinds_detected() {
+        let (mut cleared, offers) = cleared_triangle();
+        cleared.arc_kinds.pop();
+        let my_offer = &offers[cleared.offer_of_vertex[0].raw() as usize];
+        let err =
+            verify_cleared_swap(&cleared, VertexId::new(0), my_offer, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, VerifyError::MalformedKinds);
+    }
+
+    #[test]
+    fn structurally_invalid_spec_detected() {
+        let (mut cleared, offers) = cleared_triangle();
+        cleared.spec.hashlocks.clear();
+        let my_offer = &offers[cleared.offer_of_vertex[0].raw() as usize];
+        let err =
+            verify_cleared_swap(&cleared, VertexId::new(0), my_offer, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VerifyError::Spec(_)));
+        assert!(err.to_string().contains("invalid spec"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Deterministic event queue and simulation driver.
+//!
+//! The queue orders events by `(time, insertion sequence)`, so two events
+//! scheduled for the same tick are delivered in the order they were
+//! scheduled. Determinism matters here: every experiment in the harness must
+//! be reproducible from a seed, and the safety arguments in the paper are
+//! checked by exhaustively exploring failure schedules.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimTime;
+
+/// An event that has been scheduled for a particular instant.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Tie-break sequence number (FIFO among same-time events).
+    seq: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// The FIFO sequence number assigned at scheduling time.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    // Reversed so the max-heap `BinaryHeap` pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use swap_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ticks(2), "b");
+/// q.schedule(SimTime::from_ticks(1), "a");
+/// q.schedule(SimTime::from_ticks(2), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at `time`. Events at the same instant are
+    /// delivered in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Why a [`Simulation`] run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The event queue drained: nothing left to do.
+    QueueDrained,
+    /// The configured horizon was reached before the queue drained.
+    HorizonReached,
+    /// The handler requested an early stop.
+    Halted,
+    /// The event budget (maximum number of dispatched events) was exhausted.
+    BudgetExhausted,
+}
+
+/// What the event handler tells the driver after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep running.
+    Continue,
+    /// Stop immediately (reported as [`StopReason::Halted`]).
+    Halt,
+}
+
+/// A simple single-threaded discrete-event simulation driver.
+///
+/// The driver owns the clock and the queue; domain state lives in the closure
+/// environment (or in a state struct the caller threads through). Handlers
+/// may schedule further events at or after the current instant.
+///
+/// # Example
+///
+/// ```
+/// use swap_sim::{Simulation, SimDuration, SimTime, StopReason};
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule(SimTime::ZERO, 1u32);
+/// let mut seen = Vec::new();
+/// let reason = sim.run(|now, ev, sched| {
+///     seen.push((now.ticks(), ev));
+///     if ev < 3 {
+///         sched.schedule(now + SimDuration::from_ticks(2), ev + 1);
+///     }
+///     swap_sim::event::Control::Continue
+/// });
+/// assert_eq!(reason, StopReason::QueueDrained);
+/// assert_eq!(seen, vec![(0, 1), (2, 2), (4, 3)]);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    budget: Option<u64>,
+    dispatched: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation starting at [`SimTime::ZERO`] with no horizon.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+            budget: None,
+            dispatched: 0,
+        }
+    }
+
+    /// Sets an inclusive time horizon: events strictly after it never fire.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets a maximum number of dispatched events (runaway protection).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules an event before or during the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the simulated past — events cannot rewrite
+    /// history.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(time >= self.now, "cannot schedule an event in the past");
+        self.queue.schedule(time, payload);
+    }
+
+    /// Runs until the queue drains, the horizon passes, the budget runs out,
+    /// or the handler halts. The handler receives the current time, the
+    /// event, and a scheduler for follow-up events.
+    pub fn run<F>(&mut self, mut handler: F) -> StopReason
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<'_, E>) -> Control,
+    {
+        loop {
+            let Some(next_time) = self.queue.next_time() else {
+                return StopReason::QueueDrained;
+            };
+            if let Some(h) = self.horizon {
+                if next_time > h {
+                    return StopReason::HorizonReached;
+                }
+            }
+            if let Some(b) = self.budget {
+                if self.dispatched >= b {
+                    return StopReason::BudgetExhausted;
+                }
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            self.now = ev.time;
+            self.dispatched += 1;
+            let mut sched = Scheduler { queue: &mut self.queue, now: self.now };
+            match handler(self.now, ev.payload, &mut sched) {
+                Control::Continue => {}
+                Control::Halt => return StopReason::Halted,
+            }
+        }
+    }
+}
+
+/// Restricted view of the queue handed to event handlers: they may only
+/// schedule *future* (or same-instant) events.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// Schedules a follow-up event at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current instant.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(time >= self.now, "cannot schedule an event in the past");
+        self.queue.schedule(time, payload);
+    }
+
+    /// The instant of the event currently being handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ticks(7), i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        let expected: Vec<i32> = (0..100).collect();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn earliest_first_across_ticks() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(9), 'c');
+        q.schedule(SimTime::from_ticks(1), 'a');
+        q.schedule(SimTime::from_ticks(5), 'b');
+        assert_eq!(q.next_time(), Some(SimTime::from_ticks(1)));
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        let drained: Vec<char> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(drained, vec!['a', 'b', 'c']);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_to_drain() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        let reason = sim.run(|_, ev, sched| {
+            count += 1;
+            if ev < 9 {
+                sched.schedule(sched.now() + SimDuration::from_ticks(1), ev + 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::QueueDrained);
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), SimTime::from_ticks(9));
+        assert_eq!(sim.dispatched(), 10);
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim = Simulation::new().with_horizon(SimTime::from_ticks(4));
+        sim.schedule(SimTime::ZERO, ());
+        let mut fired = 0;
+        let reason = sim.run(|now, (), sched| {
+            fired += 1;
+            sched.schedule(now + SimDuration::from_ticks(2), ());
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::HorizonReached);
+        // Fires at t=0, 2, 4; the event at t=6 exceeds the horizon.
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn handler_can_halt() {
+        let mut sim = Simulation::new();
+        for i in 0..10 {
+            sim.schedule(SimTime::from_ticks(i), i);
+        }
+        let mut last = None;
+        let reason = sim.run(|_, ev, _| {
+            last = Some(ev);
+            if ev == 3 {
+                Control::Halt
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(reason, StopReason::Halted);
+        assert_eq!(last, Some(3));
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let mut sim = Simulation::new().with_budget(5);
+        sim.schedule(SimTime::ZERO, ());
+        let reason = sim.run(|now, (), sched| {
+            sched.schedule(now + SimDuration::from_ticks(1), ());
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(sim.dispatched(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_ticks(5), ());
+        sim.run(|_, (), sched| {
+            // now == 5; scheduling at 4 must panic.
+            sched.schedule(SimTime::from_ticks(4), ());
+            Control::Continue
+        });
+    }
+
+    #[test]
+    fn same_instant_rescheduling_allowed() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_ticks(3), 0u8);
+        let mut order = Vec::new();
+        sim.run(|now, ev, sched| {
+            order.push(ev);
+            if ev == 0 {
+                sched.schedule(now, 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(order, vec![0, 1]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Recurrent swaps (§5): the same parties trade round after round.
+//!
+//! Market makers don't swap once — they rebalance continuously. The §5
+//! remark makes the protocol recurrent by distributing the *next* round's
+//! hashlocks during the *current* round's Phase Two, so consecutive rounds
+//! pipeline without re-clearing. This example runs five rounds of the
+//! three-party swap and shows the rotation of hashlocks and the steady
+//! cadence of settlements.
+//!
+//! Run with: `cargo run --example recurrent`
+
+use atomic_swaps::core::recurrent::RecurrentSession;
+use atomic_swaps::digraph::generators;
+use atomic_swaps::sim::{Delta, SimRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let digraph = generators::herlihy_three_party();
+    let delta = Delta::from_ticks(10);
+    let mut session = RecurrentSession::new(digraph, delta, &mut SimRng::from_seed(55));
+
+    println!("round  start      settled    outcomes           next-round hashlocks");
+    println!("{}", "-".repeat(78));
+    let rounds = session.run_rounds(5, &mut SimRng::from_seed(56))?;
+    for (i, round) in rounds.iter().enumerate() {
+        let outcomes: Vec<String> =
+            round.report.outcomes.iter().map(|o| o.to_string()).collect();
+        let locks: Vec<String> =
+            round.next_hashlocks.iter().take(2).map(|h| h.to_string()).collect();
+        println!(
+            "{:>5}  {:<9} {:<10} {:<18} {} …",
+            i,
+            round.started_at.to_string(),
+            round.report.completion.expect("settles").to_string(),
+            outcomes.join(","),
+            locks.join(" "),
+        );
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "{} rounds settled; every party ended every round in Deal ✓",
+        session.rounds_completed()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Single-leader timeouts vs general hashkeys (§4.6 ablation).
+//!
+//! On single-leader digraphs the protocol can drop hashkeys entirely and
+//! use classic HTLCs with the Lemma 4.13 timeout ladder — "reducing message
+//! sizes and eliminating the need for digital signatures". This example
+//! runs *both* protocols on the same digraph families and compares bytes
+//! on-chain, message bytes, and completion times.
+//!
+//! Run with: `cargo run --example single_vs_multi`
+
+use atomic_swaps::core::runner::{RunConfig, SwapRunner};
+use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
+use atomic_swaps::core::{single_leader_of, SingleLeaderSwap};
+use atomic_swaps::digraph::{generators, Digraph};
+use atomic_swaps::sim::{Delta, SimRng, SimTime};
+
+fn compare(name: &str, digraph: Digraph) -> Result<(), Box<dyn std::error::Error>> {
+    let leader = single_leader_of(&digraph).expect("family has a single leader");
+    let delta = Delta::from_ticks(10);
+
+    // §4.6 protocol: plain HTLCs with the timeout ladder.
+    let mut rng = SimRng::from_seed(11);
+    let simple =
+        SingleLeaderSwap::new(digraph.clone(), leader, delta, SimTime::ZERO, &mut rng)?.run();
+
+    // General protocol: hashkeys with signature chains.
+    let mut rng = SimRng::from_seed(11);
+    let setup = SwapSetup::generate(digraph, &SetupConfig::default(), &mut rng)?;
+    let start = setup.spec.start;
+    let general = SwapRunner::new(setup, RunConfig::default()).run();
+
+    assert!(simple.all_deal() && general.all_deal());
+    let simple_done = simple.completion.expect("completes") - SimTime::ZERO;
+    let general_done = general.completion.expect("completes") - (start - delta.times(1));
+    println!(
+        "{name:<14} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        simple.storage_bytes,
+        general.storage.total_bytes(),
+        simple.reveal_bytes,
+        general.metrics.unlock_bytes,
+        simple_done.ticks(),
+        general_done.ticks(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "digraph", "htlc bytes", "hashkey bytes", "htlc msg", "hashkey msg", "htlc t", "hashkey t"
+    );
+    println!("{}", "-".repeat(92));
+    compare("cycle(3)", generators::herlihy_three_party())?;
+    compare("cycle(5)", generators::cycle(5))?;
+    compare("cycle(8)", generators::cycle(8))?;
+    compare("star(4)", generators::star(4))?;
+    compare("flower(3,3)", generators::flower(3, 3))?;
+    println!("{}", "-".repeat(92));
+    println!(
+        "The §4.6 variant stores and transmits orders of magnitude less — that is why\n\
+         the paper singles out single-leader digraphs as the practical common case."
+    );
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Property-based tests: the paper's guarantees hold on *randomized*
+//! digraphs and failure schedules, not just the hand-picked families.
+
+use proptest::prelude::*;
+
+use atomic_swaps::core::runner::{RunConfig, SwapRunner};
+use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
+use atomic_swaps::core::{Behavior, Outcome};
+use atomic_swaps::digraph::{generators, Digraph, VertexId};
+use atomic_swaps::market::LeaderStrategy;
+use atomic_swaps::sim::SimRng;
+
+fn fast_config() -> SetupConfig {
+    SetupConfig {
+        key_height: 4,
+        leader_strategy: LeaderStrategy::MinimumExact,
+        ..SetupConfig::default()
+    }
+}
+
+fn random_digraph(seed: u64, n: usize, extra: f64) -> Digraph {
+    generators::random_strongly_connected(n, extra, &mut SimRng::from_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Liveness (Theorem 4.7): every all-conforming run on a random
+    /// strongly connected digraph completes with Deal for all, within the
+    /// 2·diam·Δ bound.
+    #[test]
+    fn all_conforming_always_deal(
+        seed in 0u64..1_000,
+        n in 3usize..7,
+        extra in 0.0f64..0.5,
+    ) {
+        let digraph = random_digraph(seed, n, extra);
+        let setup = SwapSetup::generate(
+            digraph,
+            &fast_config(),
+            &mut SimRng::from_seed(seed ^ 0xAAAA),
+        ).expect("strongly connected inputs are valid swaps");
+        let start = setup.spec.start;
+        let bound = setup.spec.worst_case_duration();
+        let report = SwapRunner::new(setup, RunConfig::default()).run();
+        prop_assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
+        let completion = report.completion.expect("conforming runs complete");
+        prop_assert!(completion - start <= bound);
+        prop_assert!(report.settled);
+    }
+
+    /// Safety (Theorem 4.9): a random halting adversary at a random round
+    /// never drives a conforming party Underwater.
+    #[test]
+    fn random_single_halt_never_underwater(
+        seed in 0u64..1_000,
+        n in 3usize..6,
+        extra in 0.0f64..0.4,
+        victim in 0u32..6,
+        round in 0u64..12,
+    ) {
+        let digraph = random_digraph(seed, n, extra);
+        let victim = VertexId::new(victim % n as u32);
+        let setup = SwapSetup::generate(
+            digraph,
+            &fast_config(),
+            &mut SimRng::from_seed(seed ^ 0xBBBB),
+        ).expect("valid");
+        let mut config = RunConfig::default();
+        config.behaviors.insert(victim, Behavior::Halt { at_round: round });
+        let report = SwapRunner::new(setup, config).run();
+        prop_assert!(
+            report.no_conforming_underwater(),
+            "halt {victim} at {round}: {:?}",
+            report.outcomes
+        );
+    }
+
+    /// Safety under multiple simultaneous random deviators of mixed kinds.
+    #[test]
+    fn random_multi_deviator_never_underwater(
+        seed in 0u64..500,
+        n in 3usize..6,
+        mask in 1u32..14,
+        kind in 0u8..4,
+        round in 0u64..8,
+    ) {
+        let digraph = random_digraph(seed, n, 0.3);
+        let setup = SwapSetup::generate(
+            digraph,
+            &fast_config(),
+            &mut SimRng::from_seed(seed ^ 0xCCCC),
+        ).expect("valid");
+        let mut config = RunConfig::default();
+        for v in 0..n as u32 {
+            if mask & (1 << (v % 8)) != 0 {
+                let behavior = match kind {
+                    0 => Behavior::Halt { at_round: round },
+                    1 => Behavior::WithholdSecret,
+                    2 => Behavior::NeverPublish { arcs: None },
+                    _ => Behavior::PrematureReveal,
+                };
+                config.behaviors.insert(VertexId::new(v), behavior);
+            }
+        }
+        // At least one party must remain conforming for the assertion to
+        // say anything; if all deviate the check is vacuous but harmless.
+        let report = SwapRunner::new(setup, config).run();
+        prop_assert!(
+            report.no_conforming_underwater(),
+            "mask {mask:#b} kind {kind}: {:?}",
+            report.outcomes
+        );
+    }
+
+    /// Outcome coherence: the per-arc trigger vector and the per-party
+    /// outcomes always agree with the Figure 3 definitions.
+    #[test]
+    fn outcomes_consistent_with_triggers(
+        seed in 0u64..500,
+        n in 3usize..6,
+        victim in 0u32..6,
+        round in 0u64..10,
+    ) {
+        let digraph = random_digraph(seed, n, 0.25);
+        let victim = VertexId::new(victim % n as u32);
+        let setup = SwapSetup::generate(
+            digraph.clone(),
+            &fast_config(),
+            &mut SimRng::from_seed(seed ^ 0xDDDD),
+        ).expect("valid");
+        let mut config = RunConfig::default();
+        config.behaviors.insert(victim, Behavior::Halt { at_round: round });
+        let report = SwapRunner::new(setup, config).run();
+        for v in digraph.vertices() {
+            let entering = (
+                digraph.in_arcs(v).filter(|a| report.arc_triggered[a.id.index()]).count(),
+                digraph.in_degree(v),
+            );
+            let leaving = (
+                digraph.out_arcs(v).filter(|a| report.arc_triggered[a.id.index()]).count(),
+                digraph.out_degree(v),
+            );
+            prop_assert_eq!(report.outcomes[v.index()], Outcome::classify(entering, leaving));
+        }
+    }
+}
