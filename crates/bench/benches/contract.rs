@@ -8,7 +8,6 @@ use swap_contract::testkit::{keypair_for, leader_secret, spec_for};
 use swap_contract::{SwapCall, SwapContract};
 use swap_crypto::SigChain;
 use swap_digraph::{generators, VertexId, VertexPath};
-use swap_sim::SimTime;
 
 /// Builds a contract on the last arc of a cycle(n) plus a valid hashkey
 /// whose path winds through the whole cycle (length n-1).
@@ -84,7 +83,8 @@ fn bench_contract_storage(c: &mut Criterion) {
         let d = generators::complete(n);
         let leaders: Vec<VertexId> = (0..n - 1).map(|i| VertexId::new(i as u32)).collect();
         let spec = spec_for(d, leaders);
-        let contract = SwapContract::new(spec, swap_digraph::ArcId::new(0), swap_chain::AssetId::new(0));
+        let contract =
+            SwapContract::new(spec, swap_digraph::ArcId::new(0), swap_chain::AssetId::new(0));
         group.bench_with_input(BenchmarkId::from_parameter(n), &contract, |b, contract| {
             b.iter(|| contract.storage_bytes())
         });

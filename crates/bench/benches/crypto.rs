@@ -20,9 +20,7 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_lamport(c: &mut Criterion) {
     let mut group = c.benchmark_group("lamport");
     let seed = [7u8; 32];
-    group.bench_function("keygen", |b| {
-        b.iter(|| lamport::keygen(std::hint::black_box(&seed), 0))
-    });
+    group.bench_function("keygen", |b| b.iter(|| lamport::keygen(std::hint::black_box(&seed), 0)));
     let msg = sha256(b"message");
     group.bench_function("sign", |b| {
         b.iter_batched(
@@ -59,9 +57,7 @@ fn bench_mss(c: &mut Criterion) {
     let mut kp = MssKeypair::from_seed_with_height([1u8; 32], 6);
     let pk = kp.public_key();
     let sig = kp.sign(&msg).unwrap();
-    group.bench_function("verify_h6", |b| {
-        b.iter(|| pk.verify(&msg, std::hint::black_box(&sig)))
-    });
+    group.bench_function("verify_h6", |b| b.iter(|| pk.verify(&msg, std::hint::black_box(&sig))));
     group.finish();
 }
 
@@ -90,9 +86,8 @@ fn bench_sigchain(c: &mut Criterion) {
             )
         });
         // Verification cost (what the contract pays on `unlock`).
-        let mut kps: Vec<MssKeypair> = (0..links)
-            .map(|i| MssKeypair::from_seed_with_height([i as u8 + 1; 32], 4))
-            .collect();
+        let mut kps: Vec<MssKeypair> =
+            (0..links).map(|i| MssKeypair::from_seed_with_height([i as u8 + 1; 32], 4)).collect();
         let mut chain = SigChain::sign_secret(&mut kps[0], &secret).expect("keys");
         for kp in kps.iter_mut().skip(1) {
             chain = chain.extend(kp).expect("keys");
@@ -100,11 +95,7 @@ fn bench_sigchain(c: &mut Criterion) {
         // Path order: outermost signer first, leader last.
         let keys: Vec<_> = kps.iter().rev().map(|kp| kp.public_key()).collect();
         group.bench_with_input(BenchmarkId::new("verify", links), &links, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(&chain)
-                    .verify(&secret, &keys)
-                    .expect("valid chain")
-            })
+            b.iter(|| std::hint::black_box(&chain).verify(&secret, &keys).expect("valid chain"))
         });
     }
     group.finish();

@@ -12,9 +12,8 @@ use swap_digraph::{generators, Digraph};
 use swap_sim::{Delta, SimRng, SimTime};
 
 fn run_general(digraph: Digraph, broadcast: bool) {
-    let mut setup =
-        SwapSetup::generate(digraph, &bench_setup_config(), &mut SimRng::from_seed(1))
-            .expect("valid");
+    let mut setup = SwapSetup::generate(digraph, &bench_setup_config(), &mut SimRng::from_seed(1))
+        .expect("valid");
     setup.spec.broadcast_arcs = broadcast;
     let report = SwapRunner::new(setup, RunConfig::default()).run();
     assert!(report.all_deal());

@@ -15,22 +15,27 @@
 use std::collections::BTreeSet;
 
 use swap_bench::{bench_setup_config, fmt_row, run_conforming};
+use swap_contract::SwapSpec;
 use swap_core::hashkey::HashkeyTable;
 use swap_core::runner::{RunConfig, SwapRunner};
 use swap_core::setup::SwapSetup;
 use swap_core::single_leader::{timeout_assignment_feasible, SingleLeaderSwap};
 use swap_core::{assign_timeouts, Behavior, Outcome};
 use swap_crypto::{MssKeypair, Secret};
-use swap_contract::SwapSpec;
 use swap_digraph::{generators, Digraph, FeedbackVertexSet, VertexId};
-use swap_market::LeaderStrategy;
 use swap_pebble::{EagerPebbleGame, LazyPebbleGame};
 use swap_sim::{Delta, SimRng, SimTime};
+
+/// One named experiment: its id and entry point.
+type Experiment = (&'static str, fn() -> bool);
+
+/// A named adversary constructor, parameterized by halting round.
+type AdversaryKind = (&'static str, fn(u64) -> Behavior);
 
 fn main() {
     let filter: Option<String> = std::env::args().nth(1);
     let mut results: Vec<(&str, bool)> = Vec::new();
-    let experiments: Vec<(&str, fn() -> bool)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("e1", e1_three_party_timeline),
         ("e2", e2_outcome_lattice),
         ("e3", e3_atomicity_under_adversaries),
@@ -46,7 +51,7 @@ fn main() {
         ("e13", e13_deadlock_without_fvs),
         ("e14", e14_extensions),
     ];
-    for (id, run) in experiments {
+    for &(id, run) in &experiments {
         if let Some(f) = &filter {
             if f != id && f != "all" {
                 continue;
@@ -55,6 +60,15 @@ fn main() {
         println!("\n{}", "=".repeat(76));
         let ok = run();
         results.push((id, ok));
+    }
+    if results.is_empty() {
+        let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+        eprintln!(
+            "unknown experiment `{}`; expected one of {}, or `all`",
+            filter.as_deref().unwrap_or(""),
+            known.join(", ")
+        );
+        std::process::exit(2);
     }
     println!("\n{}", "=".repeat(76));
     println!("SUMMARY");
@@ -129,7 +143,7 @@ fn e2_outcome_lattice() -> bool {
 fn e3_atomicity_under_adversaries() -> bool {
     println!("E3  Theorem 3.5 (atomicity, forward direction)");
     println!("    adversary sweep on random strongly connected digraphs\n");
-    let kinds: [(&str, fn(u64) -> Behavior); 5] = [
+    let kinds: [AdversaryKind; 5] = [
         ("halt", |r| Behavior::Halt { at_round: r % 8 }),
         ("withhold-secret", |_| Behavior::WithholdSecret),
         ("never-publish", |_| Behavior::NeverPublish { arcs: None }),
@@ -143,11 +157,8 @@ fn e3_atomicity_under_adversaries() -> bool {
         let mut violations = 0;
         for seed in 0..12u64 {
             let n = 3 + (seed % 3) as usize;
-            let digraph = generators::random_strongly_connected(
-                n,
-                0.3,
-                &mut SimRng::from_seed(seed),
-            );
+            let digraph =
+                generators::random_strongly_connected(n, 0.3, &mut SimRng::from_seed(seed));
             let setup = SwapSetup::generate(
                 digraph,
                 &bench_setup_config(),
@@ -155,9 +166,7 @@ fn e3_atomicity_under_adversaries() -> bool {
             )
             .expect("valid");
             let mut config = RunConfig::default();
-            config
-                .behaviors
-                .insert(VertexId::new((seed % n as u64) as u32), make(seed));
+            config.behaviors.insert(VertexId::new((seed % n as u64) as u32), make(seed));
             let report = SwapRunner::new(setup, config).run();
             runs += 1;
             if !report.no_conforming_underwater() {
@@ -231,9 +240,7 @@ fn e5_pebble_games() -> bool {
     println!(
         "    {}",
         fmt_row(
-            &["family", "n", "|A|", "diam", "lazy", "eager", "ok"]
-                .map(String::from)
-                .to_vec(),
+            ["family", "n", "|A|", "diam", "lazy", "eager", "ok"].map(String::from).as_ref(),
             &widths
         )
     );
@@ -291,9 +298,7 @@ fn e6_completion_time() -> bool {
     println!(
         "    {}",
         fmt_row(
-            &["family", "n", "diam", "measured", "bound", "ratio", "ok"]
-                .map(String::from)
-                .to_vec(),
+            ["family", "n", "diam", "measured", "bound", "ratio", "ok"].map(String::from).as_ref(),
             &widths
         )
     );
@@ -317,12 +322,9 @@ fn e6_completion_time() -> bool {
     }
     for (name, digraph) in cases {
         let n = digraph.vertex_count();
-        let setup = SwapSetup::generate(
-            digraph,
-            &bench_setup_config(),
-            &mut SimRng::from_seed(0xE6),
-        )
-        .expect("valid");
+        let setup =
+            SwapSetup::generate(digraph, &bench_setup_config(), &mut SimRng::from_seed(0xE6))
+                .expect("valid");
         let diam = setup.spec.diam;
         let start = setup.spec.start;
         let bound = setup.spec.worst_case_duration();
@@ -379,9 +381,7 @@ fn e7_safety_sweep() -> bool {
                 )
                 .expect("valid");
                 let mut config = RunConfig::default();
-                config
-                    .behaviors
-                    .insert(VertexId::new(victim), Behavior::Halt { at_round: round });
+                config.behaviors.insert(VertexId::new(victim), Behavior::Halt { at_round: round });
                 let report = SwapRunner::new(setup, config).run();
                 total += 1;
                 if !report.no_conforming_underwater() {
@@ -401,10 +401,7 @@ fn e8_space_complexity() -> bool {
     let widths = [14, 6, 12, 14];
     println!(
         "    {}",
-        fmt_row(
-            &["family", "|A|", "bytes", "bytes/|A|^2"].map(String::from).to_vec(),
-            &widths
-        )
+        fmt_row(["family", "|A|", "bytes", "bytes/|A|^2"].map(String::from).as_ref(), &widths)
     );
     let mut ratios = Vec::new();
     for n in [3usize, 4, 5, 6, 7] {
@@ -441,9 +438,7 @@ fn e9_communication() -> bool {
     println!(
         "    {}",
         fmt_row(
-            &["family", "|A|", "|L|", "|A|·|L|", "unlocks", "bytes"]
-                .map(String::from)
-                .to_vec(),
+            ["family", "|A|", "|L|", "|A|·|L|", "unlocks", "bytes"].map(String::from).as_ref(),
             &widths
         )
     );
@@ -457,12 +452,9 @@ fn e9_communication() -> bool {
         ("star(5)", generators::star(5)),
     ] {
         let arcs = digraph.arc_count() as u64;
-        let setup = SwapSetup::generate(
-            digraph,
-            &bench_setup_config(),
-            &mut SimRng::from_seed(0xE9),
-        )
-        .expect("valid");
+        let setup =
+            SwapSetup::generate(digraph, &bench_setup_config(), &mut SimRng::from_seed(0xE9))
+                .expect("valid");
         let leaders = setup.spec.leaders.len() as u64;
         let report = SwapRunner::new(setup, RunConfig::default()).run();
         let row_ok = report.metrics.unlock_calls == arcs * leaders;
@@ -499,8 +491,8 @@ fn e10_figure6_timeouts() -> bool {
     let infeasible_two = !timeout_assignment_feasible(&two, &one_claimed);
     println!("    single-leader triangle, leader {{A}}: feasible = {feasible_single}");
     println!("    two-leader triangle, claiming only {{A}}: feasible = {}", !infeasible_two);
-    let timeouts = assign_timeouts(&tri, alice, SimTime::ZERO, Delta::from_ticks(10))
-        .expect("single leader");
+    let timeouts =
+        assign_timeouts(&tri, alice, SimTime::ZERO, Delta::from_ticks(10)).expect("single leader");
     let ticks: Vec<u64> = timeouts.iter().map(|t| t.ticks() / 10).collect();
     println!("    Lemma 4.13 ladder on C₃ (in Δ): {ticks:?}  (paper: [6, 5, 4])");
     let ladder_ok = ticks == vec![6, 5, 4];

@@ -15,9 +15,7 @@ use swap_crypto::Address;
 use crate::contract::ContractId;
 
 /// Identifies an asset within one chain.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AssetId(u64);
 
 impl AssetId {
@@ -180,11 +178,7 @@ impl AssetRegistry {
 
     /// All assets currently owned by `owner`, sorted by id.
     pub fn assets_of(&self, owner: Owner) -> Vec<AssetId> {
-        self.records
-            .iter()
-            .filter(|(_, r)| r.owner == owner)
-            .map(|(&id, _)| id)
-            .collect()
+        self.records.iter().filter(|(_, r)| r.owner == owner).map(|(&id, _)| id).collect()
     }
 
     /// Number of minted assets.
@@ -199,10 +193,7 @@ impl AssetRegistry {
 
     /// Approximate bytes stored for the registry (for storage metering).
     pub fn storage_bytes(&self) -> usize {
-        self.records
-            .values()
-            .map(|r| 8 + r.descriptor.kind.len() + 8 + 33)
-            .sum()
+        self.records.values().map(|r| 8 + r.descriptor.kind.len() + 8 + 33).sum()
     }
 }
 
@@ -239,9 +230,8 @@ mod tests {
     fn transfer_wrong_owner_rejected() {
         let mut reg = AssetRegistry::new();
         let coin = reg.mint(AssetDescriptor::new("btc", 1), addr(1));
-        let err = reg
-            .transfer_from(coin, Owner::Party(addr(2)), Owner::Party(addr(3)))
-            .unwrap_err();
+        let err =
+            reg.transfer_from(coin, Owner::Party(addr(2)), Owner::Party(addr(3))).unwrap_err();
         assert!(matches!(err, AssetError::NotOwner { .. }));
         // Ownership unchanged.
         assert_eq!(reg.owner(coin), Some(Owner::Party(addr(1))));
@@ -265,9 +255,7 @@ mod tests {
         reg.transfer_from(car, Owner::Party(addr(1)), Owner::Escrow(contract)).unwrap();
         assert_eq!(reg.owner(car), Some(Owner::Escrow(contract)));
         // Only the escrow owner matches now.
-        assert!(reg
-            .transfer_from(car, Owner::Party(addr(1)), Owner::Party(addr(2)))
-            .is_err());
+        assert!(reg.transfer_from(car, Owner::Party(addr(1)), Owner::Party(addr(2))).is_err());
         reg.transfer_from(car, Owner::Escrow(contract), Owner::Party(addr(2))).unwrap();
         assert_eq!(reg.owner(car), Some(Owner::Party(addr(2))));
     }

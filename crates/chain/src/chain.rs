@@ -180,8 +180,7 @@ impl<C: ContractLogic> Blockchain<C> {
         to: Address,
         now: SimTime,
     ) -> Result<(), TxError<C::Error>> {
-        self.assets
-            .transfer_from(asset, Owner::Party(caller), Owner::Party(to))?;
+        self.assets.transfer_from(asset, Owner::Party(caller), Owner::Party(to))?;
         self.seal_tx(now, format!("xfer:{asset}:{to}").as_bytes(), 48);
         Ok(())
     }
@@ -301,11 +300,7 @@ impl<C: ContractLogic> Blockchain<C> {
             blocks: self.blocks.len() as u64,
             block_bytes: self.blocks.len() * Block::HEADER_BYTES
                 + self.blocks.iter().map(|b| 32 * b.tx_digests.len()).sum::<usize>(),
-            contract_bytes: self
-                .contracts
-                .values()
-                .map(|e| e.state.storage_bytes())
-                .sum(),
+            contract_bytes: self.contracts.values().map(|e| e.state.storage_bytes()).sum(),
             asset_bytes: self.assets.storage_bytes(),
             tx_bytes: self.tx_bytes,
         }
@@ -400,7 +395,11 @@ mod tests {
             Ok(vec![PinEvent::Escrowed])
         }
 
-        fn apply(&mut self, call: PinCall, ctx: &mut ExecCtx<'_>) -> Result<Vec<PinEvent>, PinError> {
+        fn apply(
+            &mut self,
+            call: PinCall,
+            ctx: &mut ExecCtx<'_>,
+        ) -> Result<Vec<PinEvent>, PinError> {
             match call {
                 PinCall::Open { pin } => {
                     if pin != self.pin {

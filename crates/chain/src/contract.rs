@@ -17,9 +17,7 @@ use swap_sim::SimTime;
 use crate::asset::AssetRegistry;
 
 /// Identifies a published contract within one chain.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContractId(u64);
 
 impl ContractId {
@@ -88,8 +86,11 @@ pub trait ContractLogic: Clone + fmt::Debug {
     /// # Errors
     ///
     /// Implementation-defined.
-    fn apply(&mut self, call: Self::Call, ctx: &mut ExecCtx<'_>)
-        -> Result<Vec<Self::Event>, Self::Error>;
+    fn apply(
+        &mut self,
+        call: Self::Call,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<Vec<Self::Event>, Self::Error>;
 
     /// Bytes of persistent storage this contract occupies on-chain — the
     /// quantity Theorem 4.10 sums over all contracts.

@@ -14,9 +14,7 @@ use crate::chain::{Blockchain, StorageReport};
 use crate::contract::ContractLogic;
 
 /// Identifies one blockchain in a [`ChainSet`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChainId(u32);
 
 impl ChainId {
@@ -167,13 +165,12 @@ mod tests {
         let mut set: ChainSet<Nop> = ChainSet::new();
         let a = set.create_chain("a", SimTime::ZERO);
         let b = set.create_chain("b", SimTime::ZERO);
-        set.get_mut(a)
-            .unwrap()
-            .publish_contract(Nop, addr(1), SimTime::from_ticks(1))
-            .unwrap();
-        set.get_mut(b)
-            .unwrap()
-            .mint_asset(AssetDescriptor::unique("t"), addr(1), SimTime::from_ticks(1));
+        set.get_mut(a).unwrap().publish_contract(Nop, addr(1), SimTime::from_ticks(1)).unwrap();
+        set.get_mut(b).unwrap().mint_asset(
+            AssetDescriptor::unique("t"),
+            addr(1),
+            SimTime::from_ticks(1),
+        );
         let report = set.storage_report();
         assert_eq!(report.contract_bytes, 10);
         assert!(report.asset_bytes > 0);

@@ -53,11 +53,7 @@ enum Op {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u8..5).prop_map(|owner| Op::Mint { owner }),
-        (0usize..16, 1u8..5, 1u8..5).prop_map(|(asset, from, to)| Op::Transfer {
-            asset,
-            from,
-            to
-        }),
+        (0usize..16, 1u8..5, 1u8..5).prop_map(|(asset, from, to)| Op::Transfer { asset, from, to }),
         (1u8..5).prop_map(|publisher| Op::Publish { publisher }),
     ]
 }
@@ -70,10 +66,8 @@ proptest! {
     fn ledger_invariants_under_random_ops(ops in prop::collection::vec(arb_op(), 0..60)) {
         let mut chain: Blockchain<Nop> = Blockchain::new("prop", SimTime::ZERO);
         let mut minted: Vec<(swap_chain::AssetId, u8)> = Vec::new(); // (asset, owner)
-        let mut t = 1u64;
-        for op in ops {
-            let now = SimTime::from_ticks(t);
-            t += 1;
+        for (step, op) in ops.into_iter().enumerate() {
+            let now = SimTime::from_ticks(step as u64 + 1);
             match op {
                 Op::Mint { owner } => {
                     let id = chain.mint_asset(

@@ -166,13 +166,8 @@ mod tests {
         let mut assets = AssetRegistry::new();
         let asset = assets.mint(AssetDescriptor::new("x", 1), addr(1));
         let secret = Secret::from_bytes([5u8; 32]);
-        let htlc = HtlcContract::new(
-            asset,
-            addr(1),
-            addr(2),
-            secret.hashlock(),
-            SimTime::from_ticks(60),
-        );
+        let htlc =
+            HtlcContract::new(asset, addr(1), addr(2), secret.hashlock(), SimTime::from_ticks(60));
         let mut any: AnyContract = htlc.into();
         let mut ctx = ExecCtx {
             caller: addr(1),
@@ -196,7 +191,10 @@ mod tests {
             assets: &mut assets,
         };
         let events = any
-            .apply(AnyCall::Htlc(HtlcCall::Reveal { secret: Secret::from_bytes([5u8; 32]) }), &mut ctx)
+            .apply(
+                AnyCall::Htlc(HtlcCall::Reveal { secret: Secret::from_bytes([5u8; 32]) }),
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(events, vec![AnyEvent::Htlc(HtlcEvent::Triggered)]);
         assert!(any.is_terminated());

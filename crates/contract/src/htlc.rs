@@ -201,7 +201,11 @@ impl ContractLogic for HtlcContract {
         Ok(vec![HtlcEvent::Escrowed { asset: self.asset }])
     }
 
-    fn apply(&mut self, call: HtlcCall, ctx: &mut ExecCtx<'_>) -> Result<Vec<HtlcEvent>, HtlcError> {
+    fn apply(
+        &mut self,
+        call: HtlcCall,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<Vec<HtlcEvent>, HtlcError> {
         // Hosting chains already refuse calls to terminated contracts; this
         // guard keeps the state machine safe when driven directly.
         if self.is_terminated() {
@@ -289,7 +293,12 @@ mod tests {
             Rig { htlc, assets, asset, secret }
         }
 
-        fn call(&mut self, caller: Address, call: HtlcCall, now: u64) -> Result<Vec<HtlcEvent>, HtlcError> {
+        fn call(
+            &mut self,
+            caller: Address,
+            call: HtlcCall,
+            now: u64,
+        ) -> Result<Vec<HtlcEvent>, HtlcError> {
             let mut ctx = ExecCtx {
                 caller,
                 now: SimTime::from_ticks(now),
@@ -407,8 +416,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(HtlcError::WrongSecret.to_string().contains("secret"));
-        assert!(HtlcError::Expired { timeout: SimTime::from_ticks(5) }
-            .to_string()
-            .contains("t=5"));
+        assert!(HtlcError::Expired { timeout: SimTime::from_ticks(5) }.to_string().contains("t=5"));
     }
 }

@@ -73,10 +73,9 @@ impl fmt::Display for SpecError {
             SpecError::HashlockCountMismatch { leaders, hashlocks } => {
                 write!(f, "{leaders} leaders but {hashlocks} hashlocks")
             }
-            SpecError::IdentityTableMismatch { vertices, addresses, keys } => write!(
-                f,
-                "{vertices} vertexes but {addresses} addresses / {keys} keys"
-            ),
+            SpecError::IdentityTableMismatch { vertices, addresses, keys } => {
+                write!(f, "{vertices} vertexes but {addresses} addresses / {keys} keys")
+            }
             SpecError::DiameterTooSmall { declared, required } => {
                 write!(f, "declared diameter {declared} below required {required}")
             }
@@ -196,10 +195,7 @@ impl SwapSpec {
 
     /// The vertex with address `a`, if any.
     pub fn vertex_of_address(&self, a: Address) -> Option<VertexId> {
-        self.addresses
-            .iter()
-            .position(|&x| x == a)
-            .map(|i| VertexId::new(i as u32))
+        self.addresses.iter().position(|&x| x == a).map(|i| VertexId::new(i as u32))
     }
 
     /// The index of `v` within the leader vector, if `v` is a leader.
@@ -317,10 +313,7 @@ mod tests {
         let d = generators::herlihy_three_party();
         let mut spec = spec_for(d, vec![VertexId::new(0)]);
         spec.diam = 2; // true diameter is 3
-        assert_eq!(
-            spec.validate(),
-            Err(SpecError::DiameterTooSmall { declared: 2, required: 3 })
-        );
+        assert_eq!(spec.validate(), Err(SpecError::DiameterTooSmall { declared: 2, required: 3 }));
     }
 
     #[test]
@@ -346,11 +339,10 @@ mod tests {
     #[test]
     fn storage_includes_digraph_copy() {
         let d3 = spec_for(generators::herlihy_three_party(), vec![VertexId::new(0)]);
-        let d6 = spec_for(generators::complete(4), vec![
-            VertexId::new(0),
-            VertexId::new(1),
-            VertexId::new(2),
-        ]);
+        let d6 = spec_for(
+            generators::complete(4),
+            vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)],
+        );
         // More arcs → strictly more storage per contract.
         assert!(d6.storage_bytes() > d3.storage_bytes());
     }

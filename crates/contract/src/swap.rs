@@ -180,7 +180,13 @@ impl SwapContract {
     pub fn new(spec: SwapSpec, arc: ArcId, asset: AssetId) -> Self {
         assert!(arc.index() < spec.digraph.arc_count(), "arc out of range");
         let locks = spec.hashlocks.len();
-        SwapContract { spec, arc, asset, unlocked: vec![None; locks], settlement: Settlement::Pending }
+        SwapContract {
+            spec,
+            arc,
+            asset,
+            unlocked: vec![None; locks],
+            settlement: Settlement::Pending,
+        }
     }
 
     /// The embedded spec (public readability).
@@ -254,11 +260,8 @@ impl SwapContract {
         sig: &SigChain,
         now: SimTime,
     ) -> Result<(), SwapError> {
-        let hashlock = self
-            .spec
-            .hashlocks
-            .get(index)
-            .ok_or(SwapError::UnknownHashlockIndex(index))?;
+        let hashlock =
+            self.spec.hashlocks.get(index).ok_or(SwapError::UnknownHashlockIndex(index))?;
         // Line 28: hashkey still valid?
         let deadline = self.spec.hashkey_deadline(path.len());
         if now >= deadline {
@@ -275,8 +278,8 @@ impl SwapContract {
         let counterparty_vertex = self.spec.digraph.tail(self.arc);
         let leader_vertex = self.spec.leaders[index];
         let endpoint_ok = path.start() == counterparty_vertex && path.end() == leader_vertex;
-        let route_ok = path.is_valid_in(&self.spec.digraph)
-            || (self.spec.broadcast_arcs && path.len() == 1);
+        let route_ok =
+            path.is_valid_in(&self.spec.digraph) || (self.spec.broadcast_arcs && path.len() == 1);
         if !endpoint_ok || !route_ok {
             return Err(SwapError::InvalidPath);
         }
@@ -305,7 +308,11 @@ impl ContractLogic for SwapContract {
         Ok(vec![SwapEvent::Escrowed { asset: self.asset }])
     }
 
-    fn apply(&mut self, call: SwapCall, ctx: &mut ExecCtx<'_>) -> Result<Vec<SwapEvent>, SwapError> {
+    fn apply(
+        &mut self,
+        call: SwapCall,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<Vec<SwapEvent>, SwapError> {
         // Hosting chains already refuse calls to terminated contracts; this
         // guard keeps the state machine safe when driven directly.
         if self.is_terminated() {
@@ -409,8 +416,7 @@ mod tests {
             let spec = spec_for(d, vec![alice]);
             let arc = spec.digraph.arcs_between(alice, bob)[0];
             let mut assets = AssetRegistry::new();
-            let asset =
-                assets.mint(AssetDescriptor::new("altcoin", 10), spec.address_of(alice));
+            let asset = assets.mint(AssetDescriptor::new("altcoin", 10), spec.address_of(alice));
             let mut contract = SwapContract::new(spec, arc, asset);
             // Publish (escrow) directly against the registry.
             let mut ctx = ExecCtx {
@@ -463,9 +469,8 @@ mod tests {
         let mut rig = Rig::new();
         let (secret, path, sig) = rig.bob_hashkey();
         // Timeout for |p| = 2: start(10) + (3 + 2)·10 = 60.
-        let events = rig
-            .call(rig.bob, SwapCall::Unlock { index: 0, secret, path, sig }, 59)
-            .unwrap();
+        let events =
+            rig.call(rig.bob, SwapCall::Unlock { index: 0, secret, path, sig }, 59).unwrap();
         assert_eq!(events, vec![SwapEvent::Unlocked { index: 0 }]);
         assert!(rig.contract.fully_unlocked());
         let events = rig.call(rig.bob, SwapCall::Claim, 60).unwrap();
@@ -481,9 +486,8 @@ mod tests {
     fn unlock_after_deadline_rejected() {
         let mut rig = Rig::new();
         let (secret, path, sig) = rig.bob_hashkey();
-        let err = rig
-            .call(rig.bob, SwapCall::Unlock { index: 0, secret, path, sig }, 60)
-            .unwrap_err();
+        let err =
+            rig.call(rig.bob, SwapCall::Unlock { index: 0, secret, path, sig }, 60).unwrap_err();
         assert!(matches!(err, SwapError::HashkeyExpired { .. }));
         assert!(!rig.contract.is_unlocked(0));
     }
@@ -513,9 +517,8 @@ mod tests {
     fn non_counterparty_unlock_rejected() {
         let mut rig = Rig::new();
         let (secret, path, sig) = rig.bob_hashkey();
-        let err = rig
-            .call(rig.carol, SwapCall::Unlock { index: 0, secret, path, sig }, 30)
-            .unwrap_err();
+        let err =
+            rig.call(rig.carol, SwapCall::Unlock { index: 0, secret, path, sig }, 30).unwrap_err();
         assert_eq!(err, SwapError::NotCounterparty);
     }
 
@@ -560,19 +563,15 @@ mod tests {
         let err = rig
             .call(rig.bob, SwapCall::Unlock { index: 0, secret, path, sig: short }, 30)
             .unwrap_err();
-        assert!(matches!(
-            err,
-            SwapError::BadSignature(SigChainError::LengthMismatch { .. })
-        ));
+        assert!(matches!(err, SwapError::BadSignature(SigChainError::LengthMismatch { .. })));
     }
 
     #[test]
     fn unknown_index_rejected() {
         let mut rig = Rig::new();
         let (secret, path, sig) = rig.bob_hashkey();
-        let err = rig
-            .call(rig.bob, SwapCall::Unlock { index: 5, secret, path, sig }, 30)
-            .unwrap_err();
+        let err =
+            rig.call(rig.bob, SwapCall::Unlock { index: 5, secret, path, sig }, 30).unwrap_err();
         assert_eq!(err, SwapError::UnknownHashlockIndex(5));
     }
 
@@ -687,8 +686,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SwapError::WrongSecret.to_string().contains("secret"));
-        assert!(SwapError::NotAllUnlocked { unlocked: 1, total: 2 }
-            .to_string()
-            .contains("1/2"));
+        assert!(SwapError::NotAllUnlocked { unlocked: 1, total: 2 }.to_string().contains("1/2"));
     }
 }

@@ -54,10 +54,7 @@ pub struct HashkeyTable {
 impl HashkeyTable {
     /// Builds the table.
     pub fn build(digraph: &Digraph, leaders: &[VertexId]) -> Self {
-        let rows = digraph
-            .arcs()
-            .map(|arc| hashkeys_for_arc(digraph, leaders, arc.id))
-            .collect();
+        let rows = digraph.arcs().map(|arc| hashkeys_for_arc(digraph, leaders, arc.id)).collect();
         HashkeyTable { rows }
     }
 
@@ -129,14 +126,9 @@ mod tests {
         // degenerate alice-path? No — paths start at the arc tail. For arc
         // (carol → alice), tail = alice, so the degenerate path (alice)
         // appears for alice's own secret.
-        let ca = d
-            .arcs()
-            .find(|a| d.name(a.head) == "carol" && d.name(a.tail) == "alice")
-            .unwrap();
+        let ca = d.arcs().find(|a| d.name(a.head) == "carol" && d.name(a.tail) == "alice").unwrap();
         let row = &table.rows[ca.id.index()];
-        assert!(row
-            .iter()
-            .any(|s| s.leader_index == 0 && s.path.len() == 0));
+        assert!(row.iter().any(|s| s.leader_index == 0 && s.path.is_empty()));
         let rendered = table.render(&d, &[alice, bob]);
         assert!(rendered.contains("carol->alice"));
         assert!(rendered.contains("secret of bob"));

@@ -213,7 +213,8 @@ impl Party {
             Behavior::Halt { at_round } if view.round >= at_round => Vec::new(),
             Behavior::Scripted { actions } => {
                 let mut out = Vec::new();
-                while self.script_cursor < actions.len() && actions[self.script_cursor].0 <= view.round
+                while self.script_cursor < actions.len()
+                    && actions[self.script_cursor].0 <= view.round
                 {
                     if actions[self.script_cursor].0 == view.round {
                         out.push(actions[self.script_cursor].1.clone());
@@ -250,11 +251,8 @@ impl Party {
         }
         // §4.5 Phase One: verify every visible contract on arcs entering or
         // leaving me; abandon on any invalid one.
-        for arc in view
-            .spec
-            .digraph
-            .in_arcs(self.vertex)
-            .chain(view.spec.digraph.out_arcs(self.vertex))
+        for arc in
+            view.spec.digraph.in_arcs(self.vertex).chain(view.spec.digraph.out_arcs(self.vertex))
         {
             if let Some(snapshot) = &view.contracts[arc.id.index()] {
                 if !snapshot.valid {
@@ -279,11 +277,8 @@ impl Party {
         }
 
         // Phase One publication.
-        let all_entering_have_contracts = view
-            .spec
-            .digraph
-            .in_arcs(self.vertex)
-            .all(|a| view.contracts[a.id.index()].is_some());
+        let all_entering_have_contracts =
+            view.spec.digraph.in_arcs(self.vertex).all(|a| view.contracts[a.id.index()].is_some());
         let may_publish = if is_leader || matches!(behavior, Behavior::EagerPublish) {
             true
         } else {
@@ -426,11 +421,8 @@ impl Party {
                 continue;
             }
             let already = snapshot.unlock_records.iter().filter(|r| r.is_some()).count();
-            let this_round = planned
-                .iter()
-                .find(|(a, _)| *a == arc.id)
-                .map(|(_, c)| *c)
-                .unwrap_or(0);
+            let this_round =
+                planned.iter().find(|(a, _)| *a == arc.id).map(|(_, c)| *c).unwrap_or(0);
             if already + this_round >= total {
                 self.claimed.insert(arc.id);
                 actions.push(Action::Claim { arc: arc.id });
@@ -675,11 +667,8 @@ mod tests {
         let carol = spec.digraph.vertex_by_name("carol").unwrap();
         let mut alice_kp = keypair_for(alice);
         let base = SigChain::sign_secret(&mut alice_kp, &leader_secret(alice)).unwrap();
-        let bulletin = vec![BulletinEntry {
-            leader_index: 0,
-            secret: leader_secret(alice),
-            base_sig: base,
-        }];
+        let bulletin =
+            vec![BulletinEntry { leader_index: 0, secret: leader_secret(alice), base_sig: base }];
         let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
             contracts[arc.id.index()] = Some(published_snapshot(&spec));

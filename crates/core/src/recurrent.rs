@@ -103,9 +103,8 @@ impl RecurrentSession {
         let n = digraph.vertex_count();
         let mut key_rng = rng.stream("recurrent/keys");
         // Height 7 = 128 one-time keys: enough for dozens of rounds.
-        let keypairs: Vec<MssKeypair> = (0..n)
-            .map(|_| MssKeypair::from_seed_with_height(key_rng.bytes32(), 7))
-            .collect();
+        let keypairs: Vec<MssKeypair> =
+            (0..n).map(|_| MssKeypair::from_seed_with_height(key_rng.bytes32(), 7)).collect();
         let mut secret_rng = rng.stream("recurrent/secrets/0");
         let committed_secrets = (0..n).map(|_| Secret::random(&mut secret_rng)).collect();
         RecurrentSession {
@@ -158,8 +157,7 @@ impl RecurrentSession {
             rng.stream_indexed("recurrent/secrets", self.rounds_completed as u64 + 1);
         let next_secrets: Vec<Secret> =
             (0..self.digraph.vertex_count()).map(|_| Secret::random(&mut next_rng)).collect();
-        let next_hashlocks: Vec<Hashlock> =
-            next_secrets.iter().map(Secret::hashlock).collect();
+        let next_hashlocks: Vec<Hashlock> = next_secrets.iter().map(Secret::hashlock).collect();
 
         let setup = SwapSetup::from_parts(
             spec,

@@ -171,10 +171,7 @@ impl SwapRunner {
     pub fn run(mut self) -> RunReport {
         let delta = self.setup.spec.delta;
         let t0 = self.setup.spec.start - delta.times(1);
-        let max_rounds = self
-            .config
-            .max_rounds
-            .unwrap_or(2 * self.setup.spec.diam + 6);
+        let max_rounds = self.config.max_rounds.unwrap_or(2 * self.setup.spec.diam + 6);
         for round in 0..=max_rounds {
             self.metrics.rounds = round;
             let now = t0 + delta.times(round);
@@ -230,7 +227,9 @@ impl SwapRunner {
                     && contract.arc() == arc.id
                     && contract.asset() == self.setup.asset_of_arc[arc.id.index()];
                 Some(ContractSnapshot {
-                    unlock_records: (0..leaders).map(|i| contract.unlock_record(i).cloned()).collect(),
+                    unlock_records: (0..leaders)
+                        .map(|i| contract.unlock_record(i).cloned())
+                        .collect(),
                     fully_unlocked: contract.fully_unlocked(),
                     claimed: contract.is_claimed(),
                     refunded: contract.is_refunded(),
@@ -381,8 +380,7 @@ impl SwapRunner {
             }
             Action::DirectTransfer { arc } => {
                 let asset = self.setup.asset_of_arc[arc.index()];
-                let tail_addr =
-                    self.setup.spec.address_of(self.setup.spec.digraph.tail(arc));
+                let tail_addr = self.setup.spec.address_of(self.setup.spec.digraph.tail(arc));
                 let (_, chain) = self.chain_of(arc);
                 match chain.transfer_asset(asset, actor_addr, tail_addr, exec_time) {
                     Ok(()) => {
@@ -409,10 +407,7 @@ impl SwapRunner {
             }
             Action::Announce { leader_index, secret, base_sig } => {
                 self.metrics.announce_bytes += 32 + base_sig.byte_len() as u64;
-                self.bulletin.push((
-                    round,
-                    BulletinEntry { leader_index, secret, base_sig },
-                ));
+                self.bulletin.push((round, BulletinEntry { leader_index, secret, base_sig }));
                 self.trace.record(
                     exec_time,
                     actor_name,
@@ -430,20 +425,11 @@ impl SwapRunner {
                 continue;
             }
             let Some(id) = self.contract_of_arc[arc] else { continue };
-            let chain = self
-                .setup
-                .chains
-                .get(self.setup.chain_of_arc[arc])
-                .expect("chain exists");
+            let chain = self.setup.chains.get(self.setup.chain_of_arc[arc]).expect("chain exists");
             if let Some(contract) = chain.contract(id) {
                 if contract.fully_unlocked() || contract.is_claimed() {
                     self.triggered_at[arc] = Some(exec_time);
-                    self.trace.record(
-                        exec_time,
-                        "sim",
-                        "arc.triggered",
-                        format!("arc a{arc}"),
-                    );
+                    self.trace.record(exec_time, "sim", "arc.triggered", format!("arc a{arc}"));
                 }
             }
         }
@@ -451,17 +437,15 @@ impl SwapRunner {
 
     /// Whether every arc's fate is sealed (contract terminal, or triggered).
     fn all_settled(&self) -> bool {
-        self.setup.spec.digraph.arcs().all(|arc| {
-            match self.contract_of_arc[arc.id.index()] {
-                None => false,
-                Some(id) => {
-                    let chain = self
-                        .setup
-                        .chains
-                        .get(self.setup.chain_of_arc[arc.id.index()])
-                        .expect("chain exists");
-                    chain.contract(id).is_some_and(|c| c.is_claimed() || c.is_refunded())
-                }
+        self.setup.spec.digraph.arcs().all(|arc| match self.contract_of_arc[arc.id.index()] {
+            None => false,
+            Some(id) => {
+                let chain = self
+                    .setup
+                    .chains
+                    .get(self.setup.chain_of_arc[arc.id.index()])
+                    .expect("chain exists");
+                chain.contract(id).is_some_and(|c| c.is_claimed() || c.is_refunded())
             }
         })
     }
@@ -496,20 +480,14 @@ impl SwapRunner {
                 let v = VertexId::new(i as u32);
                 let entering = {
                     let total = spec.digraph.in_degree(v);
-                    let triggered = spec
-                        .digraph
-                        .in_arcs(v)
-                        .filter(|a| arc_triggered[a.id.index()])
-                        .count();
+                    let triggered =
+                        spec.digraph.in_arcs(v).filter(|a| arc_triggered[a.id.index()]).count();
                     (triggered, total)
                 };
                 let leaving = {
                     let total = spec.digraph.out_degree(v);
-                    let triggered = spec
-                        .digraph
-                        .out_arcs(v)
-                        .filter(|a| arc_triggered[a.id.index()])
-                        .count();
+                    let triggered =
+                        spec.digraph.out_arcs(v).filter(|a| arc_triggered[a.id.index()]).count();
                     (triggered, total)
                 };
                 Outcome::classify(entering, leaving)
@@ -521,12 +499,7 @@ impl SwapRunner {
             None
         };
         let settled = self.all_settled();
-        let abandoned = self
-            .parties
-            .iter()
-            .filter(|p| p.abandoned())
-            .map(|p| p.vertex())
-            .collect();
+        let abandoned = self.parties.iter().filter(|p| p.abandoned()).map(|p| p.vertex()).collect();
         RunReport {
             outcomes,
             arc_triggered,
@@ -574,17 +547,11 @@ mod tests {
         // triggers at 4Δ, 5Δ, 6Δ (here mid-round: 35, 45, 55 exec times
         // visible at 40, 50, 60).
         let report = run_three_party(RunConfig::default());
-        let publishes: Vec<u64> = report
-            .trace
-            .entries_of_kind("contract.published")
-            .map(|e| e.time.ticks())
-            .collect();
+        let publishes: Vec<u64> =
+            report.trace.entries_of_kind("contract.published").map(|e| e.time.ticks()).collect();
         assert_eq!(publishes, vec![5, 15, 25], "deploys in consecutive rounds");
-        let triggers: Vec<u64> = report
-            .trace
-            .entries_of_kind("arc.triggered")
-            .map(|e| e.time.ticks())
-            .collect();
+        let triggers: Vec<u64> =
+            report.trace.entries_of_kind("arc.triggered").map(|e| e.time.ticks()).collect();
         assert_eq!(triggers, vec![35, 45, 55], "triggers in consecutive rounds");
         // Completion within 2·diam·Δ of the start (Theorem 4.7):
         // 55 - 10 = 45 ≤ 60.
@@ -648,12 +615,9 @@ mod tests {
                 .unwrap();
         let carol = d.vertex_by_name("carol").unwrap();
         for halt_round in 0..10 {
-            let setup = SwapSetup::generate(
-                d.clone(),
-                &SetupConfig::default(),
-                &mut SimRng::from_seed(11),
-            )
-            .unwrap();
+            let setup =
+                SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(11))
+                    .unwrap();
             let mut config = RunConfig::default();
             config.behaviors.insert(carol, Behavior::Halt { at_round: halt_round });
             let report = SwapRunner::new(setup, config).run();
@@ -735,22 +699,13 @@ mod tests {
     fn never_publish_deviator_cannot_hurt_conforming() {
         let d = generators::two_leader_triangle();
         for victim in 0..3u32 {
-            let setup = SwapSetup::generate(
-                d.clone(),
-                &SetupConfig::default(),
-                &mut SimRng::from_seed(16),
-            )
-            .unwrap();
+            let setup =
+                SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(16))
+                    .unwrap();
             let mut config = RunConfig::default();
-            config
-                .behaviors
-                .insert(VertexId::new(victim), Behavior::NeverPublish { arcs: None });
+            config.behaviors.insert(VertexId::new(victim), Behavior::NeverPublish { arcs: None });
             let report = SwapRunner::new(setup, config).run();
-            assert!(
-                report.no_conforming_underwater(),
-                "deviator {victim}: {:?}",
-                report.outcomes
-            );
+            assert!(report.no_conforming_underwater(), "deviator {victim}: {:?}", report.outcomes);
         }
     }
 

@@ -136,10 +136,8 @@ impl SwapSetup {
                 config.now,
             );
             let chain = chains.get_mut(chain_id).expect("just created");
-            let descriptor = AssetDescriptor::unique(format!(
-                "asset-of-{}",
-                digraph.name(arc.head)
-            ));
+            let descriptor =
+                AssetDescriptor::unique(format!("asset-of-{}", digraph.name(arc.head)));
             let owner = spec.address_of(arc.head);
             let asset = chain.mint_asset(descriptor, owner, config.now);
             chain_of_arc.push(chain_id);

@@ -285,8 +285,7 @@ impl SingleLeaderSwap {
             // Snapshot: which arcs have contracts; which have revealed
             // secrets (visible state from previous rounds — the snapshot is
             // taken before any action this round applies).
-            let has_contract: Vec<bool> =
-                contract_of_arc.iter().map(|c| c.is_some()).collect();
+            let has_contract: Vec<bool> = contract_of_arc.iter().map(|c| c.is_some()).collect();
             let secret_on_arc: Vec<Option<Secret>> = (0..m)
                 .map(|a| {
                     let id = contract_of_arc[a]?;
@@ -311,8 +310,7 @@ impl SingleLeaderSwap {
                     _ => {}
                 }
                 // Phase One.
-                let entering_ready =
-                    self.digraph.in_arcs(v).all(|a| has_contract[a.id.index()]);
+                let entering_ready = self.digraph.in_arcs(v).all(|a| has_contract[a.id.index()]);
                 let is_leader = v == self.leader;
                 if !published_phase_one[v.index()] && (is_leader || entering_ready) {
                     published_phase_one[v.index()] = true;
@@ -326,9 +324,7 @@ impl SingleLeaderSwap {
                 let knows_secret = if is_leader {
                     Some(self.secret)
                 } else {
-                    self.digraph
-                        .out_arcs(v)
-                        .find_map(|a| secret_on_arc[a.id.index()])
+                    self.digraph.out_arcs(v).find_map(|a| secret_on_arc[a.id.index()])
                 };
                 if !revealed_entering[v.index()] && entering_ready {
                     if let Some(secret) = knows_secret {
@@ -414,12 +410,7 @@ impl SingleLeaderSwap {
                         match chain.call_contract(id, v_addr, HtlcCall::Refund, exec_time, 8) {
                             Ok(_) => {
                                 refunds += 1;
-                                trace.record(
-                                    exec_time,
-                                    name,
-                                    "arc.refunded",
-                                    format!("arc {arc}"),
-                                );
+                                trace.record(exec_time, name, "arc.refunded", format!("arc {arc}"));
                             }
                             Err(e) => {
                                 trace.record(
@@ -521,8 +512,7 @@ mod tests {
         // Leader alice, Δ = 10, t0 = 0: the 6Δ/5Δ/4Δ of Figure 1.
         let d = generators::herlihy_three_party();
         let alice = d.vertex_by_name("alice").unwrap();
-        let timeouts =
-            assign_timeouts(&d, alice, SimTime::ZERO, Delta::from_ticks(10)).unwrap();
+        let timeouts = assign_timeouts(&d, alice, SimTime::ZERO, Delta::from_ticks(10)).unwrap();
         let by_arc: Vec<u64> = timeouts.iter().map(|t| t.ticks()).collect();
         // Arcs in insertion order: a→b, b→c, c→a.
         assert_eq!(by_arc, vec![60, 50, 40]);
@@ -557,26 +547,16 @@ mod tests {
     #[test]
     fn two_leader_digraph_rejected() {
         let d = generators::two_leader_triangle();
-        let err = assign_timeouts(
-            &d,
-            VertexId::new(0),
-            SimTime::ZERO,
-            Delta::from_ticks(10),
-        )
-        .unwrap_err();
+        let err = assign_timeouts(&d, VertexId::new(0), SimTime::ZERO, Delta::from_ticks(10))
+            .unwrap_err();
         assert!(matches!(err, TimeoutError::FollowerCycle { .. }));
     }
 
     #[test]
     fn not_strongly_connected_rejected() {
         let d = generators::one_way_pair();
-        let err = assign_timeouts(
-            &d,
-            VertexId::new(0),
-            SimTime::ZERO,
-            Delta::from_ticks(10),
-        )
-        .unwrap_err();
+        let err = assign_timeouts(&d, VertexId::new(0), SimTime::ZERO, Delta::from_ticks(10))
+            .unwrap_err();
         assert_eq!(err, TimeoutError::NotStronglyConnected);
     }
 
@@ -612,17 +592,11 @@ mod tests {
         .unwrap();
         let report = swap.run();
         assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
-        let publishes: Vec<u64> = report
-            .trace
-            .entries_of_kind("contract.published")
-            .map(|e| e.time.ticks())
-            .collect();
+        let publishes: Vec<u64> =
+            report.trace.entries_of_kind("contract.published").map(|e| e.time.ticks()).collect();
         assert_eq!(publishes, vec![5, 15, 25]);
-        let triggers: Vec<u64> = report
-            .trace
-            .entries_of_kind("arc.triggered")
-            .map(|e| e.time.ticks())
-            .collect();
+        let triggers: Vec<u64> =
+            report.trace.entries_of_kind("arc.triggered").map(|e| e.time.ticks()).collect();
         assert_eq!(triggers, vec![35, 45, 55]);
         assert_eq!(report.refunds, 0);
     }
@@ -661,10 +635,7 @@ mod tests {
             let report = swap.run();
             for (i, &o) in report.outcomes.iter().enumerate() {
                 if VertexId::new(i as u32) != alice {
-                    assert!(
-                        o != Outcome::Underwater,
-                        "halt {halt_round}, party {i}: {o}"
-                    );
+                    assert!(o != Outcome::Underwater, "halt {halt_round}, party {i}: {o}");
                 }
             }
         }

@@ -62,10 +62,7 @@ pub fn deadlocked_vertices(
             if discharged[v.index()] {
                 continue;
             }
-            let free = leaders.contains(&v)
-                || w
-                    .in_arcs(v)
-                    .all(|a| discharged[a.head.index()]);
+            let free = leaders.contains(&v) || w.in_arcs(v).all(|a| discharged[a.head.index()]);
             if free {
                 discharged[v.index()] = true;
                 changed = true;

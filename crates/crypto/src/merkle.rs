@@ -147,11 +147,7 @@ impl MerkleProof {
         let mut acc = *leaf;
         let mut i = self.index;
         for sibling in &self.siblings {
-            acc = if i % 2 == 0 {
-                node_hash(&acc, sibling)
-            } else {
-                node_hash(sibling, &acc)
-            };
+            acc = if i % 2 == 0 { node_hash(&acc, sibling) } else { node_hash(sibling, &acc) };
             i /= 2;
         }
         acc == *root

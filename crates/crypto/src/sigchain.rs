@@ -80,10 +80,9 @@ pub enum SigChainError {
 impl fmt::Display for SigChainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SigChainError::LengthMismatch { links, path_vertices } => write!(
-                f,
-                "chain has {links} links but path has {path_vertices} vertexes"
-            ),
+            SigChainError::LengthMismatch { links, path_vertices } => {
+                write!(f, "chain has {links} links but path has {path_vertices} vertexes")
+            }
             SigChainError::BadSignature { position } => {
                 write!(f, "signature at chain position {position} is invalid")
             }
@@ -269,9 +268,7 @@ mod tests {
         let mut leader = kp(1);
         let s = Secret::from_bytes([9u8; 32]);
         let chain = SigChain::sign_secret(&mut leader, &s).unwrap();
-        let err = chain
-            .verify(&s, &[leader.public_key(), kp(2).public_key()])
-            .unwrap_err();
+        let err = chain.verify(&s, &[leader.public_key(), kp(2).public_key()]).unwrap_err();
         assert_eq!(err, SigChainError::LengthMismatch { links: 1, path_vertices: 2 });
         assert!(err.to_string().contains("1 links"));
     }
@@ -283,8 +280,7 @@ mod tests {
         let mut mallory = kp(66);
         let bob = kp(2);
         let s = Secret::from_bytes([9u8; 32]);
-        let chain =
-            SigChain::sign_secret(&mut leader, &s).unwrap().extend(&mut mallory).unwrap();
+        let chain = SigChain::sign_secret(&mut leader, &s).unwrap().extend(&mut mallory).unwrap();
         let err = chain.verify(&s, &[bob.public_key(), leader.public_key()]).unwrap_err();
         assert_eq!(err, SigChainError::BadSignature { position: 1 });
     }

@@ -264,11 +264,7 @@ pub fn longest_path_to(d: &Digraph, from: VertexId, target: VertexId) -> Option<
                 }
             }
         }
-        preds
-            .iter()
-            .filter_map(|&u| dist[u.index()])
-            .max()
-            .map(|len| len + 1)
+        preds.iter().filter_map(|&u| dist[u.index()]).max().map(|len| len + 1)
     } else {
         if d.vertex_count() > EXACT_DIAMETER_LIMIT {
             return None;
@@ -315,11 +311,7 @@ mod tests {
 
     #[test]
     fn reachability_on_path_digraph() {
-        let d = DigraphBuilder::new()
-            .vertices(["a", "b", "c"])
-            .arc("a", "b")
-            .arc("b", "c")
-            .build();
+        let d = DigraphBuilder::new().vertices(["a", "b", "c"]).arc("a", "b").arc("b", "c").build();
         let a = d.vertex_by_name("a").unwrap();
         let c = d.vertex_by_name("c").unwrap();
         assert_eq!(reachable_from(&d, a), vec![true, true, true]);

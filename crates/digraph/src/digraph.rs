@@ -217,19 +217,15 @@ impl Digraph {
 
     /// Successor vertexes of `v` (deduplicated, sorted).
     pub fn successors(&self, v: VertexId) -> Vec<VertexId> {
-        let set: BTreeSet<VertexId> = self.out[v.index()]
-            .iter()
-            .map(|&a| self.arcs[a.index()].1)
-            .collect();
+        let set: BTreeSet<VertexId> =
+            self.out[v.index()].iter().map(|&a| self.arcs[a.index()].1).collect();
         set.into_iter().collect()
     }
 
     /// Predecessor vertexes of `v` (deduplicated, sorted).
     pub fn predecessors(&self, v: VertexId) -> Vec<VertexId> {
-        let set: BTreeSet<VertexId> = self.into[v.index()]
-            .iter()
-            .map(|&a| self.arcs[a.index()].0)
-            .collect();
+        let set: BTreeSet<VertexId> =
+            self.into[v.index()].iter().map(|&a| self.arcs[a.index()].0).collect();
         set.into_iter().collect()
     }
 
@@ -240,11 +236,7 @@ impl Digraph {
 
     /// All arc ids from `u` to `v` (several, in a multigraph).
     pub fn arcs_between(&self, u: VertexId, v: VertexId) -> Vec<ArcId> {
-        self.out[u.index()]
-            .iter()
-            .copied()
-            .filter(|&a| self.arcs[a.index()].1 == v)
-            .collect()
+        self.out[u.index()].iter().copied().filter(|&a| self.arcs[a.index()].1 == v).collect()
     }
 
     /// The transpose `Dᵀ`: same vertexes, every arc reversed. Arc ids are
@@ -374,8 +366,10 @@ impl DigraphBuilder {
     /// Panics if either name is unknown or the arc would be a self-loop —
     /// builders are for literals in tests, where failing fast is a feature.
     pub fn arc(mut self, head: &str, tail: &str) -> Self {
-        let h = self.digraph.vertex_by_name(head).unwrap_or_else(|| panic!("unknown vertex {head}"));
-        let t = self.digraph.vertex_by_name(tail).unwrap_or_else(|| panic!("unknown vertex {tail}"));
+        let h =
+            self.digraph.vertex_by_name(head).unwrap_or_else(|| panic!("unknown vertex {head}"));
+        let t =
+            self.digraph.vertex_by_name(tail).unwrap_or_else(|| panic!("unknown vertex {tail}"));
         self.digraph.add_arc(h, t).expect("builder arcs must be valid");
         self
     }

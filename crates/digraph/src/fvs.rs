@@ -52,11 +52,7 @@ pub struct NotFeedbackError {
 
 impl std::fmt::Display for NotFeedbackError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "set is not a feedback vertex set; surviving cycle: {:?}",
-            self.witness_cycle
-        )
+        write!(f, "set is not a feedback vertex set; surviving cycle: {:?}", self.witness_cycle)
     }
 }
 
@@ -119,13 +115,11 @@ impl FeedbackVertexSet {
                 .filter(|c| {
                     c.len() > 1 || {
                         let v = c[0];
-                        rest.arcs_between(v, v).len() > 0 // impossible (no self-loops) but explicit
+                        !rest.arcs_between(v, v).is_empty() // impossible (no self-loops) but explicit
                     }
                 })
                 .flatten()
-                .max_by_key(|&v| {
-                    (rest.in_degree(v) * rest.out_degree(v), std::cmp::Reverse(v))
-                });
+                .max_by_key(|&v| (rest.in_degree(v) * rest.out_degree(v), std::cmp::Reverse(v)));
             match candidate {
                 Some(v) => {
                     removed.insert(v);
@@ -173,10 +167,8 @@ pub fn find_cycle(d: &Digraph) -> Option<Vec<VertexId>> {
         if color[root] != 0 {
             continue;
         }
-        let mut stack: Vec<(usize, Vec<VertexId>)> = vec![(
-            root,
-            d.successors(VertexId::new(root as u32)),
-        )];
+        let mut stack: Vec<(usize, Vec<VertexId>)> =
+            vec![(root, d.successors(VertexId::new(root as u32)))];
         color[root] = 1;
         while let Some((v, succs)) = stack.last_mut() {
             if let Some(w) = succs.pop() {
@@ -303,11 +295,8 @@ mod tests {
 
     #[test]
     fn acyclic_digraph_needs_no_leaders() {
-        let dag = DigraphBuilder::new()
-            .vertices(["a", "b", "c"])
-            .arc("a", "b")
-            .arc("b", "c")
-            .build();
+        let dag =
+            DigraphBuilder::new().vertices(["a", "b", "c"]).arc("a", "b").arc("b", "c").build();
         let fvs = FeedbackVertexSet::minimum(&dag).unwrap();
         assert!(fvs.vertices().is_empty());
         assert!(FeedbackVertexSet::greedy(&dag).vertices().is_empty());
@@ -382,10 +371,7 @@ mod tests {
 
     #[test]
     fn find_cycle_none_on_dag() {
-        let dag = DigraphBuilder::new()
-            .vertices(["a", "b"])
-            .arc("a", "b")
-            .build();
+        let dag = DigraphBuilder::new().vertices(["a", "b"]).arc("a", "b").build();
         assert!(find_cycle(&dag).is_none());
     }
 

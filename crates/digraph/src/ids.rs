@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 2);
 /// assert_eq!(v.to_string(), "v2");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VertexId(u32);
 
 impl VertexId {
@@ -64,9 +62,7 @@ impl From<u32> for VertexId {
 /// let a = ArcId::new(0);
 /// assert_eq!(a.to_string(), "a0");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ArcId(u32);
 
 impl ArcId {

@@ -301,7 +301,7 @@ mod tests {
         // From alice to herself: degenerate plus the full cycle.
         let self_paths = enumerate_paths(&d, a, a);
         assert_eq!(self_paths.len(), 2);
-        assert!(self_paths.iter().any(|p| p.len() == 0));
+        assert!(self_paths.iter().any(|p| p.is_empty()));
         assert!(self_paths.iter().any(|p| p.len() == 3));
     }
 

@@ -15,9 +15,8 @@ fn arb_strongly_connected() -> impl Strategy<Value = swap_digraph::Digraph> {
 }
 
 fn arb_any_digraph() -> impl Strategy<Value = swap_digraph::Digraph> {
-    (1usize..9, 0.0f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
-        generators::random_digraph(n, p, &mut SimRng::from_seed(seed))
-    })
+    (1usize..9, 0.0f64..0.6, any::<u64>())
+        .prop_map(|(n, p, seed)| generators::random_digraph(n, p, &mut SimRng::from_seed(seed)))
 }
 
 proptest! {

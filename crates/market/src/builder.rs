@@ -172,9 +172,8 @@ impl SpecBuilder {
         let mut addresses: Vec<Address> = Vec::with_capacity(n);
         let mut hashlocks_by_vertex = Vec::with_capacity(n);
         for (i, slot) in self.identities.iter().enumerate() {
-            let (key, hashlock) = slot
-                .as_ref()
-                .ok_or(BuildError::MissingIdentity(VertexId::new(i as u32)))?;
+            let (key, hashlock) =
+                slot.as_ref().ok_or(BuildError::MissingIdentity(VertexId::new(i as u32)))?;
             keys.push(*key);
             addresses.push(key.address());
             hashlocks_by_vertex.push(*hashlock);
@@ -192,10 +191,9 @@ impl SpecBuilder {
                     .into_vertices()
                     .into_iter()
                     .collect(),
-                LeaderStrategy::Greedy => FeedbackVertexSet::greedy(&self.digraph)
-                    .into_vertices()
-                    .into_iter()
-                    .collect(),
+                LeaderStrategy::Greedy => {
+                    FeedbackVertexSet::greedy(&self.digraph).into_vertices().into_iter().collect()
+                }
             },
         };
         let hashlocks = leaders
@@ -294,11 +292,7 @@ mod tests {
         let d = generators::herlihy_three_party();
         let mut b = SpecBuilder::new(d.clone());
         let kp = MssKeypair::from_seed_with_height([1u8; 32], 2);
-        b.identity(
-            VertexId::new(0),
-            kp.public_key(),
-            Secret::from_bytes([1u8; 32]).hashlock(),
-        );
+        b.identity(VertexId::new(0), kp.public_key(), Secret::from_bytes([1u8; 32]).hashlock());
         let err = b.build().unwrap_err();
         assert_eq!(err, BuildError::MissingIdentity(VertexId::new(1)));
         assert!(err.to_string().contains("identity"));

@@ -248,17 +248,14 @@ impl ClearingService {
         }
         let k = cycle.len();
         let mut arc_kinds = Vec::with_capacity(k);
-        for pos in 0..k {
+        for (pos, &offer_idx) in cycle.iter().enumerate() {
             let head = VertexId::new(pos as u32);
             let tail = VertexId::new(((pos + 1) % k) as u32);
             digraph.add_arc(head, tail).expect("cycle arcs valid");
-            arc_kinds.push(self.offers[cycle[pos]].gives.clone());
+            arc_kinds.push(self.offers[offer_idx].gives.clone());
         }
         let mut builder = SpecBuilder::new(digraph);
-        builder
-            .delta(delta)
-            .start(now + delta.times(1))
-            .leader_strategy(self.leader_strategy);
+        builder.delta(delta).start(now + delta.times(1)).leader_strategy(self.leader_strategy);
         for (pos, &i) in cycle.iter().enumerate() {
             let offer = &self.offers[i];
             builder.identity(VertexId::new(pos as u32), offer.key, offer.hashlock);
@@ -327,8 +324,7 @@ mod tests {
         svc.submit(offer(5, "z", "x"));
         let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
         assert_eq!(swaps.len(), 2);
-        let sizes: Vec<usize> =
-            swaps.iter().map(|s| s.spec.digraph.vertex_count()).collect();
+        let sizes: Vec<usize> = swaps.iter().map(|s| s.spec.digraph.vertex_count()).collect();
         assert!(sizes.contains(&2) && sizes.contains(&3));
     }
 

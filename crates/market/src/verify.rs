@@ -172,8 +172,11 @@ mod tests {
     }
 
     fn cleared_triangle() -> (ClearedSwap, Vec<Offer>) {
-        let offers =
-            vec![offer(1, "altcoin", "cadillac"), offer(2, "btc", "altcoin"), offer(3, "cadillac", "btc")];
+        let offers = vec![
+            offer(1, "altcoin", "cadillac"),
+            offer(2, "btc", "altcoin"),
+            offer(3, "cadillac", "btc"),
+        ];
         let mut svc = ClearingService::new();
         for o in &offers {
             svc.submit(o.clone());
@@ -208,8 +211,7 @@ mod tests {
         let victim_offer = &offers[cleared.offer_of_vertex[leader.index()].raw() as usize];
         // Service substitutes its own hashlock for the leader's.
         cleared.spec.hashlocks[0] = Secret::from_bytes([0xEE; 32]).hashlock();
-        let err =
-            verify_cleared_swap(&cleared, leader, victim_offer, SimTime::ZERO).unwrap_err();
+        let err = verify_cleared_swap(&cleared, leader, victim_offer, SimTime::ZERO).unwrap_err();
         assert!(matches!(err, VerifyError::ForeignHashlock { .. }));
     }
 
@@ -242,8 +244,7 @@ mod tests {
         let my_offer = &offers[cleared.offer_of_vertex[0].raw() as usize];
         // Checking "now" so late that the published start is < now + Δ.
         let late_now = cleared.spec.start;
-        let err =
-            verify_cleared_swap(&cleared, VertexId::new(0), my_offer, late_now).unwrap_err();
+        let err = verify_cleared_swap(&cleared, VertexId::new(0), my_offer, late_now).unwrap_err();
         assert!(matches!(err, VerifyError::StartTooSoon { .. }));
     }
 

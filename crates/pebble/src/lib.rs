@@ -63,11 +63,7 @@ struct GameState {
 
 impl GameState {
     fn new(digraph: &Digraph) -> Self {
-        GameState {
-            digraph: digraph.clone(),
-            pebbled: vec![false; digraph.arc_count()],
-            rounds: 0,
-        }
+        GameState { digraph: digraph.clone(), pebbled: vec![false; digraph.arc_count()], rounds: 0 }
     }
 
     fn pebble_out_arcs(&mut self, v: VertexId, newly: &mut Vec<ArcId>) {

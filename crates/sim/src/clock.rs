@@ -195,9 +195,7 @@ impl Div<u64> for SimDuration {
 /// let timeout = start + delta.times(6);
 /// assert_eq!(timeout.ticks(), 60);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Delta(SimDuration);
 
 impl Delta {

@@ -39,10 +39,7 @@ fn run_with(label: &str, configure: impl FnOnce(&mut RunConfig)) {
 }
 
 fn main() {
-    println!(
-        "{:<34} {:<12} {:<12} {:<12}",
-        "scenario (* = deviator)", "alice", "bob", "carol"
-    );
+    println!("{:<34} {:<12} {:<12} {:<12}", "scenario (* = deviator)", "alice", "bob", "carol");
     println!("{}", "-".repeat(74));
 
     run_with("all conforming", |_| {});

@@ -9,8 +9,8 @@
 
 use atomic_swaps::core::runner::{RunConfig, SwapRunner};
 use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
-use atomic_swaps::market::{verify_cleared_swap, AssetKind, ClearingService, Offer};
 use atomic_swaps::crypto::{MssKeypair, Secret};
+use atomic_swaps::market::{verify_cleared_swap, AssetKind, ClearingService, Offer};
 use atomic_swaps::sim::{Delta, SimRng, SimTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

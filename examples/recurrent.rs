@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(78));
     let rounds = session.run_rounds(5, &mut SimRng::from_seed(56))?;
     for (i, round) in rounds.iter().enumerate() {
-        let outcomes: Vec<String> =
-            round.report.outcomes.iter().map(|o| o.to_string()).collect();
+        let outcomes: Vec<String> = round.report.outcomes.iter().map(|o| o.to_string()).collect();
         let locks: Vec<String> =
             round.next_hashlocks.iter().take(2).map(|h| h.to_string()).collect();
         println!(

@@ -74,11 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  party {i}: {outcome}");
     }
     let completion = report.completion.expect("conforming run completes");
-    println!(
-        "Completed {} after start (bound 2·diam·Δ = {}) ✓",
-        completion - start,
-        bound
-    );
+    println!("Completed {} after start (bound 2·diam·Δ = {}) ✓", completion - start, bound);
     assert!(report.all_deal());
     Ok(())
 }

@@ -63,11 +63,8 @@ fn offers_to_settlement_with_cleared_spec() {
         .iter()
         .map(|oid| parties[oid.raw() as usize].keypair.clone())
         .collect();
-    let secrets: Vec<Secret> = cleared
-        .offer_of_vertex
-        .iter()
-        .map(|oid| parties[oid.raw() as usize].secret)
-        .collect();
+    let secrets: Vec<Secret> =
+        cleared.offer_of_vertex.iter().map(|oid| parties[oid.raw() as usize].secret).collect();
     let setup = SwapSetup::from_parts(cleared.spec.clone(), keypairs, secrets, SimTime::ZERO);
     let report = SwapRunner::new(setup, RunConfig::default()).run();
     assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
@@ -118,10 +115,7 @@ fn multiple_rounds_of_clearing_stay_deterministic() {
     for (i, swap) in a.iter().enumerate() {
         let setup = SwapSetup::generate(
             swap.spec.digraph.clone(),
-            &atomic_swaps::core::setup::SetupConfig {
-                key_height: 4,
-                ..Default::default()
-            },
+            &atomic_swaps::core::setup::SetupConfig { key_height: 4, ..Default::default() },
             &mut SimRng::from_seed(900 + i as u64),
         )
         .expect("valid");

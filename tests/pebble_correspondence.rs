@@ -18,8 +18,8 @@ fn fast_config() -> SetupConfig {
 /// Runs the protocol and returns, per arc, the round (multiple of Δ from
 /// T₀) at which its contract was published.
 fn publication_rounds(digraph: Digraph, seed: u64) -> (Vec<u64>, Vec<u64>, u64) {
-    let setup = SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(seed))
-        .expect("valid");
+    let setup =
+        SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(seed)).expect("valid");
     let delta = setup.spec.delta.ticks();
     let t0 = setup.spec.start.ticks() - delta;
     let arc_count = setup.spec.digraph.arc_count();
@@ -141,10 +141,8 @@ fn eager_game_on_transpose_bounds_secret_spread() {
     // Each leader's secret reaches every arc no later than the eager pebble
     // game starting at that leader on Dᵀ (the protocol can only be as fast
     // as its abstraction).
-    for (digraph, seed) in [
-        (generators::herlihy_three_party(), 31u64),
-        (generators::cycle(5), 32),
-    ] {
+    for (digraph, seed) in [(generators::herlihy_three_party(), 31u64), (generators::cycle(5), 32)]
+    {
         let setup =
             SwapSetup::generate(digraph.clone(), &fast_config(), &mut SimRng::from_seed(seed))
                 .expect("valid");

@@ -3,11 +3,11 @@
 
 use std::collections::BTreeMap;
 
+use atomic_swaps::contract::SwapSpec;
 use atomic_swaps::core::runner::{RunConfig, SwapRunner};
 use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
 use atomic_swaps::core::{Behavior, Outcome};
 use atomic_swaps::crypto::{MssKeypair, Secret};
-use atomic_swaps::contract::SwapSpec;
 use atomic_swaps::digraph::{generators, Digraph, VertexId};
 use atomic_swaps::sim::{Delta, SimRng, SimTime};
 
@@ -58,16 +58,11 @@ fn theorem_4_9_exhaustive_halt_sweep() {
     let digraph = generators::two_leader_triangle();
     for party in 0..3u32 {
         for round in 0..9u64 {
-            let setup = SwapSetup::generate(
-                digraph.clone(),
-                &fast_config(),
-                &mut SimRng::from_seed(100),
-            )
-            .expect("valid");
+            let setup =
+                SwapSetup::generate(digraph.clone(), &fast_config(), &mut SimRng::from_seed(100))
+                    .expect("valid");
             let mut config = RunConfig::default();
-            config
-                .behaviors
-                .insert(VertexId::new(party), Behavior::Halt { at_round: round });
+            config.behaviors.insert(VertexId::new(party), Behavior::Halt { at_round: round });
             let report = SwapRunner::new(setup, config).run();
             assert!(
                 report.no_conforming_underwater(),
@@ -128,9 +123,8 @@ fn lemma_3_4_freeride_on_non_strongly_connected() {
     assert!(!digraph.is_strongly_connected());
     let n = digraph.vertex_count();
     let mut rng = SimRng::from_seed(300);
-    let keypairs: Vec<MssKeypair> = (0..n)
-        .map(|_| MssKeypair::from_seed_with_height(rng.bytes32(), 4))
-        .collect();
+    let keypairs: Vec<MssKeypair> =
+        (0..n).map(|_| MssKeypair::from_seed_with_height(rng.bytes32(), 4)).collect();
     let secrets: Vec<Secret> = (0..n).map(|_| Secret::random(&mut rng)).collect();
     // Leaders: one per cycle (an FVS of the full digraph), so the spec is
     // well-formed except for strong connectivity.
@@ -188,9 +182,8 @@ fn theorem_4_12_non_fvs_leaders_deadlock() {
     let digraph = generators::two_leader_triangle();
     let n = digraph.vertex_count();
     let mut rng = SimRng::from_seed(400);
-    let keypairs: Vec<MssKeypair> = (0..n)
-        .map(|_| MssKeypair::from_seed_with_height(rng.bytes32(), 4))
-        .collect();
+    let keypairs: Vec<MssKeypair> =
+        (0..n).map(|_| MssKeypair::from_seed_with_height(rng.bytes32(), 4)).collect();
     let secrets: Vec<Secret> = (0..n).map(|_| Secret::random(&mut rng)).collect();
     let alice = VertexId::new(0);
     let delta = Delta::from_ticks(10);
@@ -213,14 +206,10 @@ fn theorem_4_12_non_fvs_leaders_deadlock() {
     let bob = VertexId::new(1);
     let carol = VertexId::new(2);
     for arc in digraph.arcs() {
-        let within_cycle = (arc.head == bob && arc.tail == carol)
-            || (arc.head == carol && arc.tail == bob);
+        let within_cycle =
+            (arc.head == bob && arc.tail == carol) || (arc.head == carol && arc.tail == bob);
         if within_cycle {
-            assert!(
-                !report.arc_triggered[arc.id.index()],
-                "arc {} should deadlock",
-                arc.id
-            );
+            assert!(!report.arc_triggered[arc.id.index()], "arc {} should deadlock", arc.id);
         }
     }
     assert!(!report.all_deal());
@@ -239,8 +228,7 @@ fn theorem_4_10_quadratic_space() {
         measured.push((arcs, report.storage.contract_bytes));
     }
     // bytes / |A|² stays within a narrow constant band.
-    let ratios: Vec<f64> =
-        measured.iter().map(|&(a, b)| b as f64 / (a * a) as f64).collect();
+    let ratios: Vec<f64> = measured.iter().map(|&(a, b)| b as f64 / (a * a) as f64).collect();
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().cloned().fold(0.0, f64::max);
     assert!(
@@ -268,16 +256,12 @@ fn communication_is_arcs_times_leaders() {
     ];
     for digraph in cases {
         let arcs = digraph.arc_count() as u64;
-        let setup = SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(2))
-            .expect("valid");
+        let setup =
+            SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(2)).expect("valid");
         let leaders = setup.spec.leaders.len() as u64;
         let report = SwapRunner::new(setup, RunConfig::default()).run();
         assert!(report.all_deal());
-        assert_eq!(
-            report.metrics.unlock_calls,
-            arcs * leaders,
-            "|A| = {arcs}, |L| = {leaders}"
-        );
+        assert_eq!(report.metrics.unlock_calls, arcs * leaders, "|A| = {arcs}, |L| = {leaders}");
     }
 }
 
@@ -289,9 +273,12 @@ fn ledgers_remain_tamper_evident() {
     let setup =
         SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(3)).expect("valid");
     // Keep a handle by re-generating (the runner consumes the setup).
-    let setup2 =
-        SwapSetup::generate(generators::two_leader_triangle(), &fast_config(), &mut SimRng::from_seed(3))
-            .expect("valid");
+    let setup2 = SwapSetup::generate(
+        generators::two_leader_triangle(),
+        &fast_config(),
+        &mut SimRng::from_seed(3),
+    )
+    .expect("valid");
     assert!(setup2.chains.verify_integrity());
     let mut config = RunConfig::default();
     config.behaviors.insert(VertexId::new(1), Behavior::Halt { at_round: 3 });
@@ -308,18 +295,12 @@ fn broadcast_optimization_shortens_phase_two() {
     for n in [4usize, 6, 8] {
         for (label, broadcast) in [("plain", false), ("broadcast", true)] {
             let digraph = generators::cycle(n);
-            let mut setup =
-                SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(4))
-                    .expect("valid");
+            let mut setup = SwapSetup::generate(digraph, &fast_config(), &mut SimRng::from_seed(4))
+                .expect("valid");
             setup.spec.broadcast_arcs = broadcast;
             let report = SwapRunner::new(setup, RunConfig::default()).run();
             assert!(report.all_deal(), "{label} cycle({n})");
-            let first = report
-                .triggered_at
-                .iter()
-                .filter_map(|&t| t)
-                .min()
-                .expect("triggers");
+            let first = report.triggered_at.iter().filter_map(|&t| t).min().expect("triggers");
             let last = report.completion.expect("completes");
             spans.entry(label).or_default().push((last - first).ticks());
         }
@@ -329,9 +310,6 @@ fn broadcast_optimization_shortens_phase_two() {
     // Phase Two span grows with n in the plain protocol…
     assert!(plain.windows(2).all(|w| w[1] > w[0]), "plain spans: {plain:?}");
     // …but stays flat with the broadcast short-circuit.
-    assert!(
-        broadcast.iter().all(|&s| s == broadcast[0]),
-        "broadcast spans: {broadcast:?}"
-    );
+    assert!(broadcast.iter().all(|&s| s == broadcast[0]), "broadcast spans: {broadcast:?}");
     assert!(broadcast[0] < *plain.last().unwrap());
 }

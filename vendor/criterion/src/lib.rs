@@ -1,0 +1,347 @@
+//! Offline stub of `criterion`.
+//!
+//! Mirrors the API surface the `swap-bench` suite uses — [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `iter`/`iter_batched` — with a plain
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Each benchmark prints `group/id  median  (samples)` to stdout. The
+//! stub honors `--bench` (ignored filter args) so `cargo bench` and
+//! `cargo bench --no-run` behave as expected.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up time.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many timed samples to collect per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Restricts runs to benchmarks whose id contains `filter`.
+    #[must_use]
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Configures `self` from `cargo bench` command-line arguments
+    /// (accepts and ignores harness flags; a bare argument is a filter).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        // Boolean flags the libtest/criterion harnesses pass or accept;
+        // anything else starting with `-` is assumed to take the next
+        // argument as its value, so that value is not mistaken for a
+        // benchmark filter.
+        const BOOLEAN_FLAGS: &[&str] = &[
+            "--bench",
+            "--test",
+            "--exact",
+            "--list",
+            "--nocapture",
+            "--quiet",
+            "-q",
+            "--verbose",
+            "-v",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg.starts_with('-') {
+                if !BOOLEAN_FLAGS.contains(&arg.as_str()) && !arg.contains('=') {
+                    let _ = args.next();
+                }
+            } else {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let id = id.to_string();
+        self.run_one(&id, self.sample_size, &mut f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, sample_size: usize, f: &mut F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher =
+            Bencher { samples: Vec::new(), budget: self.measurement, warm_up: self.warm_up };
+        for _ in 0..sample_size {
+            f(&mut bencher);
+        }
+        bencher.report(id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Records the throughput denominator (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, n, &mut f);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, n, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id distinguished by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Throughput denominator for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per timed run in
+/// [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state; batch many.
+    SmallInput,
+    /// Large per-iteration state; batch few.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost on the first sample.
+        if self.samples.is_empty() {
+            let end = Instant::now() + self.warm_up;
+            while Instant::now() < end {
+                black_box(routine());
+            }
+        }
+        let iters = self.iters_for_budget(&mut routine);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters);
+    }
+
+    /// Times `routine` over fresh `setup` output, excluding setup time from
+    /// the measurement (coarsely — setup runs outside the timed region).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = 8u32;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / iters);
+    }
+
+    fn iters_for_budget<O, R: FnMut() -> O>(&mut self, routine: &mut R) -> u32 {
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.budget / 20;
+        ((per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000)) as u32
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        println!("{id:<48} median {median:>12.2?}  ({} samples)", self.samples.len());
+        self.samples.clear();
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs this file's benchmarks with the configured [`Criterion`].
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs = black_box(runs + 1)));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Bytes(64));
+        group
+            .bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| black_box(x * 2)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .with_filter("nope");
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs = black_box(runs + 1)));
+        assert_eq!(runs, 0);
+    }
+}

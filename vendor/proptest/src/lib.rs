@@ -1,0 +1,576 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! suites use — the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`arbitrary::any`],
+//! `prop::collection::vec`, [`prop_oneof!`], the `prop_assert*` family,
+//! [`prop_assume!`], and [`test_runner::ProptestConfig`] — on top of a
+//! deterministic seeded RNG, so test failures reproduce exactly.
+//!
+//! Differences from upstream, by design:
+//!
+//! - no shrinking: a failing case reports its inputs (via the assertion
+//!   message) but is not minimized;
+//! - the default case count is 64 (override per-suite with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//!   the `PROPTEST_CASES` environment variable);
+//! - generation is seeded from the test function's name, so runs are fully
+//!   deterministic from one invocation to the next.
+
+#![forbid(unsafe_code)]
+
+/// Test-case plumbing: configuration, RNG, and case-level error signalling.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-suite configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generation source handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Derives a generator from an arbitrary label (the test name), so
+        /// every property gets an independent, reproducible stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in label.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(h) }
+        }
+
+        /// Uniform draw in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            rand::Rng::gen_range(&mut self.inner, 0..bound)
+        }
+
+        /// Raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Access the underlying `rand` generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// A `prop_assert*` failed with this message.
+        Fail(String),
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use core::ops::{Range, RangeInclusive};
+    use rand::SampleRange;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map: f }
+        }
+
+        /// Boxes this strategy as a trait object (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (see [`prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a choice over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    // Mild bias toward the endpoints, where bugs live.
+                    match rng.below(16) {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => self.clone().sample_single(rng.rng()),
+                    }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    match rng.below(16) {
+                        0 => *self.start(),
+                        1 => *self.end(),
+                        _ => self.clone().sample_single(rng.rng()),
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.clone().sample_single(rng.rng())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            self.clone().sample_single(rng.rng())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy for any value of an [`Arbitrary`](crate::arbitrary::Arbitrary)
+    /// type; built by [`any`](crate::arbitrary::any).
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The `Arbitrary` trait and the [`any`](arbitrary::any) entry point.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: PhantomData }
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias toward the extremes upstream proptest also favors.
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => 1,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `size.len()` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines a block of property tests.
+///
+/// Each `fn name(binding in strategy, ...) { body }` item expands to a
+/// `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            // Rejected cases (prop_assume!) are retried with fresh inputs
+            // rather than counted, so `cases` bodies really execute; a
+            // rejection-heavy precondition fails loudly instead of
+            // silently passing a vacuous suite (mirrors upstream's
+            // max_global_rejects).
+            let max_rejects = 16 * config.cases + 1024;
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => case += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > max_rejects {
+                            panic!(
+                                "prop_assume! rejected {rejects} inputs while only {case} of {} \
+                                 cases ran; the precondition is too strict for its strategy",
+                                config.cases
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property failed at case {case}: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) so the harness can report which generated case broke it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `{}` + concat! rather than passing the stringified condition as
+        // the format string: conditions like `matches!(x, E { .. })`
+        // contain braces that would otherwise be parsed as format specs.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Skips the current case when its generated inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..4, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(v in (0u8..5, 1u8..3).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 6);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_covers_options(pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(pick == 1 || pick == 2);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u8..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..100 {
+            assert_eq!((0u64..1000).new_value(&mut a), (0u64..1000).new_value(&mut b));
+        }
+    }
+}

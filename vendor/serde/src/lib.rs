@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so that `use serde::{Deserialize, Serialize};`
+//! followed by `#[derive(Serialize, Deserialize)]` compiles unchanged. The
+//! derives expand to nothing (see `serde_derive`); the traits exist only so
+//! future code can write bounds against them without touching call sites.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,37 @@
+//! The no-op derives must still satisfy marker-trait bounds, so future
+//! code can write `T: Serialize` against derived types.
+
+use serde::{Deserialize, Serialize};
+
+// The fields only exist to exercise the derive; nothing reads them.
+#[derive(Serialize, Deserialize)]
+struct Plain {
+    #[serde(default)]
+    #[allow(dead_code)]
+    field: u32,
+}
+
+#[derive(Serialize, Deserialize)]
+#[allow(dead_code)]
+enum Either {
+    Left(u8),
+    Right { value: String },
+}
+
+#[derive(Serialize, Deserialize)]
+pub(crate) struct WithVisibility;
+
+fn requires_serialize<T: Serialize>(_: &T) {}
+fn requires_deserialize<T: for<'de> Deserialize<'de>>(_: &T) {}
+
+#[test]
+fn derived_types_satisfy_bounds() {
+    let p = Plain { field: 1 };
+    requires_serialize(&p);
+    requires_deserialize(&p);
+    let e = Either::Right { value: String::new() };
+    requires_serialize(&e);
+    let _ = Either::Left(0);
+    requires_serialize(&WithVisibility);
+    requires_deserialize(&WithVisibility);
+}

@@ -1,0 +1,63 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, and nothing in the tree actually serializes anything yet —
+//! `#[derive(Serialize, Deserialize)]` is carried on types for forward
+//! compatibility. These derives accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and emit an implementation of the
+//! matching marker trait from the stub `serde` crate, so bounds like
+//! `T: serde::Serialize` hold for derived types.
+//!
+//! Limitation (documented in `vendor/README.md`): generic types get no
+//! impl — deriving the correct bounded impl needs real `syn`, and no
+//! in-tree deriver is generic. Deriving on a generic type compiles but
+//! will not satisfy a `Serialize` bound until the real serde replaces
+//! this stub.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The identifier the derive applies to: the first ident following the
+/// `struct`/`enum`/`union` keyword, or `None` if the type has generics.
+fn plain_type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // A `<` right after the name means generic parameters.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Stand-in for `serde_derive::Serialize`: emits a marker-trait impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(input) {
+        Some(name) => {
+            format!("impl ::serde::Serialize for {name} {{}}").parse().expect("valid impl block")
+        }
+        None => TokenStream::new(),
+    }
+}
+
+/// Stand-in for `serde_derive::Deserialize`: emits a marker-trait impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl block"),
+        None => TokenStream::new(),
+    }
+}
