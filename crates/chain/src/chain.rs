@@ -122,6 +122,8 @@ pub struct Blockchain<C: ContractLogic> {
     next_contract: u64,
     events: Vec<ChainEvent<C::Event>>,
     tx_bytes: usize,
+    version: u64,
+    last_mutation_at: SimTime,
 }
 
 impl<C: ContractLogic> Blockchain<C> {
@@ -135,12 +137,30 @@ impl<C: ContractLogic> Blockchain<C> {
             next_contract: 0,
             events: Vec::new(),
             tx_bytes: 0,
+            version: 0,
+            last_mutation_at: genesis_time,
         }
     }
 
     /// The chain's display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Monotone state-version counter: bumps once per sealed transaction
+    /// (rejected transactions leave it untouched). Observers compare
+    /// versions to decide whether a cached view of this chain is stale —
+    /// the substrate that makes dirty-state tracking O(changed chains)
+    /// instead of O(all chains).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// When the last transaction sealed (the genesis time if none has).
+    /// Paired with [`Blockchain::version`], this timestamps the state a
+    /// cached observation of this chain reflects.
+    pub fn last_mutation_at(&self) -> SimTime {
+        self.last_mutation_at
     }
 
     /// Current height (genesis = 0).
@@ -339,6 +359,8 @@ impl<C: ContractLogic> Blockchain<C> {
         let block = Block::seal(parent, now, vec![digest]);
         self.blocks.push(block);
         self.tx_bytes += wire_bytes;
+        self.version += 1;
+        self.last_mutation_at = now;
     }
 }
 
@@ -558,6 +580,29 @@ mod tests {
         assert_eq!(after.tx_bytes, mid.tx_bytes + 1000);
         let merged = before.merge(&after);
         assert_eq!(merged.blocks, before.blocks + after.blocks);
+    }
+
+    #[test]
+    fn version_counts_sealed_transactions_only() {
+        let (mut chain, asset) = setup();
+        // Mint sealed one transaction already.
+        assert_eq!(chain.version(), 1);
+        assert_eq!(chain.last_mutation_at(), SimTime::ZERO);
+        let lock = PinLock { asset, beneficiary: addr(2), pin: 42, done: false };
+        let id = chain.publish_contract(lock, addr(1), SimTime::from_ticks(1)).unwrap();
+        assert_eq!(chain.version(), 2);
+        assert_eq!(chain.last_mutation_at(), SimTime::from_ticks(1));
+        // Rejected calls leave version and timestamp untouched.
+        chain
+            .call_contract(id, addr(2), PinCall::Open { pin: 1 }, SimTime::from_ticks(2), 16)
+            .unwrap_err();
+        assert_eq!(chain.version(), 2);
+        assert_eq!(chain.last_mutation_at(), SimTime::from_ticks(1));
+        chain
+            .call_contract(id, addr(2), PinCall::Open { pin: 42 }, SimTime::from_ticks(3), 16)
+            .unwrap();
+        assert_eq!(chain.version(), 3);
+        assert_eq!(chain.last_mutation_at(), SimTime::from_ticks(3));
     }
 
     #[test]

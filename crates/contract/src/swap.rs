@@ -19,6 +19,7 @@
 //! propagate backwards through the digraph in Phase Two.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use swap_chain::{AssetId, ContractLogic, ExecCtx, Owner};
@@ -158,9 +159,16 @@ enum Settlement {
 }
 
 /// The per-arc hashed timelock swap contract of Figures 4–5.
+///
+/// Logically every contract stores its own copy of the spec — that *is* the
+/// O(|A|) per-contract storage Theorem 4.10 charges, and
+/// [`SwapContract::storage_bytes`] still meters it per contract. In the
+/// simulator's memory, though, the spec is held behind an [`Arc`] so the
+/// |A| contracts of one swap share a single allocation instead of each
+/// cloning an O(|A|)-sized spec at publication.
 #[derive(Debug, Clone)]
 pub struct SwapContract {
-    spec: SwapSpec,
+    spec: Arc<SwapSpec>,
     arc: ArcId,
     asset: AssetId,
     /// Per-hashlock unlock records (`unlocked[]` of Figure 4, enriched with
@@ -171,13 +179,16 @@ pub struct SwapContract {
 
 impl SwapContract {
     /// Creates a contract for `arc` of the spec's digraph, escrowing
-    /// `asset`.
+    /// `asset`. Accepts an owned [`SwapSpec`] or an [`Arc`] handle —
+    /// publishers deploying one contract per arc should share one `Arc`
+    /// rather than cloning the spec per contract.
     ///
     /// # Panics
     ///
     /// Panics if `arc` is not an arc of the spec's digraph. Specs are
     /// validated upstream; an out-of-range arc is a programming error.
-    pub fn new(spec: SwapSpec, arc: ArcId, asset: AssetId) -> Self {
+    pub fn new(spec: impl Into<Arc<SwapSpec>>, arc: ArcId, asset: AssetId) -> Self {
+        let spec = spec.into();
         assert!(arc.index() < spec.digraph.arc_count(), "arc out of range");
         let locks = spec.hashlocks.len();
         SwapContract {
@@ -191,6 +202,14 @@ impl SwapContract {
 
     /// The embedded spec (public readability).
     pub fn spec(&self) -> &SwapSpec {
+        &self.spec
+    }
+
+    /// The shared handle to the embedded spec. Observers holding their own
+    /// handle can verify a contract embeds the expected spec with a pointer
+    /// comparison ([`Arc::ptr_eq`]) before falling back to a deep equality
+    /// check.
+    pub fn spec_handle(&self) -> &Arc<SwapSpec> {
         &self.spec
     }
 
@@ -672,6 +691,21 @@ mod tests {
         assert_eq!(rig.contract.party(), rig.contract.spec().address_of(rig.alice));
         assert_eq!(rig.contract.counterparty(), rig.contract.spec().address_of(rig.bob));
         assert!(!rig.contract.is_terminated());
+    }
+
+    #[test]
+    fn shared_spec_is_one_allocation_with_unchanged_accounting() {
+        let d = generators::herlihy_three_party();
+        let alice = d.vertex_by_name("alice").unwrap();
+        let spec = Arc::new(spec_for(d, vec![alice]));
+        let a = SwapContract::new(Arc::clone(&spec), ArcId::new(0), AssetId::new(0));
+        let b = SwapContract::new(Arc::clone(&spec), ArcId::new(1), AssetId::new(1));
+        assert!(Arc::ptr_eq(a.spec_handle(), b.spec_handle()), "contracts share the allocation");
+        // Theorem 4.10 accounting is per contract regardless of sharing: a
+        // contract built from an owned spec clone meters identically.
+        let owned = SwapContract::new((*spec).clone(), ArcId::new(0), AssetId::new(0));
+        assert_eq!(a.storage_bytes(), owned.storage_bytes());
+        assert!(!Arc::ptr_eq(a.spec_handle(), owned.spec_handle()));
     }
 
     #[test]

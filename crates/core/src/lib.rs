@@ -9,7 +9,14 @@
 //!   (Phase One contract propagation, Phase Two hashkey dissemination) and
 //!   a suite of deviating [`Behavior`]s (halts, secret withholding,
 //!   premature reveals, coalition bypasses, fully scripted adversaries).
-//! * [`runner`] — the Δ-round execution engine ([`SwapRunner`]) producing
+//! * [`engine`] — the discrete-event execution engine ([`engine::Engine`]):
+//!   party wake-ups, transaction execution, and visibility boundaries as
+//!   scheduled events over [`swap_sim::Simulation`], with snapshot-delta
+//!   caching keyed on chain state-versions.
+//! * [`timing`] — pluggable [`timing::TimingModel`]s: the paper's
+//!   [`timing::Lockstep`] Δ-rounds and [`timing::PerChainLatency`]
+//!   (per-chain publish/confirm delays under a dominating Δ).
+//! * [`runner`] — the lockstep facade ([`SwapRunner`]) producing
 //!   [`RunReport`]s with outcomes, per-arc trigger times, traces, and
 //!   storage/communication metrics.
 //! * [`outcome`] — the Figure 3 outcome lattice ([`Outcome`]).
@@ -44,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod hashkey;
 pub mod outcome;
 pub mod party;
@@ -51,15 +59,18 @@ pub mod recurrent;
 pub mod runner;
 pub mod setup;
 pub mod single_leader;
+pub mod timing;
 pub mod waitsfor;
 
+pub use engine::Engine;
 pub use outcome::Outcome;
 pub use party::{Action, Behavior};
-pub use runner::{RunConfig, RunMetrics, RunReport, SwapRunner};
+pub use runner::{RunConfig, RunMetrics, RunReport, SnapshotMode, SwapRunner};
 pub use setup::{SetupConfig, SwapSetup};
 pub use single_leader::{
     assign_timeouts, single_leader_of, timeout_assignment_feasible, SingleLeaderSwap,
 };
+pub use timing::{Lockstep, PerChainLatency, TimingModel};
 
 // Re-exported so downstream users need only this crate for common flows.
 pub use swap_contract::{SwapContract, SwapSpec};

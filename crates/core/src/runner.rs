@@ -2,34 +2,59 @@
 //!
 //! # Timing model
 //!
-//! Rounds are Δ apart. Round 0 happens at `T₀ = spec.start − Δ`, the instant
-//! the clearing service's output reaches the parties (§4.2 requires the
-//! start `T` to be at least Δ later, and that slack is exactly what makes
-//! the hashkey deadlines satisfiable — see `swap-contract`'s crate docs).
-//! Within round `k`:
+//! Since the event-driven refactor the runner is a thin facade over
+//! [`crate::engine::Engine`], the discrete-event engine built on
+//! [`swap_sim::Simulation`]. Protocol activity — round boundaries, party
+//! wake-ups, transaction execution, visibility boundaries, round
+//! bookkeeping — is a stream of events popped in deterministic
+//! `(time, seq)` order, and *when* those events land is decided by a
+//! pluggable [`crate::timing::TimingModel`]:
 //!
-//! 1. every party observes a **snapshot** of all chains as of the round
-//!    boundary `T₀ + k·Δ`,
-//! 2. parties emit actions, which execute as transactions at
-//!    `T₀ + k·Δ + Δ/2`,
-//! 3. those transactions become visible at the next boundary.
+//! * [`crate::timing::Lockstep`] (what [`SwapRunner`] uses) is the paper's
+//!   model. Rounds are Δ apart; round 0 happens at `T₀ = spec.start − Δ`,
+//!   the instant the clearing service's output reaches the parties (§4.2
+//!   requires the start `T` to be at least Δ later, and that slack is
+//!   exactly what makes the hashkey deadlines satisfiable — see
+//!   `swap-contract`'s crate docs). Within round `k`: parties observe
+//!   snapshots as of the boundary `T₀ + k·Δ`, their actions execute as
+//!   transactions at `T₀ + k·Δ + Δ/2`, and the changes become visible at
+//!   the next boundary. With all parties conforming, the worked example of
+//!   Figures 1–2 reproduces tick-for-tick: contracts appear at +Δ, +2Δ,
+//!   +3Δ and trigger at +4Δ, +5Δ, +6Δ.
+//! * [`crate::timing::PerChainLatency`] gives every chain its own publish
+//!   and confirm latency under a dominating Δ — the heterogeneous
+//!   confirmation behavior real chains exhibit. Run it via
+//!   [`crate::engine::Engine::new`].
 //!
-//! One round therefore models the paper's Δ: enough time to publish a
-//! change and for everyone to confirm it. With all parties conforming, the
-//! worked example of Figures 1–2 reproduces tick-for-tick: contracts appear
-//! at +Δ, +2Δ, +3Δ and trigger at +4Δ, +5Δ, +6Δ.
+//! Observers never rebuild the world from scratch: each arc's contract
+//! snapshot is cached and re-built only when the hosting chain's
+//! state-version moves (a *visibility* event), so a round costs O(changed
+//! arcs) instead of O(|A|). [`RunConfig::snapshot_mode`] can force the
+//! classic per-round full rebuild for benchmarking.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use swap_chain::{ChainId, ContractId, Owner, StorageReport};
-use swap_contract::{SwapCall, SwapContract};
-use swap_crypto::Secret;
+use swap_chain::StorageReport;
 use swap_digraph::{ArcId, VertexId};
 use swap_sim::{SimTime, TraceLog};
 
+use crate::engine::Engine;
 use crate::outcome::Outcome;
-use crate::party::{Action, Behavior, BulletinEntry, ContractSnapshot, Party, View};
+use crate::party::Behavior;
 use crate::setup::SwapSetup;
+use crate::timing::Lockstep;
+
+/// How the engine maintains the per-arc contract snapshots observers read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Re-snapshot an arc only when its chain's state-version moved since
+    /// the cached snapshot was built (the default hot path).
+    #[default]
+    Delta,
+    /// Rebuild every arc's snapshot at every round boundary — the classic
+    /// O(|A|)-per-round behavior, kept for benchmarking the delta path.
+    FullRebuild,
+}
 
 /// Per-run configuration: who deviates and for how long the runner waits.
 #[derive(Debug, Clone, Default)]
@@ -41,7 +66,9 @@ pub struct RunConfig {
     pub max_rounds: Option<u64>,
     /// Arcs whose published contract is *corrupted* (wrong hashlocks),
     /// modeling a malicious publisher; observers detect and abandon.
-    pub corrupt_arcs: Vec<ArcId>,
+    pub corrupt_arcs: BTreeSet<ArcId>,
+    /// Snapshot maintenance strategy (see [`SnapshotMode`]).
+    pub snapshot_mode: SnapshotMode,
 }
 
 /// Counters accumulated over a run.
@@ -61,6 +88,9 @@ pub struct RunMetrics {
     pub claim_calls: u64,
     /// Successful `refund` calls.
     pub refund_calls: u64,
+    /// Successful protocol-bypassing direct asset transfers (coalition
+    /// behavior, Lemma 3.4).
+    pub direct_transfers: u64,
     /// Transactions rejected by contracts or chains.
     pub rejected_calls: u64,
     /// Bytes published on the broadcast bulletin.
@@ -110,18 +140,14 @@ impl RunReport {
     }
 }
 
-/// Executes one swap instance round by round.
+/// Executes one swap instance under the paper's lockstep Δ-round timing.
+///
+/// This is the [`Engine`] specialized to [`Lockstep`]; use
+/// [`Engine::new`] directly to run under a different
+/// [`crate::timing::TimingModel`].
 #[derive(Debug)]
 pub struct SwapRunner {
-    setup: SwapSetup,
-    config: RunConfig,
-    parties: Vec<Party>,
-    conforming: Vec<bool>,
-    contract_of_arc: Vec<Option<ContractId>>,
-    triggered_at: Vec<Option<SimTime>>,
-    bulletin: Vec<(u64, BulletinEntry)>,
-    trace: TraceLog,
-    metrics: RunMetrics,
+    engine: Engine<Lockstep>,
 }
 
 impl SwapRunner {
@@ -134,384 +160,13 @@ impl SwapRunner {
     /// mid-round, which needs Δ/2 ≥ 1) or if the spec starts less than Δ
     /// after the epoch.
     pub fn new(setup: SwapSetup, config: RunConfig) -> Self {
-        let spec = &setup.spec;
-        assert!(spec.delta.ticks() >= 2, "delta must be at least 2 ticks");
-        assert!(
-            spec.start >= SimTime::ZERO + spec.delta.times(1),
-            "spec must start at least one delta after the epoch"
-        );
-        let parties: Vec<Party> = spec
-            .digraph
-            .vertices()
-            .map(|v| {
-                let behavior = config.behaviors.get(&v).cloned().unwrap_or_default();
-                Party::new(v, setup.keypairs[v.index()].clone(), setup.secrets[v.index()], behavior)
-            })
-            .collect();
-        let conforming: Vec<bool> = spec
-            .digraph
-            .vertices()
-            .map(|v| matches!(config.behaviors.get(&v), None | Some(Behavior::Conforming)))
-            .collect();
-        let arc_count = spec.digraph.arc_count();
-        SwapRunner {
-            setup,
-            config,
-            parties,
-            conforming,
-            contract_of_arc: vec![None; arc_count],
-            triggered_at: vec![None; arc_count],
-            bulletin: Vec::new(),
-            trace: TraceLog::new(),
-            metrics: RunMetrics::default(),
-        }
+        let delta = setup.spec.delta;
+        SwapRunner { engine: Engine::new(setup, config, Lockstep::new(delta)) }
     }
 
     /// Runs to settlement (or the round limit) and reports.
-    pub fn run(mut self) -> RunReport {
-        let delta = self.setup.spec.delta;
-        let t0 = self.setup.spec.start - delta.times(1);
-        let max_rounds = self.config.max_rounds.unwrap_or(2 * self.setup.spec.diam + 6);
-        for round in 0..=max_rounds {
-            self.metrics.rounds = round;
-            let now = t0 + delta.times(round);
-            let exec_time = now + delta.duration() / 2;
-            let snapshots = self.snapshots();
-            let bulletin: Vec<BulletinEntry> = self
-                .bulletin
-                .iter()
-                .filter(|(announced, _)| *announced < round)
-                .map(|(_, e)| e.clone())
-                .collect();
-            // Decide (against the snapshot), then apply.
-            let mut batch: Vec<(VertexId, Action)> = Vec::new();
-            for party in &mut self.parties {
-                let view = View {
-                    spec: &self.setup.spec,
-                    round,
-                    now,
-                    contracts: &snapshots,
-                    bulletin: &bulletin,
-                };
-                let vertex = party.vertex();
-                for action in party.step(&view) {
-                    batch.push((vertex, action));
-                }
-            }
-            for (vertex, action) in batch {
-                self.apply(vertex, action, round, exec_time);
-            }
-            self.record_triggers(exec_time);
-            if self.all_settled() {
-                break;
-            }
-        }
-        self.finish()
-    }
-
-    /// Builds per-arc contract snapshots for the current round boundary.
-    fn snapshots(&self) -> Vec<Option<ContractSnapshot>> {
-        let spec = &self.setup.spec;
-        let leaders = spec.leaders.len();
-        spec.digraph
-            .arcs()
-            .map(|arc| {
-                let id = self.contract_of_arc[arc.id.index()]?;
-                let chain = self
-                    .setup
-                    .chains
-                    .get(self.setup.chain_of_arc[arc.id.index()])
-                    .expect("chain exists");
-                let contract = chain.contract(id)?;
-                let valid = contract.spec() == spec
-                    && contract.arc() == arc.id
-                    && contract.asset() == self.setup.asset_of_arc[arc.id.index()];
-                Some(ContractSnapshot {
-                    unlock_records: (0..leaders)
-                        .map(|i| contract.unlock_record(i).cloned())
-                        .collect(),
-                    fully_unlocked: contract.fully_unlocked(),
-                    claimed: contract.is_claimed(),
-                    refunded: contract.is_refunded(),
-                    valid,
-                })
-            })
-            .collect()
-    }
-
-    fn chain_of(&mut self, arc: ArcId) -> (ChainId, &mut swap_chain::Blockchain<SwapContract>) {
-        let chain_id = self.setup.chain_of_arc[arc.index()];
-        (chain_id, self.setup.chains.get_mut(chain_id).expect("chain exists"))
-    }
-
-    fn apply(&mut self, actor: VertexId, action: Action, round: u64, exec_time: SimTime) {
-        let actor_addr = self.setup.spec.address_of(actor);
-        let actor_name = self.setup.spec.digraph.name(actor).to_string();
-        match action {
-            Action::Publish { arc } => {
-                if self.contract_of_arc[arc.index()].is_some() {
-                    self.metrics.rejected_calls += 1;
-                    return;
-                }
-                let asset = self.setup.asset_of_arc[arc.index()];
-                // The contract stores its own spec copy (that *is* the
-                // O(|A|) per-contract storage of Theorem 4.10).
-                let mut contract_spec = self.setup.spec.clone();
-                if self.config.corrupt_arcs.contains(&arc) {
-                    // A malicious publisher substitutes hashlocks nobody can
-                    // open; observers must detect the mismatch and abandon.
-                    for h in contract_spec.hashlocks.iter_mut() {
-                        *h = Secret::from_bytes([0xBA; 32]).hashlock();
-                    }
-                }
-                let contract = SwapContract::new(contract_spec, arc, asset);
-                let (_, chain) = self.chain_of(arc);
-                match chain.publish_contract(contract, actor_addr, exec_time) {
-                    Ok(id) => {
-                        self.contract_of_arc[arc.index()] = Some(id);
-                        self.metrics.contracts_published += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "contract.published",
-                            format!("arc {arc} round {round}"),
-                        );
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("publish {arc}: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::Unlock { arc, index, secret, path, sig } => {
-                let Some(id) = self.contract_of_arc[arc.index()] else {
-                    self.metrics.rejected_calls += 1;
-                    return;
-                };
-                let wire = 32 + path.to_bytes().len() + sig.byte_len();
-                let path_len = path.len();
-                let (_, chain) = self.chain_of(arc);
-                match chain.call_contract(
-                    id,
-                    actor_addr,
-                    SwapCall::Unlock { index, secret, path, sig },
-                    exec_time,
-                    wire,
-                ) {
-                    Ok(_) => {
-                        self.metrics.unlock_calls += 1;
-                        self.metrics.unlock_bytes += wire as u64;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "hashlock.unlocked",
-                            format!("arc {arc} index {index} path_len {path_len}"),
-                        );
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("unlock {arc}[{index}]: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::Claim { arc } => {
-                let Some(id) = self.contract_of_arc[arc.index()] else {
-                    self.metrics.rejected_calls += 1;
-                    return;
-                };
-                let (_, chain) = self.chain_of(arc);
-                match chain.call_contract(id, actor_addr, SwapCall::Claim, exec_time, 40) {
-                    Ok(_) => {
-                        self.metrics.claim_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "arc.claimed",
-                            format!("arc {arc}"),
-                        );
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("claim {arc}: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::Refund { arc } => {
-                let Some(id) = self.contract_of_arc[arc.index()] else {
-                    self.metrics.rejected_calls += 1;
-                    return;
-                };
-                let (_, chain) = self.chain_of(arc);
-                match chain.call_contract(id, actor_addr, SwapCall::Refund, exec_time, 40) {
-                    Ok(_) => {
-                        self.metrics.refund_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "arc.refunded",
-                            format!("arc {arc}"),
-                        );
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("refund {arc}: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::DirectTransfer { arc } => {
-                let asset = self.setup.asset_of_arc[arc.index()];
-                let tail_addr = self.setup.spec.address_of(self.setup.spec.digraph.tail(arc));
-                let (_, chain) = self.chain_of(arc);
-                match chain.transfer_asset(asset, actor_addr, tail_addr, exec_time) {
-                    Ok(()) => {
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "asset.direct_transfer",
-                            format!("arc {arc}"),
-                        );
-                        if self.triggered_at[arc.index()].is_none() {
-                            self.triggered_at[arc.index()] = Some(exec_time);
-                        }
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("direct {arc}: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::Announce { leader_index, secret, base_sig } => {
-                self.metrics.announce_bytes += 32 + base_sig.byte_len() as u64;
-                self.bulletin.push((round, BulletinEntry { leader_index, secret, base_sig }));
-                self.trace.record(
-                    exec_time,
-                    actor_name,
-                    "secret.announced",
-                    format!("leader index {leader_index}"),
-                );
-            }
-        }
-    }
-
-    /// Records the first instant each arc became fully unlocked.
-    fn record_triggers(&mut self, exec_time: SimTime) {
-        for arc in 0..self.triggered_at.len() {
-            if self.triggered_at[arc].is_some() {
-                continue;
-            }
-            let Some(id) = self.contract_of_arc[arc] else { continue };
-            let chain = self.setup.chains.get(self.setup.chain_of_arc[arc]).expect("chain exists");
-            if let Some(contract) = chain.contract(id) {
-                if contract.fully_unlocked() || contract.is_claimed() {
-                    self.triggered_at[arc] = Some(exec_time);
-                    self.trace.record(exec_time, "sim", "arc.triggered", format!("arc a{arc}"));
-                }
-            }
-        }
-    }
-
-    /// Whether every arc's fate is sealed (contract terminal, or triggered).
-    fn all_settled(&self) -> bool {
-        self.setup.spec.digraph.arcs().all(|arc| match self.contract_of_arc[arc.id.index()] {
-            None => false,
-            Some(id) => {
-                let chain = self
-                    .setup
-                    .chains
-                    .get(self.setup.chain_of_arc[arc.id.index()])
-                    .expect("chain exists");
-                chain.contract(id).is_some_and(|c| c.is_claimed() || c.is_refunded())
-            }
-        })
-    }
-
-    fn finish(self) -> RunReport {
-        let spec = &self.setup.spec;
-        let n = spec.digraph.vertex_count();
-        // An arc triggered iff its transfer irrevocably happened: the asset
-        // reached the counterparty, or the contract is fully unlocked (only
-        // the counterparty can ever take the asset).
-        let arc_triggered: Vec<bool> = spec
-            .digraph
-            .arcs()
-            .map(|arc| {
-                let chain = self
-                    .setup
-                    .chains
-                    .get(self.setup.chain_of_arc[arc.id.index()])
-                    .expect("chain exists");
-                let asset = self.setup.asset_of_arc[arc.id.index()];
-                let tail_addr = spec.address_of(arc.tail);
-                if chain.assets().owner(asset) == Some(Owner::Party(tail_addr)) {
-                    return true;
-                }
-                self.contract_of_arc[arc.id.index()]
-                    .and_then(|id| chain.contract(id))
-                    .is_some_and(|c| c.fully_unlocked() || c.is_claimed())
-            })
-            .collect();
-        let outcomes: Vec<Outcome> = (0..n)
-            .map(|i| {
-                let v = VertexId::new(i as u32);
-                let entering = {
-                    let total = spec.digraph.in_degree(v);
-                    let triggered =
-                        spec.digraph.in_arcs(v).filter(|a| arc_triggered[a.id.index()]).count();
-                    (triggered, total)
-                };
-                let leaving = {
-                    let total = spec.digraph.out_degree(v);
-                    let triggered =
-                        spec.digraph.out_arcs(v).filter(|a| arc_triggered[a.id.index()]).count();
-                    (triggered, total)
-                };
-                Outcome::classify(entering, leaving)
-            })
-            .collect();
-        let completion = if arc_triggered.iter().all(|&t| t) {
-            self.triggered_at.iter().filter_map(|&t| t).max()
-        } else {
-            None
-        };
-        let settled = self.all_settled();
-        let abandoned = self.parties.iter().filter(|p| p.abandoned()).map(|p| p.vertex()).collect();
-        RunReport {
-            outcomes,
-            arc_triggered,
-            triggered_at: self.triggered_at,
-            completion,
-            settled,
-            conforming: self.conforming,
-            abandoned,
-            trace: self.trace,
-            metrics: self.metrics,
-            storage: self.setup.chains.storage_report(),
-        }
+    pub fn run(self) -> RunReport {
+        self.engine.run()
     }
 }
 
@@ -610,9 +265,6 @@ mod tests {
         // Carol halts right when she should trigger: she alone is damaged
         // (the §1 discussion of who gets hurt).
         let d = generators::herlihy_three_party();
-        let setup =
-            SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(11))
-                .unwrap();
         let carol = d.vertex_by_name("carol").unwrap();
         for halt_round in 0..10 {
             let setup =
@@ -627,7 +279,6 @@ mod tests {
                 report.outcomes
             );
         }
-        drop(setup);
     }
 
     #[test]
@@ -638,7 +289,7 @@ mod tests {
                 .unwrap();
         // Corrupt the leader's (alice's) published contract on arc a0.
         let mut config = RunConfig::default();
-        config.corrupt_arcs.push(swap_digraph::ArcId::new(0));
+        config.corrupt_arcs.insert(swap_digraph::ArcId::new(0));
         let report = SwapRunner::new(setup, config).run();
         // Bob sees the bad contract on his entering arc and abandons; the
         // swap dies with refunds; nobody conforming is underwater.
@@ -716,7 +367,27 @@ mod tests {
         assert_eq!(report.metrics.unlock_calls, 3);
         assert!(report.metrics.unlock_bytes > 0);
         assert_eq!(report.metrics.rejected_calls, 0);
+        assert_eq!(report.metrics.direct_transfers, 0, "nobody bypasses the protocol");
         assert!(report.storage.total_bytes() > 0);
         assert!(report.storage.contract_bytes > 0);
+    }
+
+    #[test]
+    fn direct_coalition_counts_direct_transfers() {
+        // An all-Direct coalition bypasses contracts entirely: every arc's
+        // asset moves by direct transfer and the metric counts each one.
+        let d = generators::herlihy_three_party();
+        let setup =
+            SwapSetup::generate(d.clone(), &SetupConfig::default(), &mut SimRng::from_seed(17))
+                .unwrap();
+        let mut config = RunConfig::default();
+        for v in d.vertices() {
+            config.behaviors.insert(v, Behavior::Direct { skip_arcs: vec![] });
+        }
+        let report = SwapRunner::new(setup, config).run();
+        assert_eq!(report.metrics.direct_transfers, d.arc_count() as u64);
+        assert_eq!(report.metrics.contracts_published, 0);
+        assert!(report.arc_triggered.iter().all(|&t| t), "all assets moved");
+        assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
     }
 }

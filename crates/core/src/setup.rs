@@ -44,8 +44,10 @@ impl From<BuildError> for SetupError {
     }
 }
 
-/// A fully provisioned swap instance, ready to run.
-#[derive(Debug)]
+/// A fully provisioned swap instance, ready to run. `Clone` exists so
+/// harnesses can provision once (key generation dominates) and replay the
+/// same instance under many configurations.
+#[derive(Debug, Clone)]
 pub struct SwapSetup {
     /// The validated specification.
     pub spec: SwapSpec,

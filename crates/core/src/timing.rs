@@ -1,0 +1,328 @@
+//! Pluggable timing models for the event-driven protocol engine.
+//!
+//! The paper collapses all network and chain heterogeneity into one
+//! synchrony parameter Δ: long enough for any party to change any chain's
+//! state *and* for every other party to confirm the change (§2.2). The
+//! engine (`crate::engine`) keeps the party cadence on that Δ grid — every
+//! party wakes at each round boundary — but delegates three instants to a
+//! [`TimingModel`]:
+//!
+//! 1. **execution** — when an action decided at a boundary lands on its
+//!    chain as a transaction,
+//! 2. **visibility** — when an executed change reaches observers'
+//!    snapshots,
+//! 3. **round close** — when the round's bookkeeping (trigger scan,
+//!    settlement check) runs.
+//!
+//! [`Lockstep`] is the paper's model and reproduces the classic round loop
+//! tick-for-tick. [`PerChainLatency`] gives every chain its own publish and
+//! confirm latency (drawn deterministically from a [`SimRng`]) under the
+//! constraint that Δ still dominates the worst chain — the heterogeneous
+//! confirmation-latency regime real chains exhibit, with the paper's
+//! guarantees intact.
+
+use std::collections::BTreeMap;
+
+use swap_chain::ChainId;
+use swap_sim::{Delta, SimDuration, SimRng, SimTime};
+
+use crate::setup::SwapSetup;
+
+/// When protocol activity decided on the Δ grid actually lands on chains
+/// and reaches observers.
+///
+/// Implementations must be deterministic: the engine's reproducibility
+/// guarantee (same seed ⇒ byte-identical report) rides on these three
+/// functions being pure.
+///
+/// # Example
+///
+/// A custom model is a few lines — here, a "half-speed bulletin" variant
+/// that executes everything late in the round:
+///
+/// ```
+/// use swap_chain::ChainId;
+/// use swap_core::timing::TimingModel;
+/// use swap_sim::{SimDuration, SimTime};
+///
+/// struct LateExec;
+/// impl TimingModel for LateExec {
+///     fn exec_time(&self, boundary: SimTime, _chain: Option<ChainId>) -> SimTime {
+///         boundary + SimDuration::from_ticks(9)
+///     }
+///     fn visible_time(&self, exec: SimTime, _chain: ChainId) -> SimTime {
+///         exec + SimDuration::from_ticks(1)
+///     }
+///     fn close_time(&self, boundary: SimTime) -> SimTime {
+///         boundary + SimDuration::from_ticks(10)
+///     }
+/// }
+/// let m = LateExec;
+/// let boundary = SimTime::from_ticks(20);
+/// assert_eq!(m.exec_time(boundary, None).ticks(), 29);
+/// assert_eq!(m.visible_time(m.exec_time(boundary, None), ChainId::new(0)).ticks(), 30);
+/// ```
+pub trait TimingModel {
+    /// When an action decided at the `boundary` wake-up executes — as a
+    /// transaction on `chain`, or off-chain (`None`: bulletin
+    /// announcements). Must be strictly after `boundary` and early enough
+    /// that [`TimingModel::visible_time`] lands by `boundary + Δ`.
+    fn exec_time(&self, boundary: SimTime, chain: Option<ChainId>) -> SimTime;
+
+    /// When a change executed at `exec` on `chain` becomes visible to
+    /// observers' snapshots (confirmation).
+    fn visible_time(&self, exec: SimTime, chain: ChainId) -> SimTime;
+
+    /// When the round that opened at `boundary` closes: the engine scans
+    /// for newly triggered arcs and checks settlement at this instant. Must
+    /// be no earlier than every `exec_time` of the round and no later than
+    /// `boundary + Δ`.
+    fn close_time(&self, boundary: SimTime) -> SimTime;
+}
+
+/// The paper's timing model: one Δ per round, transactions at mid-round,
+/// visibility at the next boundary.
+///
+/// This reproduces the classic lockstep round loop byte-for-byte: actions
+/// decided at a boundary execute at `boundary + Δ/2` and are confirmed by
+/// everyone at `boundary + Δ`, so one round is exactly one Δ.
+///
+/// # Example
+///
+/// ```
+/// use swap_chain::ChainId;
+/// use swap_core::timing::{Lockstep, TimingModel};
+/// use swap_sim::{Delta, SimTime};
+///
+/// let m = Lockstep::new(Delta::from_ticks(10));
+/// let boundary = SimTime::from_ticks(20);
+/// let exec = m.exec_time(boundary, Some(ChainId::new(3)));
+/// assert_eq!(exec.ticks(), 25, "transactions execute mid-round");
+/// assert_eq!(m.visible_time(exec, ChainId::new(3)).ticks(), 30, "visible at next boundary");
+/// assert_eq!(m.close_time(boundary), exec, "bookkeeping at the execution instant");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Lockstep {
+    delta: Delta,
+}
+
+impl Lockstep {
+    /// A lockstep model over the given Δ.
+    pub fn new(delta: Delta) -> Self {
+        Lockstep { delta }
+    }
+}
+
+impl TimingModel for Lockstep {
+    fn exec_time(&self, boundary: SimTime, _chain: Option<ChainId>) -> SimTime {
+        boundary + self.delta.duration() / 2
+    }
+
+    fn visible_time(&self, exec: SimTime, _chain: ChainId) -> SimTime {
+        // exec + (Δ − Δ/2) = boundary + Δ even when Δ is odd.
+        exec + (self.delta.duration() - self.delta.duration() / 2)
+    }
+
+    fn close_time(&self, boundary: SimTime) -> SimTime {
+        boundary + self.delta.duration() / 2
+    }
+}
+
+/// Heterogeneous chain latencies under a dominating Δ.
+///
+/// Every chain gets its own publish delay (submission → sealed transaction)
+/// and confirm delay (sealed → visible to observers). Δ must dominate the
+/// worst chain — `publish + confirm ≤ Δ` for every chain — which is exactly
+/// the paper's definition of Δ, so all completion and safety bounds carry
+/// over while trigger instants, traces, and completion times now reflect
+/// per-chain confirmation behavior.
+///
+/// # Example
+///
+/// ```
+/// use swap_core::setup::{SetupConfig, SwapSetup};
+/// use swap_core::timing::{PerChainLatency, TimingModel};
+/// use swap_digraph::generators;
+/// use swap_sim::{SimRng, SimTime};
+///
+/// let config = SetupConfig { key_height: 3, ..SetupConfig::default() };
+/// let rng = SimRng::from_seed(7);
+/// let setup = SwapSetup::generate(
+///     generators::herlihy_three_party(),
+///     &config,
+///     &mut rng.clone(),
+/// )
+/// .unwrap();
+/// let m = PerChainLatency::sample(&setup, &rng);
+/// // Δ dominates every chain: exec + confirm lands within one Δ.
+/// let boundary = SimTime::from_ticks(10);
+/// for (chain, _) in setup.chains.iter() {
+///     let exec = m.exec_time(boundary, Some(chain));
+///     let visible = m.visible_time(exec, chain);
+///     assert!(exec > boundary);
+///     assert!(visible <= boundary + setup.spec.delta.duration());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerChainLatency {
+    delta: Delta,
+    publish: BTreeMap<ChainId, SimDuration>,
+    confirm: BTreeMap<ChainId, SimDuration>,
+}
+
+impl PerChainLatency {
+    /// Builds a model from explicit per-chain `(publish, confirm)` delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if Δ is smaller than 2 ticks, if any delay is zero (a chain
+    /// cannot seal or confirm instantaneously), or if any chain's
+    /// `publish + confirm` exceeds Δ — Δ must dominate the worst chain or
+    /// the paper's round structure breaks down.
+    pub fn new(delta: Delta, latencies: BTreeMap<ChainId, (SimDuration, SimDuration)>) -> Self {
+        assert!(delta.ticks() >= 2, "delta must be at least 2 ticks");
+        let mut publish = BTreeMap::new();
+        let mut confirm = BTreeMap::new();
+        for (chain, (p, c)) in latencies {
+            assert!(!p.is_zero() && !c.is_zero(), "{chain}: delays must be positive");
+            assert!(
+                p + c <= delta.duration(),
+                "{chain}: publish {p} + confirm {c} must be dominated by {delta}"
+            );
+            publish.insert(chain, p);
+            confirm.insert(chain, c);
+        }
+        PerChainLatency { delta, publish, confirm }
+    }
+
+    /// Draws one latency pair per chain of `setup`, deterministically from
+    /// the rng's master seed. Each chain's pair comes from its own
+    /// sub-stream, so adding chains never perturbs the others' draws.
+    /// Publish and confirm delays land in `[1, Δ/2]`, which guarantees the
+    /// dominance constraint.
+    pub fn sample(setup: &SwapSetup, rng: &SimRng) -> Self {
+        let delta = setup.spec.delta;
+        assert!(delta.ticks() >= 2, "delta must be at least 2 ticks");
+        let half = delta.ticks() / 2;
+        let latencies = setup
+            .chains
+            .iter()
+            .map(|(chain, _)| {
+                let id = u64::from(chain.raw());
+                let p = rng.stream_indexed("timing/publish", id).between(1, half);
+                let c = rng.stream_indexed("timing/confirm", id).between(1, half);
+                (chain, (SimDuration::from_ticks(p), SimDuration::from_ticks(c)))
+            })
+            .collect();
+        PerChainLatency::new(delta, latencies)
+    }
+
+    /// The publish (submission → sealed) delay of `chain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no latency was configured for `chain` — a silent default
+    /// here would bypass the dominance validation in
+    /// [`PerChainLatency::new`].
+    pub fn publish_delay(&self, chain: ChainId) -> SimDuration {
+        *self.publish.get(&chain).unwrap_or_else(|| panic!("no latency configured for {chain}"))
+    }
+
+    /// The confirm (sealed → visible) delay of `chain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no latency was configured for `chain` (see
+    /// [`PerChainLatency::publish_delay`]).
+    pub fn confirm_delay(&self, chain: ChainId) -> SimDuration {
+        *self.confirm.get(&chain).unwrap_or_else(|| panic!("no latency configured for {chain}"))
+    }
+}
+
+impl TimingModel for PerChainLatency {
+    fn exec_time(&self, boundary: SimTime, chain: Option<ChainId>) -> SimTime {
+        match chain {
+            Some(c) => boundary + self.publish_delay(c),
+            // Off-chain (bulletin) activity uses the generic mid-round slot.
+            None => boundary + self.delta.duration() / 2,
+        }
+    }
+
+    fn visible_time(&self, exec: SimTime, chain: ChainId) -> SimTime {
+        exec + self.confirm_delay(chain)
+    }
+
+    fn close_time(&self, boundary: SimTime) -> SimTime {
+        // Bookkeeping at the dominance point: by boundary + Δ every chain
+        // has sealed and confirmed the round's transactions.
+        boundary + self.delta.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::SetupConfig;
+    use swap_digraph::generators;
+
+    fn sample_model(seed: u64) -> (SwapSetup, PerChainLatency) {
+        let config = SetupConfig { key_height: 3, ..SetupConfig::default() };
+        let rng = SimRng::from_seed(seed);
+        let setup = SwapSetup::generate(generators::cycle(4), &config, &mut rng.clone()).unwrap();
+        let model = PerChainLatency::sample(&setup, &rng);
+        (setup, model)
+    }
+
+    #[test]
+    fn lockstep_lands_on_the_grid() {
+        let m = Lockstep::new(Delta::from_ticks(9));
+        let boundary = SimTime::from_ticks(18);
+        let exec = m.exec_time(boundary, None);
+        assert_eq!(exec.ticks(), 22);
+        // Odd Δ still confirms exactly at the next boundary.
+        assert_eq!(m.visible_time(exec, ChainId::new(0)).ticks(), 27);
+        assert_eq!(m.close_time(boundary), exec);
+    }
+
+    #[test]
+    fn sampled_latencies_are_deterministic_and_dominated() {
+        let (setup, a) = sample_model(11);
+        let (_, b) = sample_model(11);
+        let (_, c) = sample_model(12);
+        let mut distinct = false;
+        for (chain, _) in setup.chains.iter() {
+            assert_eq!(a.publish_delay(chain), b.publish_delay(chain));
+            assert_eq!(a.confirm_delay(chain), b.confirm_delay(chain));
+            distinct |= a.publish_delay(chain) != c.publish_delay(chain)
+                || a.confirm_delay(chain) != c.confirm_delay(chain);
+            let total = a.publish_delay(chain) + a.confirm_delay(chain);
+            assert!(total <= setup.spec.delta.duration(), "delta must dominate {chain}");
+            assert!(!a.publish_delay(chain).is_zero());
+            assert!(!a.confirm_delay(chain).is_zero());
+        }
+        assert!(distinct, "different seeds should draw different latencies");
+    }
+
+    #[test]
+    #[should_panic(expected = "dominated")]
+    fn undominated_latency_rejected() {
+        let mut latencies = BTreeMap::new();
+        latencies.insert(ChainId::new(0), (SimDuration::from_ticks(8), SimDuration::from_ticks(8)));
+        let _ = PerChainLatency::new(Delta::from_ticks(10), latencies);
+    }
+
+    #[test]
+    #[should_panic(expected = "no latency configured")]
+    fn unconfigured_chain_rejected_loudly() {
+        let (_, model) = sample_model(11);
+        let _ = model.publish_delay(ChainId::new(9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_latency_rejected() {
+        let mut latencies = BTreeMap::new();
+        latencies.insert(ChainId::new(0), (SimDuration::ZERO, SimDuration::from_ticks(1)));
+        let _ = PerChainLatency::new(Delta::from_ticks(10), latencies);
+    }
+}

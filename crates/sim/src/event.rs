@@ -9,7 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::clock::SimTime;
+use crate::clock::{SimDuration, SimTime};
 
 /// An event that has been scheduled for a particular instant.
 #[derive(Debug, Clone)]
@@ -215,6 +215,76 @@ impl<E> Simulation<E> {
         self.queue.schedule(time, payload);
     }
 
+    /// Schedules an event `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        let time = self.now + delay;
+        self.queue.schedule(time, payload);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pops the earliest runnable event, advancing the clock to it.
+    ///
+    /// This is the pull-style driver: where [`Simulation::run`] inverts
+    /// control into a handler closure, `poll` lets the caller own the loop —
+    /// an engine can hold the simulation *and* its domain state in one
+    /// struct, handle each event with ordinary `&mut self` methods, schedule
+    /// follow-ups directly on the simulation between polls, and stop on any
+    /// domain condition it likes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StopReason`] when no event can run: the queue drained,
+    /// the next event lies beyond the horizon, or the dispatch budget is
+    /// exhausted ([`StopReason::Halted`] never originates here — halting is
+    /// the caller's decision in pull style).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swap_sim::{Simulation, SimDuration, SimTime, StopReason};
+    ///
+    /// let mut sim = Simulation::new();
+    /// sim.schedule(SimTime::ZERO, 1u32);
+    /// let mut seen = Vec::new();
+    /// loop {
+    ///     let ev = match sim.poll() {
+    ///         Ok(ev) => ev,
+    ///         Err(reason) => {
+    ///             assert_eq!(reason, StopReason::QueueDrained);
+    ///             break;
+    ///         }
+    ///     };
+    ///     seen.push((ev.time.ticks(), ev.payload));
+    ///     if ev.payload < 3 {
+    ///         sim.schedule_in(SimDuration::from_ticks(2), ev.payload + 1);
+    ///     }
+    /// }
+    /// assert_eq!(seen, vec![(0, 1), (2, 2), (4, 3)]);
+    /// ```
+    pub fn poll(&mut self) -> Result<ScheduledEvent<E>, StopReason> {
+        let Some(next_time) = self.queue.next_time() else {
+            return Err(StopReason::QueueDrained);
+        };
+        if let Some(h) = self.horizon {
+            if next_time > h {
+                return Err(StopReason::HorizonReached);
+            }
+        }
+        if let Some(b) = self.budget {
+            if self.dispatched >= b {
+                return Err(StopReason::BudgetExhausted);
+            }
+        }
+        let ev = self.queue.pop().expect("peeked event must exist");
+        self.now = ev.time;
+        self.dispatched += 1;
+        Ok(ev)
+    }
+
     /// Runs until the queue drains, the horizon passes, the budget runs out,
     /// or the handler halts. The handler receives the current time, the
     /// event, and a scheduler for follow-up events.
@@ -223,22 +293,10 @@ impl<E> Simulation<E> {
         F: FnMut(SimTime, E, &mut Scheduler<'_, E>) -> Control,
     {
         loop {
-            let Some(next_time) = self.queue.next_time() else {
-                return StopReason::QueueDrained;
+            let ev = match self.poll() {
+                Ok(ev) => ev,
+                Err(reason) => return reason,
             };
-            if let Some(h) = self.horizon {
-                if next_time > h {
-                    return StopReason::HorizonReached;
-                }
-            }
-            if let Some(b) = self.budget {
-                if self.dispatched >= b {
-                    return StopReason::BudgetExhausted;
-                }
-            }
-            let ev = self.queue.pop().expect("peeked event must exist");
-            self.now = ev.time;
-            self.dispatched += 1;
             let mut sched = Scheduler { queue: &mut self.queue, now: self.now };
             match handler(self.now, ev.payload, &mut sched) {
                 Control::Continue => {}
@@ -377,6 +435,41 @@ mod tests {
             sched.schedule(SimTime::from_ticks(4), ());
             Control::Continue
         });
+    }
+
+    #[test]
+    fn poll_pull_style_matches_run_order() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_ticks(2), 'b');
+        sim.schedule(SimTime::from_ticks(1), 'a');
+        let mut order = Vec::new();
+        while let Ok(ev) = sim.poll() {
+            order.push(ev.payload);
+            if ev.payload == 'a' {
+                // Follow-ups scheduled between polls, directly on the sim.
+                sim.schedule_in(SimDuration::from_ticks(3), 'c');
+            }
+        }
+        assert_eq!(order, vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), SimTime::from_ticks(4));
+        assert_eq!(sim.dispatched(), 3);
+        assert_eq!(sim.poll().unwrap_err(), StopReason::QueueDrained);
+    }
+
+    #[test]
+    fn poll_respects_horizon_and_budget() {
+        let mut sim = Simulation::new().with_horizon(SimTime::from_ticks(3));
+        sim.schedule(SimTime::from_ticks(2), ());
+        sim.schedule(SimTime::from_ticks(5), ());
+        assert!(sim.poll().is_ok());
+        assert_eq!(sim.poll().unwrap_err(), StopReason::HorizonReached);
+
+        let mut sim = Simulation::new().with_budget(1);
+        sim.schedule(SimTime::ZERO, ());
+        sim.schedule(SimTime::from_ticks(1), ());
+        assert!(sim.poll().is_ok());
+        assert_eq!(sim.poll().unwrap_err(), StopReason::BudgetExhausted);
+        assert_eq!(sim.pending(), 1);
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn main() {
     });
 
     run_with("alice publishes corrupt contract", |c| {
-        c.corrupt_arcs.push(atomic_swaps::digraph::ArcId::new(0));
+        c.corrupt_arcs.insert(atomic_swaps::digraph::ArcId::new(0));
     });
 
     println!("{}", "-".repeat(74));

@@ -10,7 +10,8 @@
 
 use atomic_swaps::core::runner::{RunConfig, RunReport, SwapRunner};
 use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
-use atomic_swaps::core::Behavior;
+use atomic_swaps::core::timing::PerChainLatency;
+use atomic_swaps::core::{Behavior, Engine};
 use atomic_swaps::digraph::{generators, Digraph, VertexId};
 use atomic_swaps::market::LeaderStrategy;
 use atomic_swaps::sim::SimRng;
@@ -64,6 +65,73 @@ fn adversarial_runs_are_seed_deterministic() {
     assert_deterministic("cycle_4_adversarial", || generators::cycle(4), 13, &config);
     assert_deterministic("complete_4_adversarial", || generators::complete(4), 17, &config);
     assert_deterministic("flower_adversarial", || generators::flower(3, 2), 19, &config);
+}
+
+fn run_once_per_chain_latency(digraph: Digraph, seed: u64, config: &RunConfig) -> RunReport {
+    // The same master seed drives setup generation *and* the latency draws,
+    // so the whole run — including per-chain publish/confirm delays — is a
+    // pure function of the seed.
+    let rng = SimRng::from_seed(seed);
+    let setup = SwapSetup::generate(digraph, &fast_config(), &mut rng.clone())
+        .expect("strongly connected digraphs are valid swaps");
+    let timing = PerChainLatency::sample(&setup, &rng);
+    Engine::new(setup, config.clone(), timing).run()
+}
+
+fn assert_per_chain_latency_deterministic(
+    name: &str,
+    make: impl Fn() -> Digraph,
+    seed: u64,
+    config: &RunConfig,
+) {
+    let first = fingerprint(&run_once_per_chain_latency(make(), seed, config));
+    let second = fingerprint(&run_once_per_chain_latency(make(), seed, config));
+    assert_eq!(
+        first, second,
+        "family `{name}` diverged across identically-seeded per-chain-latency runs"
+    );
+}
+
+#[test]
+fn per_chain_latency_runs_are_seed_deterministic() {
+    let config = RunConfig::default();
+    assert_per_chain_latency_deterministic(
+        "herlihy_three_party_latency",
+        generators::herlihy_three_party,
+        2018,
+        &config,
+    );
+    assert_per_chain_latency_deterministic("cycle_5_latency", || generators::cycle(5), 7, &config);
+    assert_per_chain_latency_deterministic(
+        "complete_4_latency",
+        || generators::complete(4),
+        11,
+        &config,
+    );
+    let mut adversarial = RunConfig::default();
+    adversarial.behaviors.insert(VertexId::new(1), Behavior::Halt { at_round: 3 });
+    adversarial.behaviors.insert(VertexId::new(2), Behavior::WithholdSecret);
+    assert_per_chain_latency_deterministic(
+        "flower_latency_adversarial",
+        || generators::flower(3, 2),
+        19,
+        &adversarial,
+    );
+}
+
+#[test]
+fn per_chain_latency_differs_from_lockstep_but_agrees_on_outcomes() {
+    // Anti-vacuity: the latency model must actually perturb the timeline
+    // (otherwise the suite above only re-tests lockstep), while protocol
+    // outcomes stay those of the paper.
+    let lockstep = run_once(generators::cycle(5), 7, &RunConfig::default());
+    let latency = run_once_per_chain_latency(generators::cycle(5), 7, &RunConfig::default());
+    assert_eq!(lockstep.outcomes, latency.outcomes);
+    assert_eq!(lockstep.metrics.unlock_calls, latency.metrics.unlock_calls);
+    assert_ne!(
+        lockstep.triggered_at, latency.triggered_at,
+        "per-chain delays should move trigger instants off the lockstep grid"
+    );
 }
 
 #[test]

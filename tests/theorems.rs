@@ -153,6 +153,10 @@ fn lemma_3_4_freeride_on_non_strongly_connected() {
         config.behaviors.insert(v, Behavior::Direct { skip_arcs: vec![bridge] });
     }
     let report = SwapRunner::new(setup, config).run();
+    // The coalition's transfers bypass contracts entirely: one direct
+    // transfer per X-internal arc (the bridge is withheld), and nothing
+    // else moves an asset without a contract.
+    assert_eq!(report.metrics.direct_transfers, 3, "X ring moves its 3 internal arcs directly");
     // Every coalition member does at least as well as Deal; x0 strictly
     // better (FreeRide territory: entering arc triggered, bridge withheld).
     for name in ["x0", "x1", "x2"] {

@@ -22,6 +22,7 @@ pub struct Criterion {
     measurement: Duration,
     sample_size: usize,
     filter: Option<String>,
+    quick: bool,
 }
 
 impl Default for Criterion {
@@ -31,6 +32,7 @@ impl Default for Criterion {
             measurement: Duration::from_secs(1),
             sample_size: 10,
             filter: None,
+            quick: false,
         }
     }
 }
@@ -82,10 +84,17 @@ impl Criterion {
             "-q",
             "--verbose",
             "-v",
+            "--quick",
         ];
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
-            if arg.starts_with('-') {
+            if arg == "--quick" {
+                // Mirror criterion's --quick: one sample, no warm-up —
+                // smoke-level timing for CI regression gates.
+                self.quick = true;
+                self.warm_up = Duration::ZERO;
+                self.measurement = Duration::from_millis(100);
+            } else if arg.starts_with('-') {
                 if !BOOLEAN_FLAGS.contains(&arg.as_str()) && !arg.contains('=') {
                     let _ = args.next();
                 }
@@ -113,6 +122,7 @@ impl Criterion {
                 return;
             }
         }
+        let sample_size = if self.quick { 1 } else { sample_size };
         let mut bencher =
             Bencher { samples: Vec::new(), budget: self.measurement, warm_up: self.warm_up };
         for _ in 0..sample_size {
@@ -224,13 +234,24 @@ impl Bencher {
     /// Times `routine` repeatedly and records one sample.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm up and estimate a per-iteration cost on the first sample.
-        if self.samples.is_empty() {
+        if self.samples.is_empty() && !self.warm_up.is_zero() {
             let end = Instant::now() + self.warm_up;
             while Instant::now() < end {
                 black_box(routine());
             }
         }
-        let iters = self.iters_for_budget(&mut routine);
+        // The estimation run doubles as the sample when one iteration
+        // already exceeds the per-sample budget (long routines: one run
+        // per sample instead of two).
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.budget / 20;
+        if one >= per_sample {
+            self.samples.push(one);
+            return;
+        }
+        let iters = ((per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000)) as u32;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -254,14 +275,6 @@ impl Bencher {
             total += start.elapsed();
         }
         self.samples.push(total / iters);
-    }
-
-    fn iters_for_budget<O, R: FnMut() -> O>(&mut self, routine: &mut R) -> u32 {
-        let start = Instant::now();
-        black_box(routine());
-        let one = start.elapsed().max(Duration::from_nanos(20));
-        let per_sample = self.budget / 20;
-        ((per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000)) as u32
     }
 
     fn report(&mut self, id: &str) {
