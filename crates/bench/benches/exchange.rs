@@ -1,0 +1,87 @@
+//! Criterion benches for the exchange pipeline: offers → epoch clearing →
+//! concurrent swap execution, sequential vs sharded.
+//!
+//! One epoch over a book of 16 disjoint 3-party rings (48 offers) executes
+//! 16 in-flight swaps. Cleared cycles are party- and chain-disjoint, so the
+//! orchestrator shards them across worker threads; the `exchange/epoch`
+//! group times the identical workload at 1, 2, 4, and 8 workers. The
+//! aggregate report is asserted identical in every case — sharding is a
+//! wall-clock knob only — so the timing delta *is* the speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+use swap_market::AssetKind;
+use swap_sim::SimRng;
+
+/// Concurrent 3-party rings per epoch — comfortably past the ≥ 8 in-flight
+/// swaps where sharding must pay for its spawns.
+const RINGS: usize = 16;
+const KEY_HEIGHT: u32 = 4;
+
+/// The benchmark book: `RINGS` disjoint 3-cycles over distinct kinds.
+fn book() -> Vec<ExchangeParty> {
+    let mut rng = SimRng::from_seed(0xEC);
+    let mut parties = Vec::with_capacity(RINGS * 3);
+    for r in 0..RINGS {
+        for p in 0..3 {
+            parties.push(ExchangeParty::generate(
+                &mut rng,
+                KEY_HEIGHT,
+                AssetKind::new(format!("r{r}k{p}")),
+                AssetKind::new(format!("r{r}k{}", (p + 1) % 3)),
+            ));
+        }
+    }
+    parties
+}
+
+/// One full epoch: submit the book, clear, execute, resolve.
+fn run_epoch(parties: &[ExchangeParty], threads: usize) {
+    let mut exchange = Exchange::new(ExchangeConfig { threads, ..Default::default() });
+    for p in parties {
+        exchange.submit(p.clone());
+    }
+    let executed = exchange.run_epoch().expect("epoch clears");
+    assert_eq!(executed.len(), RINGS);
+    assert_eq!(exchange.report().swaps_settled, RINGS as u64);
+}
+
+fn bench_exchange_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange");
+    group.sample_size(3);
+    let parties = book();
+    // Sharded-vs-sequential wall-clock needs host cores; say how many this
+    // box has so the recorded numbers are interpretable.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("exchange: host parallelism = {cores} core(s)");
+    // The pipeline's semantic throughput win, independent of host cores:
+    // all in-flight swaps share one epoch wall in simulated time.
+    {
+        let config = ExchangeConfig::default();
+        let delta_ticks = config.delta.ticks();
+        let mut exchange = Exchange::new(config);
+        for p in &parties {
+            exchange.submit(p.clone());
+        }
+        exchange.run_epoch().expect("epoch clears");
+        let report = exchange.report();
+        let sequential: u64 = report.swaps.iter().map(|s| (s.rounds + 1) * delta_ticks).sum();
+        println!(
+            "exchange: {RINGS} in-flight swaps per epoch: {} sim ticks vs {sequential} \
+             back-to-back ({:.1}x concurrency)",
+            report.wall_ticks,
+            sequential as f64 / report.wall_ticks as f64
+        );
+    }
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("epoch/{RINGS}x3"), threads),
+            &threads,
+            |b, &threads| b.iter(|| run_epoch(&parties, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_throughput);
+criterion_main!(benches);

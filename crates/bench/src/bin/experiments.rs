@@ -11,7 +11,8 @@
 //! ```
 //!
 //! Experiment ids follow DESIGN.md's index (E1–E14), plus E15 for the
-//! event-driven engine's per-chain latency timing model.
+//! event-driven engine's per-chain latency timing model and E16 for the
+//! exchange pipeline (continuous clearing + sharded concurrent execution).
 
 use std::collections::BTreeSet;
 
@@ -53,6 +54,7 @@ fn main() {
         ("e13", e13_deadlock_without_fvs),
         ("e14", e14_extensions),
         ("e15", e15_timing_models),
+        ("e16", e16_exchange_pipeline),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -783,5 +785,152 @@ fn e15_timing_models() -> bool {
     ok &= violations == 0;
     println!("\n    adversarial-timing sweep: {runs} runs, {violations} conforming-underwater");
     println!("    outcomes invariant under chain heterogeneity, bounds hold: {ok}");
+    ok
+}
+
+/// E16 (exchange pipeline): continuous clearing feeding parallel
+/// multi-swap execution on sharded chain sets. Sweeps offer-book size ×
+/// worker threads: every ring must clear and settle, and the aggregate
+/// `ExchangeReport` must be byte-invariant under thread count (sharding is
+/// a wall-clock knob, never a semantic one). Timings for the whole sweep
+/// land in `target/BENCH_E16.json` via the hand-rolled JSON writer, for
+/// the perf trajectory.
+fn e16_exchange_pipeline() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+    use swap_market::AssetKind;
+
+    println!("E16 Exchange pipeline: offers → epoch clearing → sharded execution\n");
+    let widths = [8, 8, 8, 8, 10, 12, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            ["rings", "threads", "offers", "settled", "ms", "swaps/sec", "ok"]
+                .map(String::from)
+                .as_ref(),
+            &widths
+        )
+    );
+
+    // A book of `rings` disjoint 3-party cycles, deterministic per size.
+    let book = |rings: usize| -> Vec<ExchangeParty> {
+        let mut rng = SimRng::from_seed(0xE16 + rings as u64);
+        let mut parties = Vec::with_capacity(rings * 3);
+        for r in 0..rings {
+            for p in 0..3 {
+                parties.push(ExchangeParty::generate(
+                    &mut rng,
+                    4,
+                    AssetKind::new(format!("r{r}k{p}")),
+                    AssetKind::new(format!("r{r}k{}", (p + 1) % 3)),
+                ));
+            }
+        }
+        parties
+    };
+
+    let mut ok = true;
+    struct Row {
+        rings: usize,
+        threads: usize,
+        offers: usize,
+        settled: u64,
+        elapsed_ms: f64,
+        swaps_per_sec: f64,
+        report: swap_core::exchange::ExchangeReport,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for rings in [4usize, 8, 16] {
+        let parties = book(rings);
+        let mut baseline: Option<swap_core::exchange::ExchangeReport> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let clock = Instant::now();
+            let mut exchange = Exchange::new(ExchangeConfig { threads, ..Default::default() });
+            for p in &parties {
+                exchange.submit(p.clone());
+            }
+            let executed = exchange.run_epoch().expect("honest book clears");
+            let elapsed = clock.elapsed();
+            let report = exchange.into_report();
+            let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+            let swaps_per_sec = executed.len() as f64 / elapsed.as_secs_f64();
+            let row_ok = report.swaps_settled == rings as u64
+                && report.swaps_refunded == 0
+                && baseline.as_ref().map_or(true, |b| *b == report);
+            ok &= row_ok;
+            println!(
+                "    {}",
+                fmt_row(
+                    &[
+                        rings.to_string(),
+                        threads.to_string(),
+                        parties.len().to_string(),
+                        report.swaps_settled.to_string(),
+                        format!("{elapsed_ms:.1}"),
+                        format!("{swaps_per_sec:.1}"),
+                        if row_ok { "✓".into() } else { "✗".into() },
+                    ],
+                    &widths
+                )
+            );
+            baseline.get_or_insert_with(|| report.clone());
+            rows.push(Row {
+                rings,
+                threads,
+                offers: parties.len(),
+                settled: report.swaps_settled,
+                elapsed_ms,
+                swaps_per_sec,
+                report,
+            });
+        }
+        // The pipeline's semantic concurrency, independent of host cores:
+        // all in-flight swaps share one epoch wall, so the epoch costs one
+        // swap's simulated duration instead of the sum.
+        let report = &rows.last().expect("just pushed").report;
+        let delta_ticks = ExchangeConfig::default().delta.ticks();
+        let sequential_ticks: u64 = report.swaps.iter().map(|s| (s.rounds + 1) * delta_ticks).sum();
+        println!(
+            "    {rings} in-flight swaps: {} sim ticks per epoch vs {} run back-to-back ({:.1}×)",
+            report.wall_ticks,
+            sequential_ticks,
+            sequential_ticks as f64 / report.wall_ticks as f64
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("    host parallelism: {cores} core(s) — thread-count wall-clock gains need > 1");
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e16")
+            .field_str("name", "exchange pipeline: book size × worker threads")
+            .field_usize(
+                "host_parallelism",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("rings", row.rings)
+                            .field_usize("threads", row.threads)
+                            .field_usize("offers", row.offers)
+                            .field_u64("swaps_settled", row.settled)
+                            .field_f64("elapsed_ms", row.elapsed_ms)
+                            .field_f64("swaps_per_sec", row.swaps_per_sec)
+                            .field_object("report", |r| {
+                                json::exchange_report_fields(r, &row.report)
+                            });
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E16", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E16.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    reports invariant under thread count, all rings settled: {ok}");
     ok
 }

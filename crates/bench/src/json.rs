@@ -1,0 +1,291 @@
+//! A hand-rolled JSON writer for experiment output.
+//!
+//! The workspace builds offline against a no-op `serde` stub (see
+//! `vendor/README.md`), so machine-readable experiment output is emitted by
+//! this small, dependency-free writer instead of derived serialization.
+//! It covers exactly what the perf trajectory needs: objects, arrays,
+//! numbers, booleans, and escaped strings, plus ready-made encoders for
+//! [`RunMetrics`], [`StorageReport`], and [`ExchangeReport`].
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use swap_chain::StorageReport;
+use swap_core::exchange::ExchangeReport;
+use swap_core::runner::RunMetrics;
+
+/// Builds one JSON object; create with [`object`], add fields in insertion
+/// order, and take the rendered text from the closure's return.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+/// Builds one JSON array; see [`JsonObject::field_array`].
+#[derive(Debug)]
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+/// Renders `{...}` with the fields `f` adds.
+pub fn object(f: impl FnOnce(&mut JsonObject)) -> String {
+    let mut obj = JsonObject { buf: String::from("{"), first: true };
+    f(&mut obj);
+    obj.buf.push('}');
+    obj.buf
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+impl JsonObject {
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a `usize` field.
+    pub fn field_usize(&mut self, key: &str, v: usize) -> &mut Self {
+        self.field_u64(key, v as u64)
+    }
+
+    /// Adds a finite float field (rendered with up to 3 decimals; non-finite
+    /// values become `null`, which JSON requires).
+    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:.3}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an escaped string field.
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        escape_into(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a nested object field.
+    pub fn field_object(&mut self, key: &str, f: impl FnOnce(&mut JsonObject)) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&object(f));
+        self
+    }
+
+    /// Adds an array field.
+    pub fn field_array(&mut self, key: &str, f: impl FnOnce(&mut JsonArray)) -> &mut Self {
+        self.key(key);
+        let mut arr = JsonArray { buf: String::from("["), first: true };
+        f(&mut arr);
+        arr.buf.push(']');
+        self.buf.push_str(&arr.buf);
+        self
+    }
+}
+
+impl JsonArray {
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Appends an object element.
+    pub fn push_object(&mut self, f: impl FnOnce(&mut JsonObject)) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&object(f));
+        self
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Appends an escaped string element.
+    pub fn push_str(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, v);
+        self
+    }
+}
+
+/// Fills `obj` with a [`RunMetrics`]' counters.
+pub fn run_metrics_fields(obj: &mut JsonObject, m: &RunMetrics) {
+    obj.field_u64("rounds", m.rounds)
+        .field_u64("contracts_published", m.contracts_published)
+        .field_u64("unlock_calls", m.unlock_calls)
+        .field_u64("unlock_bytes", m.unlock_bytes)
+        .field_u64("claim_calls", m.claim_calls)
+        .field_u64("refund_calls", m.refund_calls)
+        .field_u64("direct_transfers", m.direct_transfers)
+        .field_u64("rejected_calls", m.rejected_calls)
+        .field_u64("announce_bytes", m.announce_bytes);
+}
+
+/// Renders a [`RunMetrics`] as one JSON object.
+pub fn run_metrics_json(m: &RunMetrics) -> String {
+    object(|o| run_metrics_fields(o, m))
+}
+
+/// Fills `obj` with a [`StorageReport`]'s byte accounting.
+pub fn storage_fields(obj: &mut JsonObject, s: &StorageReport) {
+    obj.field_u64("blocks", s.blocks)
+        .field_usize("block_bytes", s.block_bytes)
+        .field_usize("contract_bytes", s.contract_bytes)
+        .field_usize("asset_bytes", s.asset_bytes)
+        .field_usize("tx_bytes", s.tx_bytes)
+        .field_usize("total_bytes", s.total_bytes());
+}
+
+/// Renders an [`ExchangeReport`] — aggregate counters, merged storage, and
+/// one line per executed swap — as one JSON object.
+pub fn exchange_report_json(r: &ExchangeReport) -> String {
+    object(|o| exchange_report_fields(o, r))
+}
+
+/// Fills `obj` with an [`ExchangeReport`]'s fields (for nesting the report
+/// inside a larger document).
+pub fn exchange_report_fields(o: &mut JsonObject, r: &ExchangeReport) {
+    {
+        o.field_u64("epochs", r.epochs)
+            .field_u64("offers_submitted", r.offers_submitted)
+            .field_u64("offers_cancelled", r.offers_cancelled)
+            .field_u64("swaps_cleared", r.swaps_cleared)
+            .field_u64("swaps_settled", r.swaps_settled)
+            .field_u64("swaps_refunded", r.swaps_refunded)
+            .field_u64("wall_ticks", r.wall_ticks)
+            .field_object("storage", |s| storage_fields(s, &r.storage))
+            .field_array("swaps", |arr| {
+                for swap in &r.swaps {
+                    arr.push_object(|o| {
+                        o.field_u64("swap", swap.swap.raw())
+                            .field_u64("epoch", swap.epoch)
+                            .field_usize("parties", swap.parties)
+                            .field_usize("leaders", swap.leaders)
+                            .field_bool("settled", swap.settled)
+                            .field_bool("all_deal", swap.all_deal)
+                            .field_u64("rounds", swap.rounds)
+                            .field_object("metrics", |m| run_metrics_fields(m, &swap.metrics));
+                    });
+                }
+            });
+    }
+}
+
+/// Writes `json` to `target/BENCH_<name>.json` (creating `target/` if
+/// needed) and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_arrays_and_escaping() {
+        let s = object(|o| {
+            o.field_u64("n", 3)
+                .field_bool("ok", true)
+                .field_f64("rate", 1.5)
+                .field_f64("bad", f64::NAN)
+                .field_str("name", "a\"b\\c\nd\u{1}")
+                .field_object("inner", |i| {
+                    i.field_usize("k", 7);
+                })
+                .field_array("xs", |a| {
+                    a.push_u64(1).push_str("two").push_object(|o| {
+                        o.field_u64("three", 3);
+                    });
+                });
+        });
+        assert_eq!(
+            s,
+            "{\"n\":3,\"ok\":true,\"rate\":1.500,\"bad\":null,\
+             \"name\":\"a\\\"b\\\\c\\nd\\u0001\",\"inner\":{\"k\":7},\
+             \"xs\":[1,\"two\",{\"three\":3}]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(object(|_| {}), "{}");
+        assert_eq!(
+            object(|o| {
+                o.field_array("xs", |_| {});
+            }),
+            "{\"xs\":[]}"
+        );
+    }
+
+    #[test]
+    fn run_metrics_round_trippable_shape() {
+        let m = RunMetrics { rounds: 6, unlock_calls: 3, unlock_bytes: 900, ..Default::default() };
+        let json = run_metrics_json(&m);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rounds\":6"));
+        assert!(json.contains("\"unlock_calls\":3"));
+        assert!(json.contains("\"unlock_bytes\":900"));
+        // Every counter of the struct appears exactly once.
+        assert_eq!(json.matches(':').count(), 9);
+    }
+
+    #[test]
+    fn exchange_report_json_shape() {
+        let report = ExchangeReport::default();
+        let json = exchange_report_json(&report);
+        assert!(json.contains("\"epochs\":0"));
+        assert!(json.contains("\"storage\":{"));
+        assert!(json.contains("\"swaps\":[]"));
+    }
+}

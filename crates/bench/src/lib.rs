@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use swap_core::runner::{RunConfig, RunReport, SwapRunner};
 use swap_core::setup::{SetupConfig, SwapSetup};
 use swap_digraph::Digraph;

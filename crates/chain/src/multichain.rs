@@ -90,6 +90,27 @@ impl<C: ContractLogic> ChainSet<C> {
         self.chains.is_empty()
     }
 
+    /// Absorbs every chain of `other` into this set, renumbering them with
+    /// fresh ids, and returns the `(old, new)` id mapping in `other`'s
+    /// iteration order.
+    ///
+    /// This is the merge half of sharded execution: each shard runs swaps
+    /// on a [`ChainSet`] it exclusively owns, and the orchestrator folds
+    /// the shards back into one global ledger view afterwards. Absorption
+    /// only re-addresses chains — block histories, contracts, and assets
+    /// are untouched, so integrity verification and storage accounting
+    /// survive the merge.
+    pub fn absorb(&mut self, other: ChainSet<C>) -> Vec<(ChainId, ChainId)> {
+        let mut mapping = Vec::with_capacity(other.chains.len());
+        for (old_id, chain) in other.chains {
+            let new_id = ChainId::new(self.next_id);
+            self.next_id += 1;
+            self.chains.insert(new_id, chain);
+            mapping.push((old_id, new_id));
+        }
+        mapping
+    }
+
     /// Aggregated storage across all chains — "bits stored on all
     /// blockchains", the exact phrase of Theorem 4.10.
     pub fn storage_report(&self) -> StorageReport {
@@ -183,6 +204,47 @@ mod tests {
         set.create_chain("a", SimTime::ZERO);
         set.create_chain("b", SimTime::ZERO);
         assert!(set.verify_integrity());
+    }
+
+    #[test]
+    fn absorb_renumbers_and_preserves_state() {
+        let mut left: ChainSet<Nop> = ChainSet::new();
+        let a = left.create_chain("a", SimTime::ZERO);
+        left.get_mut(a).unwrap().publish_contract(Nop, addr(1), SimTime::from_ticks(1)).unwrap();
+
+        let mut right: ChainSet<Nop> = ChainSet::new();
+        let b = right.create_chain("b", SimTime::ZERO);
+        let c = right.create_chain("c", SimTime::ZERO);
+        right.get_mut(b).unwrap().publish_contract(Nop, addr(2), SimTime::from_ticks(2)).unwrap();
+        right.get_mut(c).unwrap().mint_asset(
+            AssetDescriptor::unique("t"),
+            addr(3),
+            SimTime::from_ticks(3),
+        );
+        let left_report = left.storage_report();
+        let right_report = right.storage_report();
+
+        let mapping = left.absorb(right);
+        assert_eq!(mapping.len(), 2);
+        // Fresh, collision-free ids in `other`'s iteration order.
+        assert_eq!(mapping[0].0, b);
+        assert_eq!(mapping[1].0, c);
+        assert_eq!(left.len(), 3);
+        assert_ne!(mapping[0].1, a);
+        assert_ne!(mapping[1].1, a);
+        assert_ne!(mapping[0].1, mapping[1].1);
+        // Chain state crossed over untouched.
+        assert_eq!(left.get(mapping[0].1).unwrap().name(), "b");
+        assert_eq!(left.get(mapping[1].1).unwrap().name(), "c");
+        assert!(left.verify_integrity());
+        // Storage is the exact sum of the two sides.
+        let merged = left.storage_report();
+        assert_eq!(merged, left_report.merge(&right_report));
+        // Chains created after the merge keep getting fresh ids.
+        let d = left.create_chain("d", SimTime::ZERO);
+        assert_eq!(left.len(), 4);
+        assert_ne!(d, a);
+        assert!(mapping.iter().all(|&(_, new)| new != d));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use swap_crypto::Secret;
 use swap_digraph::{ArcId, VertexId};
 use swap_sim::{SimTime, Simulation, TraceLog};
 
+use crate::instance::SwapInstance;
 use crate::outcome::Outcome;
 use crate::party::{Action, Behavior, BulletinEntry, ContractSnapshot, Party, View};
 use crate::runner::{RunConfig, RunMetrics, RunReport, SnapshotMode};
@@ -103,6 +104,19 @@ impl<T: TimingModel> Engine<T> {
     /// tick each for execution and confirmation) or if the spec starts less
     /// than Δ after the epoch.
     pub fn new(setup: SwapSetup, config: RunConfig, timing: T) -> Self {
+        Engine::from_instance(SwapInstance::new(0, setup, config), timing)
+    }
+
+    /// Builds an engine from a provisioned [`SwapInstance`]. The instance's
+    /// provisioning state (setup + config) becomes the engine's; everything
+    /// else — event queue, party machines, snapshot caches — is execution
+    /// state created here.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Engine::new`].
+    pub fn from_instance(instance: SwapInstance, timing: T) -> Self {
+        let SwapInstance { id: _, setup, config } = instance;
         let spec = &setup.spec;
         assert!(spec.delta.ticks() >= 2, "delta must be at least 2 ticks");
         assert!(
@@ -157,7 +171,15 @@ impl<T: TimingModel> Engine<T> {
     }
 
     /// Runs to settlement (or the round limit) and reports.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_full().0
+    }
+
+    /// Runs to settlement (or the round limit) and returns both the report
+    /// and the post-run setup — the chains carry the full block histories,
+    /// so an orchestrator can absorb them into a merged ledger view (see
+    /// [`swap_chain::ChainSet::absorb`]).
+    pub fn run_full(mut self) -> (RunReport, SwapSetup) {
         while !self.finished {
             let ev = match self.sim.poll() {
                 Ok(ev) => ev,
@@ -507,7 +529,7 @@ impl<T: TimingModel> Engine<T> {
         }
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(self) -> (RunReport, SwapSetup) {
         let spec = &*self.shared_spec;
         let n = spec.digraph.vertex_count();
         // An arc triggered iff its transfer irrevocably happened: the asset
@@ -559,7 +581,7 @@ impl<T: TimingModel> Engine<T> {
         // counter before the engine can finish, so it is current here.
         let settled = self.settled_count == self.settled_arcs.len();
         let abandoned = self.parties.iter().filter(|p| p.abandoned()).map(|p| p.vertex()).collect();
-        RunReport {
+        let report = RunReport {
             outcomes,
             arc_triggered,
             triggered_at: self.triggered_at,
@@ -570,7 +592,8 @@ impl<T: TimingModel> Engine<T> {
             trace: self.trace,
             metrics: self.metrics,
             storage: self.setup.chains.storage_report(),
-        }
+        };
+        (report, self.setup)
     }
 }
 

@@ -1,0 +1,592 @@
+//! The exchange pipeline: continuous clearing feeding parallel multi-swap
+//! execution on sharded chain sets.
+//!
+//! The paper assumes "the swap digraph is constructed by a (possibly
+//! centralized) market-clearing service" (§4.2) and then analyzes *one*
+//! swap. [`Exchange`] is the layer above: it runs the whole market loop —
+//!
+//! 1. **Offers in.** Parties [`submit`](Exchange::submit) (or
+//!    [`cancel`](Exchange::cancel)) offers carrying their key material and
+//!    trade terms; the exchange forwards them to the untrusted
+//!    [`ClearingService`], which owns the offer lifecycle.
+//! 2. **Epoch clearing.** [`run_epoch`](Exchange::run_epoch) consumes the
+//!    open book into disjoint trade cycles, one [`ClearedSwap`] each.
+//! 3. **Party-side verification.** Before anything is escrowed, every
+//!    party's slot is re-checked against its original offer
+//!    ([`swap_market::verify_cleared_swap`]) — the service is untrusted.
+//! 4. **Provisioning.** Each cleared swap becomes a [`SwapInstance`]:
+//!    chains and assets created for its spec, key material in vertex order.
+//! 5. **Sharded execution.** Cleared cycles are party- and chain-disjoint,
+//!    so in-flight swaps run *concurrently*: instances are round-robin
+//!    sharded across `threads` scoped workers, each worker exclusively
+//!    owning its instances' chain sets.
+//! 6. **Deterministic merge.** Results are merged in swap-id order — the
+//!    aggregate [`ExchangeReport`] is byte-identical for 1, 2, or N worker
+//!    threads — swaps settle or refund back into the offer lifecycle, and
+//!    every shard's chains are absorbed into one global ledger
+//!    ([`ChainSet::absorb`]) whose merged storage the report carries.
+//!
+//! Within an epoch every swap runs on its own simulated timeline starting
+//! at the epoch's `now`; the epoch's simulated *wall* duration is the
+//! slowest in-flight swap's duration (they run concurrently), and the next
+//! epoch's book opens at `now + wall`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::thread;
+
+use swap_chain::ChainSet;
+use swap_contract::SwapContract;
+use swap_crypto::{MssKeypair, Secret};
+use swap_digraph::VertexId;
+use swap_market::{
+    verify_cleared_swap, AssetKind, CancelError, ClearError, ClearedSwap, ClearingService,
+    LeaderStrategy, Offer, OfferId, SwapId, VerifyError,
+};
+use swap_sim::{Delta, SimDuration, SimRng, SimTime};
+
+use crate::instance::SwapInstance;
+use crate::runner::{RunConfig, RunMetrics, RunReport};
+use crate::setup::SwapSetup;
+use crate::timing::Lockstep;
+
+/// Configuration for an [`Exchange`].
+#[derive(Debug, Clone)]
+pub struct ExchangeConfig {
+    /// The synchrony parameter Δ every cleared swap runs under.
+    pub delta: Delta,
+    /// Worker threads for in-flight swap execution (clamped to ≥ 1).
+    /// Results are invariant under this knob; only wall-clock changes.
+    pub threads: usize,
+    /// Per-swap run configuration template (behaviors are keyed by vertex
+    /// id within each swap, so they apply to every cleared swap alike —
+    /// useful for adversarial sweeps).
+    pub run: RunConfig,
+    /// Leader-election strategy for cleared swaps.
+    pub leader_strategy: LeaderStrategy,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            delta: Delta::from_ticks(10),
+            threads: 1,
+            run: RunConfig::default(),
+            leader_strategy: LeaderStrategy::MinimumExact,
+        }
+    }
+}
+
+/// A simulation-side market participant: key material plus trade terms.
+/// (Real deployments would hold only the public half; the simulation owns
+/// every party, so it keeps the signing keys and secrets it needs to drive
+/// them through the protocol.)
+#[derive(Debug, Clone)]
+pub struct ExchangeParty {
+    /// The party's signing keypair.
+    pub keypair: MssKeypair,
+    /// The party's secret (hashlock preimage, §4.2: every party sends one).
+    pub secret: Secret,
+    /// The asset kind the party relinquishes.
+    pub gives: AssetKind,
+    /// The asset kind the party demands.
+    pub wants: AssetKind,
+}
+
+impl ExchangeParty {
+    /// Generates a party with deterministic key material drawn from `rng`.
+    pub fn generate(
+        rng: &mut SimRng,
+        key_height: u32,
+        gives: AssetKind,
+        wants: AssetKind,
+    ) -> ExchangeParty {
+        let keypair = MssKeypair::from_seed_with_height(rng.bytes32(), key_height);
+        let secret = Secret::random(rng);
+        ExchangeParty { keypair, secret, gives, wants }
+    }
+
+    /// The offer this party submits to the clearing service.
+    pub fn offer(&self) -> Offer {
+        Offer {
+            key: self.keypair.public_key(),
+            hashlock: self.secret.hashlock(),
+            gives: self.gives.clone(),
+            wants: self.wants.clone(),
+        }
+    }
+}
+
+/// Errors from [`Exchange::run_epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeError {
+    /// The clearing service failed to assemble a matched cycle.
+    Clear(ClearError),
+    /// A published swap failed a party's consistency re-check — the
+    /// untrusted service misbehaved, and nothing was escrowed.
+    Verify {
+        /// The swap that failed verification.
+        swap: SwapId,
+        /// The vertex whose party detected the inconsistency.
+        vertex: VertexId,
+        /// What the party detected.
+        error: VerifyError,
+    },
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeError::Clear(e) => write!(f, "{e}"),
+            ExchangeError::Verify { swap, vertex, error } => {
+                write!(f, "party at vertex {vertex} rejected {swap}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+impl From<ClearError> for ExchangeError {
+    fn from(e: ClearError) -> Self {
+        ExchangeError::Clear(e)
+    }
+}
+
+/// One swap the pipeline executed, with its full per-run report.
+#[derive(Debug)]
+pub struct ExecutedSwap {
+    /// The market-issued swap id.
+    pub id: SwapId,
+    /// The epoch whose clearing produced the swap.
+    pub epoch: u64,
+    /// The complete protocol run report.
+    pub report: RunReport,
+}
+
+/// The aggregate per-swap line of an [`ExchangeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapSummary {
+    /// The market-issued swap id.
+    pub swap: SwapId,
+    /// The epoch whose clearing produced the swap.
+    pub epoch: u64,
+    /// Parties (vertices) in the cycle.
+    pub parties: usize,
+    /// Elected leaders.
+    pub leaders: usize,
+    /// Whether every published contract reached a terminal state.
+    pub settled: bool,
+    /// Whether every party ended in `Deal` (the offers settled iff so).
+    pub all_deal: bool,
+    /// Rounds the run took.
+    pub rounds: u64,
+    /// The run's counters.
+    pub metrics: RunMetrics,
+}
+
+/// The exchange pipeline's top-level observable: aggregate counters over
+/// every epoch so far, plus one [`SwapSummary`] per executed swap in
+/// swap-id order. Deterministic — invariant under
+/// [`ExchangeConfig::threads`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangeReport {
+    /// Clearing epochs run.
+    pub epochs: u64,
+    /// Offers submitted.
+    pub offers_submitted: u64,
+    /// Offers cancelled before matching.
+    pub offers_cancelled: u64,
+    /// Swaps cleared (and executed).
+    pub swaps_cleared: u64,
+    /// Swaps whose offers settled (every party ended in `Deal`).
+    pub swaps_settled: u64,
+    /// Swaps whose offers were refunded.
+    pub swaps_refunded: u64,
+    /// Total simulated wall ticks across epochs (each epoch contributes
+    /// its slowest in-flight swap, since in-flight swaps run concurrently).
+    pub wall_ticks: u64,
+    /// Merged storage across every chain of every executed swap —
+    /// Theorem 4.10's "bits stored on all blockchains", at exchange scale.
+    pub storage: swap_chain::StorageReport,
+    /// One line per executed swap, ordered by swap id.
+    pub swaps: Vec<SwapSummary>,
+}
+
+/// The orchestrator: offers in, epochs of concurrent atomic swaps out.
+///
+/// # Example
+///
+/// ```
+/// use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+/// use swap_market::AssetKind;
+/// use swap_sim::SimRng;
+///
+/// let mut rng = SimRng::from_seed(9);
+/// let mut exchange = Exchange::new(ExchangeConfig { threads: 2, ..Default::default() });
+/// for (gives, wants) in [("btc", "eth"), ("eth", "btc"), ("usd", "gbp"), ("gbp", "usd")] {
+///     exchange.submit(ExchangeParty::generate(
+///         &mut rng,
+///         4,
+///         AssetKind::new(gives),
+///         AssetKind::new(wants),
+///     ));
+/// }
+/// let executed = exchange.run_epoch().unwrap();
+/// assert_eq!(executed.len(), 2);
+/// assert!(executed.iter().all(|s| s.report.all_deal()));
+/// assert_eq!(exchange.report().swaps_settled, 2);
+/// ```
+#[derive(Debug)]
+pub struct Exchange {
+    config: ExchangeConfig,
+    service: ClearingService,
+    /// Key material per submitted offer, needed to drive the offer's party
+    /// through the protocol once it is matched.
+    material: BTreeMap<OfferId, (MssKeypair, Secret)>,
+    /// The exchange's clock: when the next epoch's book closes.
+    now: SimTime,
+    /// The merged global ledger: every executed swap's chains, absorbed.
+    ledger: ChainSet<SwapContract>,
+    report: ExchangeReport,
+}
+
+impl Exchange {
+    /// Creates an exchange with an empty book at `t = 0`.
+    pub fn new(config: ExchangeConfig) -> Exchange {
+        let service = ClearingService::new().with_leader_strategy(config.leader_strategy);
+        Exchange {
+            config,
+            service,
+            material: BTreeMap::new(),
+            now: SimTime::ZERO,
+            ledger: ChainSet::new(),
+            report: ExchangeReport::default(),
+        }
+    }
+
+    /// Submits a party's offer to the book, returning its id.
+    pub fn submit(&mut self, party: ExchangeParty) -> OfferId {
+        let id = self.service.submit(party.offer());
+        self.material.insert(id, (party.keypair, party.secret));
+        self.report.offers_submitted += 1;
+        id
+    }
+
+    /// Withdraws an open offer (see [`ClearingService::cancel`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError`] if the offer is unknown or no longer open.
+    pub fn cancel(&mut self, id: OfferId) -> Result<(), CancelError> {
+        self.service.cancel(id)?;
+        self.material.remove(&id);
+        self.report.offers_cancelled += 1;
+        Ok(())
+    }
+
+    /// The exchange's simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The underlying clearing service (offer statuses, epoch counter).
+    pub fn service(&self) -> &ClearingService {
+        &self.service
+    }
+
+    /// The merged global ledger across every executed swap.
+    pub fn ledger(&self) -> &ChainSet<SwapContract> {
+        &self.ledger
+    }
+
+    /// The aggregate report so far.
+    pub fn report(&self) -> &ExchangeReport {
+        &self.report
+    }
+
+    /// Consumes the exchange, yielding the final aggregate report.
+    pub fn into_report(self) -> ExchangeReport {
+        self.report
+    }
+
+    /// Runs one full epoch of the pipeline: clear the open book, verify
+    /// every cleared slot party-side, provision a [`SwapInstance`] per
+    /// cleared swap, execute all of them concurrently across
+    /// [`ExchangeConfig::threads`] shards, merge deterministically in
+    /// swap-id order, resolve the offer lifecycle
+    /// (settle on all-`Deal`, refund otherwise), and absorb every shard's
+    /// chains into the global ledger.
+    ///
+    /// Returns the executed swaps (with full [`RunReport`]s) in swap-id
+    /// order; the aggregate [`ExchangeReport`] accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Clear`] if cycle assembly fails;
+    /// [`ExchangeError::Verify`] if a published swap betrays an offer. In
+    /// both cases nothing is escrowed; on a verification failure every swap
+    /// the epoch cleared is torn down (its offers become `Refunded`), so
+    /// the book is never wedged with permanently-`Matched` offers.
+    pub fn run_epoch(&mut self) -> Result<Vec<ExecutedSwap>, ExchangeError> {
+        let cleared = self.service.clear(self.config.delta, self.now)?;
+        self.report.epochs += 1;
+
+        // The service is untrusted: every party re-checks its slot before
+        // anything is provisioned, let alone escrowed (§4.2).
+        if let Err(error) = self.verify_epoch(&cleared) {
+            // Nothing was escrowed, but `clear` already consumed the
+            // matched offers — tear every cleared swap down so the
+            // lifecycle resolves instead of wedging in `Matched`.
+            for swap in &cleared {
+                self.service.refund_swap(swap.id).expect("issued this epoch");
+                for oid in &swap.offer_of_vertex {
+                    self.material.remove(oid);
+                }
+                self.report.swaps_refunded += 1;
+            }
+            self.report.swaps_cleared += cleared.len() as u64;
+            return Err(error);
+        }
+
+        // Provision on the main thread, in clearing order (ascending swap
+        // id): one instance per cleared swap, key material in vertex order.
+        let instances: Vec<(SwapId, u64, SwapInstance)> =
+            cleared.iter().map(|swap| (swap.id, swap.epoch, self.provision(swap))).collect();
+
+        let executed = execute_sharded(instances, self.config.threads);
+
+        // Deterministic merge: `executed` is in swap-id order whatever the
+        // shard layout was.
+        let delta = self.config.delta;
+        let mut epoch_wall = delta.ticks();
+        let mut out = Vec::with_capacity(executed.len());
+        for (id, epoch, report, setup) in executed {
+            let spec = &setup.spec;
+            let all_deal = report.all_deal();
+            // The swap is over either way: drop its parties' key material.
+            if let Some(offers) = self.service.offers_of_swap(id) {
+                for oid in offers {
+                    self.material.remove(oid);
+                }
+            }
+            if all_deal {
+                self.service.settle_swap(id).expect("issued this epoch");
+                self.report.swaps_settled += 1;
+            } else {
+                self.service.refund_swap(id).expect("issued this epoch");
+                self.report.swaps_refunded += 1;
+            }
+            // The swap occupied rounds 0..=rounds, each Δ long, starting at
+            // the epoch's `now`.
+            epoch_wall = epoch_wall.max(delta.ticks() * (report.metrics.rounds + 1));
+            self.report.swaps.push(SwapSummary {
+                swap: id,
+                epoch,
+                parties: spec.digraph.vertex_count(),
+                leaders: spec.leaders.len(),
+                settled: report.settled,
+                all_deal,
+                rounds: report.metrics.rounds,
+                metrics: report.metrics,
+            });
+            self.ledger.absorb(setup.chains);
+            out.push(ExecutedSwap { id, epoch, report });
+        }
+        self.report.swaps_cleared += out.len() as u64;
+        self.report.wall_ticks += epoch_wall;
+        self.report.storage = self.ledger.storage_report();
+        self.now += SimDuration::from_ticks(epoch_wall);
+        Ok(out)
+    }
+
+    /// Re-checks every cleared slot against the party's original offer.
+    fn verify_epoch(&self, cleared: &[ClearedSwap]) -> Result<(), ExchangeError> {
+        for swap in cleared {
+            for (pos, oid) in swap.offer_of_vertex.iter().enumerate() {
+                let vertex = VertexId::new(pos as u32);
+                let offer = self.service.offer(*oid).expect("cleared offers exist");
+                verify_cleared_swap(swap, vertex, offer, self.now)
+                    .map_err(|error| ExchangeError::Verify { swap: swap.id, vertex, error })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Provisions one cleared swap: key material in cleared-vertex order,
+    /// chains and assets per arc.
+    fn provision(&self, swap: &ClearedSwap) -> SwapInstance {
+        let keypairs: Vec<MssKeypair> =
+            swap.offer_of_vertex.iter().map(|oid| self.material[oid].0.clone()).collect();
+        let secrets: Vec<Secret> =
+            swap.offer_of_vertex.iter().map(|oid| self.material[oid].1).collect();
+        SwapInstance::from_cleared(swap, keypairs, secrets, self.now, self.config.run.clone())
+    }
+}
+
+/// One executed swap as it comes back from a shard.
+type ShardResult = (SwapId, u64, RunReport, SwapSetup);
+
+/// Runs one instance to completion under lockstep timing.
+fn run_instance((id, epoch, instance): (SwapId, u64, SwapInstance)) -> ShardResult {
+    let delta = instance.setup.spec.delta;
+    let (report, setup) = instance.engine(Lockstep::new(delta)).run_full();
+    (id, epoch, report, setup)
+}
+
+/// Executes instances across `threads` scoped workers and merges the
+/// results in swap-id order. Cleared cycles are party- and chain-disjoint,
+/// and each instance exclusively owns its chains, so shards share nothing;
+/// round-robin assignment keeps shard loads balanced without any
+/// cross-thread coordination.
+fn execute_sharded(
+    instances: Vec<(SwapId, u64, SwapInstance)>,
+    threads: usize,
+) -> Vec<ShardResult> {
+    let threads = threads.max(1).min(instances.len().max(1));
+    let mut results: Vec<ShardResult> = if threads <= 1 {
+        instances.into_iter().map(run_instance).collect()
+    } else {
+        let mut shards: Vec<Vec<(SwapId, u64, SwapInstance)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in instances.into_iter().enumerate() {
+            shards[i % threads].push(item);
+        }
+        thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    scope.spawn(move || shard.into_iter().map(run_instance).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("swap worker panicked")).collect()
+        })
+    };
+    results.sort_by_key(|&(id, ..)| id);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swap_market::OfferStatus;
+
+    /// A book of `cycles` disjoint 3-cycles over distinct kind alphabets.
+    fn book(cycles: usize, rng: &mut SimRng) -> Vec<ExchangeParty> {
+        let mut parties = Vec::new();
+        for c in 0..cycles {
+            for p in 0..3 {
+                parties.push(ExchangeParty::generate(
+                    rng,
+                    4,
+                    AssetKind::new(format!("c{c}k{p}")),
+                    AssetKind::new(format!("c{c}k{}", (p + 1) % 3)),
+                ));
+            }
+        }
+        parties
+    }
+
+    fn run_book(cycles: usize, threads: usize, seed: u64) -> ExchangeReport {
+        let mut rng = SimRng::from_seed(seed);
+        let mut exchange = Exchange::new(ExchangeConfig { threads, ..Default::default() });
+        for party in book(cycles, &mut rng) {
+            exchange.submit(party);
+        }
+        let executed = exchange.run_epoch().unwrap();
+        assert_eq!(executed.len(), cycles);
+        exchange.into_report()
+    }
+
+    #[test]
+    fn epoch_settles_disjoint_cycles() {
+        let report = run_book(3, 1, 100);
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.offers_submitted, 9);
+        assert_eq!(report.swaps_cleared, 3);
+        assert_eq!(report.swaps_settled, 3);
+        assert_eq!(report.swaps_refunded, 0);
+        assert!(report.storage.total_bytes() > 0);
+        assert_eq!(report.swaps.len(), 3);
+        assert!(report.swaps.windows(2).all(|w| w[0].swap < w[1].swap));
+        // Concurrent execution: the epoch's wall time is one swap's
+        // duration, not three.
+        let per_swap = report.swaps[0].rounds + 1;
+        assert_eq!(report.wall_ticks, per_swap * ExchangeConfig::default().delta.ticks());
+    }
+
+    #[test]
+    fn report_invariant_under_thread_count() {
+        let sequential = run_book(5, 1, 200);
+        for threads in [2, 3, 8, 64] {
+            let sharded = run_book(5, threads, 200);
+            assert_eq!(sequential, sharded, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_resolves_and_ledger_merges() {
+        let mut rng = SimRng::from_seed(300);
+        let mut exchange = Exchange::new(ExchangeConfig { threads: 2, ..Default::default() });
+        let ids: Vec<OfferId> = book(2, &mut rng).into_iter().map(|p| exchange.submit(p)).collect();
+        let straggler = exchange.submit(ExchangeParty::generate(
+            &mut rng,
+            4,
+            AssetKind::new("orphan"),
+            AssetKind::new("nobody-gives-this"),
+        ));
+        let executed = exchange.run_epoch().unwrap();
+        assert_eq!(executed.len(), 2);
+        for id in &ids {
+            assert_eq!(exchange.service().status(*id), Some(OfferStatus::Settled));
+        }
+        assert_eq!(exchange.service().status(straggler), Some(OfferStatus::Open));
+        // 2 swaps × 3 arcs, one chain per arc, all absorbed.
+        assert_eq!(exchange.ledger().len(), 6);
+        assert!(exchange.ledger().verify_integrity());
+        // The merged storage equals the sum of the per-swap reports.
+        let summed = executed
+            .iter()
+            .fold(swap_chain::StorageReport::default(), |acc, s| acc.merge(&s.report.storage));
+        assert_eq!(exchange.report().storage, summed);
+    }
+
+    #[test]
+    fn cancelled_offer_never_executes() {
+        let mut rng = SimRng::from_seed(400);
+        let mut exchange = Exchange::new(ExchangeConfig::default());
+        let parties = book(1, &mut rng);
+        let first = exchange.submit(parties[0].clone());
+        for p in &parties[1..] {
+            exchange.submit(p.clone());
+        }
+        exchange.cancel(first).unwrap();
+        let executed = exchange.run_epoch().unwrap();
+        assert!(executed.is_empty(), "the 3-cycle is broken by the cancellation");
+        assert_eq!(exchange.report().offers_cancelled, 1);
+        assert_eq!(exchange.service().status(first), Some(OfferStatus::Cancelled));
+    }
+
+    #[test]
+    fn multiple_epochs_advance_the_clock() {
+        let mut rng = SimRng::from_seed(500);
+        let mut exchange = Exchange::new(ExchangeConfig::default());
+        for party in book(1, &mut rng) {
+            exchange.submit(party);
+        }
+        exchange.run_epoch().unwrap();
+        let after_first = exchange.now();
+        assert!(after_first > SimTime::ZERO);
+        // A second ring arrives later; it clears in epoch 1 on the advanced
+        // clock.
+        for party in book(1, &mut SimRng::from_seed(501)) {
+            exchange.submit(party);
+        }
+        let executed = exchange.run_epoch().unwrap();
+        assert_eq!(executed.len(), 1);
+        assert_eq!(executed[0].epoch, 1);
+        assert!(executed[0].report.all_deal());
+        assert_eq!(exchange.report().epochs, 2);
+        assert!(exchange.now() > after_first);
+    }
+}

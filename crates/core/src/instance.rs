@@ -1,0 +1,95 @@
+//! One provisioned, runnable swap: the unit an orchestrator drives.
+//!
+//! [`SwapInstance`] is the split between *provisioning* and *execution*
+//! state: it owns everything a single swap needs to run — the validated
+//! spec, every party's key material, the per-arc chains and assets
+//! ([`SwapSetup`]), and the run configuration — but none of the engine's
+//! in-flight event bookkeeping. That makes it the natural currency of the
+//! exchange pipeline: the orchestrator provisions one instance per cleared
+//! swap on the main thread, ships instances to worker shards (each
+//! instance exclusively owns its chains, so shards share nothing), and
+//! turns each into an [`Engine`] only at execution time.
+
+use swap_crypto::{MssKeypair, Secret};
+use swap_market::ClearedSwap;
+use swap_sim::SimTime;
+
+use crate::engine::Engine;
+use crate::runner::{RunConfig, RunReport};
+use crate::setup::SwapSetup;
+use crate::timing::{Lockstep, TimingModel};
+
+/// A provisioned swap plus its run configuration, ready to be turned into
+/// an [`Engine`] (or shipped to a worker thread first).
+#[derive(Debug, Clone)]
+pub struct SwapInstance {
+    /// Orchestrator-assigned id; aggregate reports merge in id order. For
+    /// exchange-provisioned instances this is the market's
+    /// [`swap_market::SwapId`] raw value; standalone runs use 0.
+    pub id: u64,
+    /// The provisioned swap: spec, key material, chains, assets.
+    pub setup: SwapSetup,
+    /// Per-run configuration: behaviors, round limits, snapshot mode.
+    pub config: RunConfig,
+}
+
+impl SwapInstance {
+    /// Wraps an already provisioned setup.
+    pub fn new(id: u64, setup: SwapSetup, config: RunConfig) -> SwapInstance {
+        SwapInstance { id, setup, config }
+    }
+
+    /// Provisions an instance for a [`ClearedSwap`]: chains and assets are
+    /// created for the cleared spec exactly as [`SwapSetup::from_parts`]
+    /// does, with `keypairs` and `secrets` in cleared-vertex order (the
+    /// order of `cleared.offer_of_vertex`).
+    pub fn from_cleared(
+        cleared: &ClearedSwap,
+        keypairs: Vec<MssKeypair>,
+        secrets: Vec<Secret>,
+        now: SimTime,
+        config: RunConfig,
+    ) -> SwapInstance {
+        let setup = SwapSetup::from_parts(cleared.spec.clone(), keypairs, secrets, now);
+        SwapInstance { id: cleared.id.raw(), setup, config }
+    }
+
+    /// Turns the instance into an engine under `timing`.
+    pub fn engine<T: TimingModel>(self, timing: T) -> Engine<T> {
+        Engine::from_instance(self, timing)
+    }
+
+    /// Runs the instance to completion under the paper's lockstep timing.
+    pub fn run_lockstep(self) -> RunReport {
+        let delta = self.setup.spec.delta;
+        self.engine(Lockstep::new(delta)).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::SetupConfig;
+    use swap_digraph::generators;
+    use swap_sim::SimRng;
+
+    #[test]
+    fn instance_run_matches_engine_run() {
+        let provision = || {
+            SwapSetup::generate(
+                generators::herlihy_three_party(),
+                &SetupConfig { key_height: 4, ..SetupConfig::default() },
+                &mut SimRng::from_seed(21),
+            )
+            .unwrap()
+        };
+        let direct = {
+            let setup = provision();
+            let delta = setup.spec.delta;
+            Engine::new(setup, RunConfig::default(), Lockstep::new(delta)).run()
+        };
+        let via_instance = SwapInstance::new(7, provision(), RunConfig::default()).run_lockstep();
+        assert_eq!(format!("{direct:?}"), format!("{via_instance:?}"));
+        assert!(via_instance.all_deal());
+    }
+}

@@ -13,6 +13,15 @@
 //!   party wake-ups, transaction execution, and visibility boundaries as
 //!   scheduled events over [`swap_sim::Simulation`], with snapshot-delta
 //!   caching keyed on chain state-versions.
+//! * [`instance`] — the provisioning/execution split: a
+//!   [`instance::SwapInstance`] owns one swap's spec, key material, chains,
+//!   and run configuration, and becomes an [`engine::Engine`] at execution
+//!   time.
+//! * [`exchange`] — the pipeline above single swaps: offers stream into the
+//!   untrusted clearing service, epochs clear them into disjoint cycles,
+//!   and all in-flight swaps execute concurrently across sharded worker
+//!   threads with a deterministic swap-id-ordered merge
+//!   ([`exchange::Exchange`], [`exchange::ExchangeReport`]).
 //! * [`timing`] — pluggable [`timing::TimingModel`]s: the paper's
 //!   [`timing::Lockstep`] Δ-rounds and [`timing::PerChainLatency`]
 //!   (per-chain publish/confirm delays under a dominating Δ).
@@ -52,7 +61,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod exchange;
 pub mod hashkey;
+pub mod instance;
 pub mod outcome;
 pub mod party;
 pub mod recurrent;
@@ -63,6 +74,11 @@ pub mod timing;
 pub mod waitsfor;
 
 pub use engine::Engine;
+pub use exchange::{
+    Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport, ExecutedSwap,
+    SwapSummary,
+};
+pub use instance::SwapInstance;
 pub use outcome::Outcome;
 pub use party::{Action, Behavior};
 pub use runner::{RunConfig, RunMetrics, RunReport, SnapshotMode, SwapRunner};

@@ -1,4 +1,4 @@
-//! Offer collection and cycle clearing.
+//! Offer collection, the offer lifecycle, and epoch-based cycle clearing.
 //!
 //! The "clearing problem" — deciding *which* swaps to execute — is the
 //! barter-exchange matching the paper cites (Kaplan; Abraham et al. for
@@ -7,8 +7,27 @@
 //! kind; the service matches gives to wants and decomposes the resulting
 //! assignment into disjoint trade cycles, each of which becomes an atomic
 //! swap instance.
+//!
+//! # Offer lifecycle
+//!
+//! Every submitted offer moves through a strict lifecycle:
+//!
+//! ```text
+//! Open ──cancel()──────────────▶ Cancelled          (terminal)
+//!   │
+//!   └──clear()──▶ Matched { epoch, swap }
+//!                    │
+//!                    ├──settle_swap()──▶ Settled    (terminal)
+//!                    └──refund_swap()──▶ Refunded   (terminal)
+//! ```
+//!
+//! [`ClearingService::clear`] runs one *epoch*: it matches only the
+//! currently [`OfferStatus::Open`] offers and consumes every offer it
+//! matches — a matched offer can never be re-matched by a later epoch, and
+//! a cancelled offer can never be matched at all. Unmatched offers stay
+//! `Open` and roll into the next epoch's book.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -54,6 +73,58 @@ impl fmt::Display for OfferId {
     }
 }
 
+/// Identifies one cleared swap instance, unique across all epochs of a
+/// [`ClearingService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwapId(u64);
+
+impl SwapId {
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SwapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "swap{}", self.0)
+    }
+}
+
+/// Where an offer currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferStatus {
+    /// Submitted and available to the next clearing epoch.
+    Open,
+    /// Withdrawn by its party before it was matched (terminal).
+    Cancelled,
+    /// Matched into a cleared swap; awaiting execution.
+    Matched {
+        /// The epoch whose clearing matched the offer.
+        epoch: u64,
+        /// The swap instance the offer is part of.
+        swap: SwapId,
+    },
+    /// The matched swap executed and every arc triggered (terminal).
+    Settled,
+    /// The matched swap executed but was torn down with refunds (terminal).
+    Refunded,
+}
+
+impl fmt::Display for OfferStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfferStatus::Open => write!(f, "open"),
+            OfferStatus::Cancelled => write!(f, "cancelled"),
+            OfferStatus::Matched { epoch, swap } => {
+                write!(f, "matched into {swap} at epoch {epoch}")
+            }
+            OfferStatus::Settled => write!(f, "settled"),
+            OfferStatus::Refunded => write!(f, "refunded"),
+        }
+    }
+}
+
 /// What a party sends the clearing service (§4.2): its verification key,
 /// its freshly generated hashlock, and the trade it is willing to make.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +144,10 @@ pub struct Offer {
 /// bookkeeping parties need to re-verify it.
 #[derive(Debug, Clone)]
 pub struct ClearedSwap {
+    /// The service-wide unique id of this swap instance.
+    pub id: SwapId,
+    /// The epoch whose clearing produced it.
+    pub epoch: u64,
     /// The validated swap specification.
     pub spec: SwapSpec,
     /// Which offer each digraph vertex corresponds to.
@@ -105,13 +180,63 @@ impl From<BuildError> for ClearError {
     }
 }
 
+/// Errors from [`ClearingService::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelError {
+    /// No offer with that id was ever submitted.
+    UnknownOffer(OfferId),
+    /// The offer has left the `Open` state (matched, resolved, or already
+    /// cancelled) and can no longer be withdrawn.
+    NotOpen(OfferId, OfferStatus),
+}
+
+impl fmt::Display for CancelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelError::UnknownOffer(id) => write!(f, "unknown {id}"),
+            CancelError::NotOpen(id, status) => {
+                write!(f, "{id} cannot be cancelled: it is {status}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CancelError {}
+
+/// Errors from [`ClearingService::settle_swap`] /
+/// [`ClearingService::refund_swap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// The swap id was never issued, or its offers were already resolved.
+    UnknownSwap(SwapId),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::UnknownSwap(id) => {
+                write!(f, "{id} is unknown or already resolved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// One offer plus its lifecycle state.
+#[derive(Debug, Clone)]
+struct OfferEntry {
+    offer: Offer,
+    status: OfferStatus,
+}
+
 /// The (untrusted) market-clearing service.
 ///
 /// # Example
 ///
 /// ```
 /// use swap_crypto::{MssKeypair, Secret};
-/// use swap_market::{AssetKind, ClearingService, Offer};
+/// use swap_market::{AssetKind, ClearingService, Offer, OfferStatus};
 /// use swap_sim::{Delta, SimTime};
 ///
 /// let mut svc = ClearingService::new();
@@ -133,11 +258,24 @@ impl From<BuildError> for ClearError {
 /// let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
 /// assert_eq!(swaps.len(), 1);
 /// assert_eq!(swaps[0].spec.digraph.vertex_count(), 3);
+/// // The epoch *consumed* the matched offers: they are in `Matched` now
+/// // and a second clearing finds an empty book.
+/// assert!(matches!(svc.status(swaps[0].offer_of_vertex[0]), Some(OfferStatus::Matched { .. })));
+/// assert!(svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap().is_empty());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ClearingService {
-    offers: Vec<Offer>,
+    entries: Vec<OfferEntry>,
     leader_strategy: LeaderStrategy,
+    /// The next epoch number `clear` will run as.
+    epoch: u64,
+    /// The next swap id to issue.
+    next_swap: u64,
+    /// Offers of every matched-but-unresolved swap.
+    in_flight: BTreeMap<SwapId, Vec<OfferId>>,
+    /// The `Open` offers (ascending id = submission order), so an epoch
+    /// costs O(open book), not O(every offer ever submitted).
+    open: BTreeSet<OfferId>,
 }
 
 impl ClearingService {
@@ -152,29 +290,101 @@ impl ClearingService {
         self
     }
 
-    /// Accepts an offer, returning its id.
+    /// Accepts an offer, returning its id. The offer starts `Open`.
     pub fn submit(&mut self, offer: Offer) -> OfferId {
-        self.offers.push(offer);
-        OfferId(self.offers.len() as u64 - 1)
+        self.entries.push(OfferEntry { offer, status: OfferStatus::Open });
+        let id = OfferId(self.entries.len() as u64 - 1);
+        self.open.insert(id);
+        id
+    }
+
+    /// Withdraws an `Open` offer. A cancelled offer can never be matched by
+    /// any later epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError::UnknownOffer`] for ids never issued;
+    /// [`CancelError::NotOpen`] once the offer has been matched, resolved,
+    /// or already cancelled.
+    pub fn cancel(&mut self, id: OfferId) -> Result<(), CancelError> {
+        let entry = self.entries.get_mut(id.0 as usize).ok_or(CancelError::UnknownOffer(id))?;
+        match entry.status {
+            OfferStatus::Open => {
+                entry.status = OfferStatus::Cancelled;
+                self.open.remove(&id);
+                Ok(())
+            }
+            status => Err(CancelError::NotOpen(id, status)),
+        }
     }
 
     /// The offer with the given id.
     pub fn offer(&self, id: OfferId) -> Option<&Offer> {
-        self.offers.get(id.0 as usize)
+        self.entries.get(id.0 as usize).map(|e| &e.offer)
     }
 
-    /// Number of submitted offers.
+    /// The lifecycle status of the offer with the given id.
+    pub fn status(&self, id: OfferId) -> Option<OfferStatus> {
+        self.entries.get(id.0 as usize).map(|e| e.status)
+    }
+
+    /// Number of submitted offers (any status).
     pub fn offer_count(&self) -> usize {
-        self.offers.len()
+        self.entries.len()
     }
 
-    /// Matches offers into disjoint trade cycles and publishes one
-    /// [`ClearedSwap`] per cycle. Unmatched offers are left for a future
-    /// round (their ids remain valid).
+    /// Number of offers currently `Open` (the next epoch's book).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The epoch number the next [`clear`](Self::clear) call will run as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The offers of a matched-but-unresolved swap, in vertex order.
+    pub fn offers_of_swap(&self, swap: SwapId) -> Option<&[OfferId]> {
+        self.in_flight.get(&swap).map(Vec::as_slice)
+    }
+
+    /// Marks every offer of `swap` as `Settled` and retires the swap.
     ///
-    /// The matching is greedy FIFO per asset kind: the first submitted
-    /// demand for kind `k` is paired with the first unmatched supply of
-    /// `k`. Deterministic, order-sensitive, and O(n) — richer strategies
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnknownSwap`] if the id was never issued or the
+    /// swap was already resolved.
+    pub fn settle_swap(&mut self, swap: SwapId) -> Result<(), LifecycleError> {
+        self.resolve_swap(swap, OfferStatus::Settled)
+    }
+
+    /// Marks every offer of `swap` as `Refunded` and retires the swap.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnknownSwap`] if the id was never issued or the
+    /// swap was already resolved.
+    pub fn refund_swap(&mut self, swap: SwapId) -> Result<(), LifecycleError> {
+        self.resolve_swap(swap, OfferStatus::Refunded)
+    }
+
+    fn resolve_swap(&mut self, swap: SwapId, terminal: OfferStatus) -> Result<(), LifecycleError> {
+        let offers = self.in_flight.remove(&swap).ok_or(LifecycleError::UnknownSwap(swap))?;
+        for id in offers {
+            self.entries[id.0 as usize].status = terminal;
+        }
+        Ok(())
+    }
+
+    /// Runs one clearing epoch: matches the `Open` offers into disjoint
+    /// trade cycles and publishes one [`ClearedSwap`] per cycle. Every
+    /// matched offer transitions to [`OfferStatus::Matched`] and is
+    /// *consumed* — later epochs can never re-match it. Unmatched offers
+    /// stay `Open` for the next epoch.
+    ///
+    /// The matching is greedy FIFO per asset kind: the first submitted open
+    /// demand for kind `k` is paired with the first open unmatched supply
+    /// of `k`. Deterministic, order-sensitive, and O(n) — richer strategies
     /// (maximum-cycle-cover) belong to the clearing literature the paper
     /// cites, not to the swap protocol itself.
     ///
@@ -184,30 +394,34 @@ impl ClearingService {
     /// # Errors
     ///
     /// Propagates spec-assembly failures (which indicate malformed offers,
-    /// e.g. duplicate keys).
-    pub fn clear(&self, delta: Delta, now: SimTime) -> Result<Vec<ClearedSwap>, ClearError> {
-        let n = self.offers.len();
-        // supply[kind] = queue of offer indices giving that kind.
+    /// e.g. duplicate keys). On error no offer changes status and the epoch
+    /// number does not advance.
+    pub fn clear(&mut self, delta: Delta, now: SimTime) -> Result<Vec<ClearedSwap>, ClearError> {
+        // Dense view of the open book in submission order: an epoch costs
+        // O(open offers), however many resolved entries history holds.
+        let open_idx: Vec<usize> = self.open.iter().map(|id| id.0 as usize).collect();
+        let m = open_idx.len();
+        // supply[kind] = queue of dense positions giving that kind.
         let mut supply: BTreeMap<&AssetKind, VecDeque<usize>> = BTreeMap::new();
-        for (i, o) in self.offers.iter().enumerate() {
-            supply.entry(&o.gives).or_default().push_back(i);
+        for (pos, &i) in open_idx.iter().enumerate() {
+            supply.entry(&self.entries[i].offer.gives).or_default().push_back(pos);
         }
-        // successor[i] = offer receiving i's asset.
-        let mut successor: Vec<Option<usize>> = vec![None; n];
-        let mut has_supplier = vec![false; n];
-        for (i, o) in self.offers.iter().enumerate() {
-            if let Some(queue) = supply.get_mut(&o.wants) {
+        // successor[pos] = dense position receiving pos's asset.
+        let mut successor: Vec<Option<usize>> = vec![None; m];
+        let mut has_supplier = vec![false; m];
+        for (pos, &i) in open_idx.iter().enumerate() {
+            if let Some(queue) = supply.get_mut(&self.entries[i].offer.wants) {
                 if let Some(giver) = queue.pop_front() {
-                    successor[giver] = Some(i);
-                    has_supplier[i] = true;
+                    successor[giver] = Some(pos);
+                    has_supplier[pos] = true;
                 }
             }
         }
         // An offer participates only if it both gives to someone and
         // receives from someone; walk permutation cycles among those.
-        let mut visited = vec![false; n];
-        let mut swaps = Vec::new();
-        for start in 0..n {
+        let mut visited = vec![false; m];
+        let mut cycles: Vec<Vec<usize>> = Vec::new();
+        for start in 0..m {
             if visited[start] || successor[start].is_none() || !has_supplier[start] {
                 continue;
             }
@@ -230,14 +444,34 @@ impl ClearingService {
             if !closed || cycle.len() < 2 {
                 continue;
             }
-            swaps.push(self.assemble(&cycle, delta, now)?);
+            cycles.push(cycle.into_iter().map(|pos| open_idx[pos]).collect());
         }
+        // Assemble every spec before mutating any lifecycle state, so a
+        // build failure leaves the book untouched.
+        let epoch = self.epoch;
+        let mut swaps = Vec::with_capacity(cycles.len());
+        for (k, cycle) in cycles.iter().enumerate() {
+            let id = SwapId(self.next_swap + k as u64);
+            swaps.push(self.assemble(id, epoch, cycle, delta, now)?);
+        }
+        // Commit: consume the matched offers and advance the epoch.
+        for swap in &swaps {
+            for &oid in &swap.offer_of_vertex {
+                self.entries[oid.0 as usize].status = OfferStatus::Matched { epoch, swap: swap.id };
+                self.open.remove(&oid);
+            }
+            self.in_flight.insert(swap.id, swap.offer_of_vertex.clone());
+        }
+        self.next_swap += swaps.len() as u64;
+        self.epoch += 1;
         Ok(swaps)
     }
 
     /// Builds the digraph and spec for one cleared cycle of offer indices.
     fn assemble(
         &self,
+        id: SwapId,
+        epoch: u64,
         cycle: &[usize],
         delta: Delta,
         now: SimTime,
@@ -252,16 +486,18 @@ impl ClearingService {
             let head = VertexId::new(pos as u32);
             let tail = VertexId::new(((pos + 1) % k) as u32);
             digraph.add_arc(head, tail).expect("cycle arcs valid");
-            arc_kinds.push(self.offers[offer_idx].gives.clone());
+            arc_kinds.push(self.entries[offer_idx].offer.gives.clone());
         }
         let mut builder = SpecBuilder::new(digraph);
         builder.delta(delta).start(now + delta.times(1)).leader_strategy(self.leader_strategy);
         for (pos, &i) in cycle.iter().enumerate() {
-            let offer = &self.offers[i];
+            let offer = &self.entries[i].offer;
             builder.identity(VertexId::new(pos as u32), offer.key, offer.hashlock);
         }
         let spec = builder.build()?;
         Ok(ClearedSwap {
+            id,
+            epoch,
             spec,
             offer_of_vertex: cycle.iter().map(|&i| OfferId(i as u64)).collect(),
             arc_kinds,
@@ -284,13 +520,17 @@ mod tests {
         }
     }
 
+    fn clear(svc: &mut ClearingService) -> Vec<ClearedSwap> {
+        svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap()
+    }
+
     #[test]
     fn three_way_cycle_clears() {
         let mut svc = ClearingService::new();
         svc.submit(offer(1, "altcoin", "cadillac"));
         svc.submit(offer(2, "btc", "altcoin"));
         svc.submit(offer(3, "cadillac", "btc"));
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        let swaps = clear(&mut svc);
         assert_eq!(swaps.len(), 1);
         let swap = &swaps[0];
         assert_eq!(swap.spec.digraph.vertex_count(), 3);
@@ -301,6 +541,7 @@ mod tests {
         assert!(swap.spec.start >= SimTime::ZERO + Delta::from_ticks(10).times(1));
         // Arc kinds follow the givers around the cycle.
         assert_eq!(swap.arc_kinds.len(), 3);
+        assert_eq!(swap.epoch, 0);
     }
 
     #[test]
@@ -322,31 +563,33 @@ mod tests {
         svc.submit(offer(3, "x", "y"));
         svc.submit(offer(4, "y", "z"));
         svc.submit(offer(5, "z", "x"));
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        let swaps = clear(&mut svc);
         assert_eq!(swaps.len(), 2);
         let sizes: Vec<usize> = swaps.iter().map(|s| s.spec.digraph.vertex_count()).collect();
         assert!(sizes.contains(&2) && sizes.contains(&3));
+        // Swap ids are distinct and issued in order.
+        assert_ne!(swaps[0].id, swaps[1].id);
     }
 
     #[test]
-    fn unmatched_offers_left_out() {
+    fn unmatched_offers_left_open() {
         let mut svc = ClearingService::new();
         svc.submit(offer(1, "btc", "eth"));
         svc.submit(offer(2, "eth", "btc"));
-        svc.submit(offer(3, "doge", "btc")); // nobody gives doge demand… nobody wants doge
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
-        // The btc/eth pair may still clear; doge cannot.
+        let straggler = svc.submit(offer(3, "doge", "btc")); // nobody wants doge
+        let swaps = clear(&mut svc);
+        // The btc/eth pair clears; doge cannot.
         assert_eq!(swaps.len(), 1);
         assert_eq!(swaps[0].spec.digraph.vertex_count(), 2);
         assert_eq!(svc.offer_count(), 3);
-        assert!(svc.offer(OfferId(2)).is_some());
+        assert_eq!(svc.status(straggler), Some(OfferStatus::Open));
+        assert_eq!(svc.open_count(), 1);
     }
 
     #[test]
     fn no_offers_no_swaps() {
-        let svc = ClearingService::new();
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
-        assert!(swaps.is_empty());
+        let mut svc = ClearingService::new();
+        assert!(clear(&mut svc).is_empty());
     }
 
     #[test]
@@ -355,8 +598,7 @@ mod tests {
         // cycles of length 1 are rejected.
         let mut svc = ClearingService::new();
         svc.submit(offer(1, "btc", "btc"));
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
-        assert!(swaps.is_empty());
+        assert!(clear(&mut svc).is_empty());
     }
 
     #[test]
@@ -364,7 +606,7 @@ mod tests {
         let mut svc = ClearingService::new();
         let id0 = svc.submit(offer(1, "a", "b"));
         let id1 = svc.submit(offer(2, "b", "a"));
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        let swaps = clear(&mut svc);
         let cleared = &swaps[0];
         assert_eq!(cleared.offer_of_vertex.len(), 2);
         assert!(cleared.offer_of_vertex.contains(&id0));
@@ -377,17 +619,109 @@ mod tests {
     }
 
     #[test]
-    fn clearing_is_deterministic() {
-        let mut svc = ClearingService::new();
-        for i in 0..4 {
-            svc.submit(offer(i + 1, &format!("k{i}"), &format!("k{}", (i + 1) % 4)));
-        }
-        let a = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
-        let b = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+    fn clearing_is_deterministic_across_services() {
+        let build = || {
+            let mut svc = ClearingService::new();
+            for i in 0..4 {
+                svc.submit(offer(i + 1, &format!("k{i}"), &format!("k{}", (i + 1) % 4)));
+            }
+            svc
+        };
+        let a = clear(&mut build());
+        let b = clear(&mut build());
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.spec, y.spec);
+            assert_eq!(x.id, y.id);
         }
+    }
+
+    #[test]
+    fn epoch_clearing_consumes_matched_offers() {
+        // The old `clear(&self)` re-matched the same offers on every call;
+        // epoch clearing must hand them out exactly once.
+        let mut svc = ClearingService::new();
+        let a = svc.submit(offer(1, "x", "y"));
+        let b = svc.submit(offer(2, "y", "x"));
+        let first = clear(&mut svc);
+        assert_eq!(first.len(), 1);
+        let swap = first[0].id;
+        assert_eq!(svc.status(a), Some(OfferStatus::Matched { epoch: 0, swap }));
+        assert_eq!(svc.status(b), Some(OfferStatus::Matched { epoch: 0, swap }));
+        // Second epoch: the book is empty, nothing re-matches.
+        assert!(clear(&mut svc).is_empty());
+        assert_eq!(svc.epoch(), 2);
+        assert_eq!(svc.open_count(), 0);
+    }
+
+    #[test]
+    fn later_epoch_matches_new_offers_with_leftovers() {
+        let mut svc = ClearingService::new();
+        let straggler = svc.submit(offer(1, "gbp", "usd"));
+        assert!(clear(&mut svc).is_empty());
+        // A counterparty arrives in the next epoch.
+        let late = svc.submit(offer(2, "usd", "gbp"));
+        let swaps = clear(&mut svc);
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(swaps[0].epoch, 1);
+        assert!(swaps[0].offer_of_vertex.contains(&straggler));
+        assert!(swaps[0].offer_of_vertex.contains(&late));
+    }
+
+    #[test]
+    fn cancelled_offer_never_matches() {
+        let mut svc = ClearingService::new();
+        let a = svc.submit(offer(1, "x", "y"));
+        let b = svc.submit(offer(2, "y", "x"));
+        svc.cancel(a).unwrap();
+        assert_eq!(svc.status(a), Some(OfferStatus::Cancelled));
+        // b's only counterparty is gone: no cycle forms, this epoch or any
+        // later one.
+        assert!(clear(&mut svc).is_empty());
+        assert!(clear(&mut svc).is_empty());
+        assert_eq!(svc.status(b), Some(OfferStatus::Open));
+    }
+
+    #[test]
+    fn cancel_rejects_non_open_offers() {
+        let mut svc = ClearingService::new();
+        let a = svc.submit(offer(1, "x", "y"));
+        let b = svc.submit(offer(2, "y", "x"));
+        let swaps = clear(&mut svc);
+        let swap = swaps[0].id;
+        assert_eq!(
+            svc.cancel(a),
+            Err(CancelError::NotOpen(a, OfferStatus::Matched { epoch: 0, swap }))
+        );
+        svc.cancel(b).unwrap_err();
+        assert_eq!(svc.cancel(OfferId(99)), Err(CancelError::UnknownOffer(OfferId(99))));
+        // Double-cancel is also rejected.
+        let c = svc.submit(offer(3, "p", "q"));
+        svc.cancel(c).unwrap();
+        assert_eq!(svc.cancel(c), Err(CancelError::NotOpen(c, OfferStatus::Cancelled)));
+    }
+
+    #[test]
+    fn settle_and_refund_resolve_the_lifecycle() {
+        let mut svc = ClearingService::new();
+        let a = svc.submit(offer(1, "x", "y"));
+        let b = svc.submit(offer(2, "y", "x"));
+        let p = svc.submit(offer(3, "s", "t"));
+        let q = svc.submit(offer(4, "t", "s"));
+        let swaps = clear(&mut svc);
+        assert_eq!(swaps.len(), 2);
+        let (first, second) = (swaps[0].id, swaps[1].id);
+        assert_eq!(svc.offers_of_swap(first), Some(swaps[0].offer_of_vertex.as_slice()));
+        svc.settle_swap(first).unwrap();
+        svc.refund_swap(second).unwrap();
+        assert_eq!(svc.status(a), Some(OfferStatus::Settled));
+        assert_eq!(svc.status(b), Some(OfferStatus::Settled));
+        assert_eq!(svc.status(p), Some(OfferStatus::Refunded));
+        assert_eq!(svc.status(q), Some(OfferStatus::Refunded));
+        // Resolution is one-shot.
+        assert_eq!(svc.settle_swap(first), Err(LifecycleError::UnknownSwap(first)));
+        assert_eq!(svc.refund_swap(second), Err(LifecycleError::UnknownSwap(second)));
+        assert!(svc.offers_of_swap(first).is_none());
     }
 
     #[test]
@@ -401,12 +735,13 @@ mod tests {
         svc.submit(offer(5, "p", "q"));
         svc.submit(offer(6, "q", "p"));
         svc.submit(offer(7, "zzz", "a")); // loses the race for kind "a"
-        let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        let swaps = clear(&mut svc);
         assert_eq!(swaps.len(), 2);
         let total: usize = swaps.iter().map(|s| s.spec.digraph.vertex_count()).sum();
         assert_eq!(total, 6);
         for s in &swaps {
             s.spec.validate().unwrap();
         }
+        assert_eq!(svc.open_count(), 1);
     }
 }

@@ -18,6 +18,23 @@
 //!   exactly as submitted, and that the start time leaves the required Δ
 //!   slack.
 //!
+//! # The offer lifecycle
+//!
+//! The service runs a *continuous* market, not a one-shot matching. Every
+//! offer carries an [`OfferStatus`] and moves through a strict lifecycle:
+//!
+//! `Open` → (`cancel`) `Cancelled`, or → (`clear`) `Matched { epoch, swap }`
+//! → (`settle_swap` / `refund_swap`) `Settled` / `Refunded`.
+//!
+//! [`ClearingService::clear`] runs one *epoch*: it matches only the
+//! currently open offers and **consumes** every offer it matches — a
+//! matched offer can never re-enter a later epoch's book, and a cancelled
+//! offer can never be matched at all. Unmatched offers roll over, so a
+//! straggler eventually clears when a counterparty shows up. Each cleared
+//! cycle gets a service-wide unique [`SwapId`]; an execution layer (see
+//! `swap-core`'s `Exchange`) drives the cleared swaps and reports back via
+//! [`ClearingService::settle_swap`] / [`ClearingService::refund_swap`].
+//!
 //! [`SpecBuilder`] is the lower-level brick: given any digraph and identity
 //! table it assembles a validated [`SwapSpec`], choosing leaders exactly or
 //! greedily. The protocol runner and benches use it to set up swaps over
@@ -31,5 +48,8 @@ pub mod clearing;
 pub mod verify;
 
 pub use builder::{BuildError, LeaderStrategy, SpecBuilder};
-pub use clearing::{AssetKind, ClearedSwap, ClearingService, Offer, OfferId};
+pub use clearing::{
+    AssetKind, CancelError, ClearError, ClearedSwap, ClearingService, LifecycleError, Offer,
+    OfferId, OfferStatus, SwapId,
+};
 pub use verify::{verify_cleared_swap, VerifyError};

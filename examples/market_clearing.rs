@@ -1,77 +1,98 @@
-//! A full market day: offers → clearing → verification → atomic execution.
+//! A full market day on the exchange pipeline: offers stream in, epochs
+//! clear them into disjoint trade cycles, every cleared slot is re-verified
+//! party-side, and all in-flight swaps execute *concurrently* on sharded
+//! chain sets with a deterministic merge.
 //!
-//! Seven parties submit barter offers to the (untrusted) clearing service
-//! of §4.2. The service matches them into trade cycles, elects leaders, and
-//! publishes specs; each party re-verifies its own slot before
-//! participating; the runner then executes every cleared swap atomically.
+//! Seven parties submit barter offers. Two independent rings hide in the
+//! book (usd→eur→gbp→usd and btc↔eth); the "doge" offer has no
+//! counterparty yet and rolls over, clearing in the *second* epoch when one
+//! arrives; one offer is withdrawn before it can match.
 //!
 //! Run with: `cargo run --example market_clearing`
 
-use atomic_swaps::core::runner::{RunConfig, SwapRunner};
-use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
-use atomic_swaps::crypto::{MssKeypair, Secret};
-use atomic_swaps::market::{verify_cleared_swap, AssetKind, ClearingService, Offer};
-use atomic_swaps::sim::{Delta, SimRng, SimTime};
+use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+use atomic_swaps::market::AssetKind;
+use atomic_swaps::sim::SimRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Who wants what. Two independent rings hide in these offers:
-    // a 3-cycle (usd→eur→gbp→usd) and a 2-cycle (btc↔eth); the "doge"
-    // offer cannot clear.
+    let mut rng = SimRng::from_seed(42);
+    let mut party = |gives: &str, wants: &str| {
+        ExchangeParty::generate(&mut rng, 4, AssetKind::new(gives), AssetKind::new(wants))
+    };
+
+    // Who wants what.
     let book = [
-        ("ana", "usd", "gbp"),
-        ("boris", "eur", "usd"),
-        ("chloe", "gbp", "eur"),
-        ("dmitri", "btc", "eth"),
-        ("elena", "eth", "btc"),
-        ("felix", "doge", "btc"),
+        ("ana", party("usd", "gbp")),
+        ("boris", party("eur", "usd")),
+        ("chloe", party("gbp", "eur")),
+        ("dmitri", party("btc", "eth")),
+        ("elena", party("eth", "btc")),
+        ("felix", party("doge", "btc")), // no doge taker yet
+        ("gary", party("nft", "usd")),   // will get cold feet
     ];
-    let mut service = ClearingService::new();
-    let mut offers = Vec::new();
-    for (i, (name, gives, wants)) in book.iter().enumerate() {
-        let keypair = MssKeypair::from_seed_with_height([i as u8 + 1; 32], 4);
-        let secret = Secret::from_bytes([i as u8 + 101; 32]);
-        let offer = Offer {
-            key: keypair.public_key(),
-            hashlock: secret.hashlock(),
-            gives: AssetKind::new(*gives),
-            wants: AssetKind::new(*wants),
-        };
-        let id = service.submit(offer.clone());
-        println!("{name} submitted {id}: gives {gives}, wants {wants}");
-        offers.push(offer);
+
+    // Two worker threads: cleared cycles are party- and chain-disjoint, so
+    // in-flight swaps run concurrently; the report is identical either way.
+    let mut exchange = Exchange::new(ExchangeConfig { threads: 2, ..Default::default() });
+    let mut ids = Vec::new();
+    for (name, p) in &book {
+        let id = exchange.submit(p.clone());
+        println!("{name} submitted {id}: gives {}, wants {}", p.gives, p.wants);
+        ids.push(id);
     }
+    // Gary withdraws before the epoch closes; a cancelled offer can never
+    // be matched.
+    exchange.cancel(ids[6])?;
+    println!("gary cancelled {}", ids[6]);
 
-    let delta = Delta::from_ticks(10);
-    let cleared = service.clear(delta, SimTime::ZERO)?;
-    println!("\nCleared {} swap instance(s).", cleared.len());
-
-    for (n, swap) in cleared.iter().enumerate() {
+    // Epoch 0: the service clears the open book, every party re-checks its
+    // published slot (§4.2 — the service is untrusted), and both rings
+    // execute concurrently.
+    let executed = exchange.run_epoch()?;
+    println!("\nEpoch 0 cleared and executed {} swap(s):", executed.len());
+    for swap in &executed {
         println!(
-            "\nSwap {n}: {} parties, leaders {:?}",
-            swap.spec.digraph.vertex_count(),
-            swap.spec.leaders
+            "  {} ({} parties): all deal = {}, settled = {}",
+            swap.id,
+            swap.report.outcomes.len(),
+            swap.report.all_deal(),
+            swap.report.settled,
         );
-        // Every involved party re-checks the service's honesty (§4.2).
-        for (pos, offer_id) in swap.offer_of_vertex.iter().enumerate() {
-            let my_offer = &offers[offer_id.raw() as usize];
-            let vertex = atomic_swaps::digraph::VertexId::new(pos as u32);
-            verify_cleared_swap(swap, vertex, my_offer, SimTime::ZERO)?;
-        }
-        println!("  all parties verified the published spec ✓");
-
-        // Execute the cleared digraph atomically. (The runner provisions its
-        // own chains/keys for the digraph shape — the cleared spec told the
-        // parties *what* to trade; here we watch them trade it.)
-        let mut rng = SimRng::from_seed(7000 + n as u64);
-        let setup =
-            SwapSetup::generate(swap.spec.digraph.clone(), &SetupConfig::default(), &mut rng)?;
-        let report = SwapRunner::new(setup, RunConfig::default()).run();
-        for (i, outcome) in report.outcomes.iter().enumerate() {
-            println!("  party {i}: {outcome}");
-        }
-        assert!(report.all_deal());
+        assert!(swap.report.all_deal());
+    }
+    for (i, (name, _)) in book.iter().enumerate() {
+        println!("  {name}: {}", exchange.service().status(ids[i]).unwrap());
     }
 
-    println!("\nUnmatched offers stay in the book for the next round.");
+    // Epoch 1: a doge taker finally arrives, so felix's leftover offer
+    // clears against it — continuous clearing, not one-shot.
+    let hana = party("btc", "doge");
+    exchange.submit(hana);
+    let executed = exchange.run_epoch()?;
+    println!("\nEpoch 1 cleared and executed {} swap(s):", executed.len());
+    assert_eq!(executed.len(), 1);
+    assert!(executed[0].report.all_deal());
+    println!("  felix now: {}", exchange.service().status(ids[5]).unwrap());
+
+    // The aggregate observable: counters over all epochs, merged storage
+    // across every chain of every executed swap.
+    let report = exchange.report();
+    println!(
+        "\nExchange report: {} epochs, {} offers ({} cancelled), \
+         {} swaps cleared, {} settled, {} refunded",
+        report.epochs,
+        report.offers_submitted,
+        report.offers_cancelled,
+        report.swaps_cleared,
+        report.swaps_settled,
+        report.swaps_refunded,
+    );
+    println!(
+        "  simulated wall: {} ticks; ledger: {} chains, {} bytes stored, integrity {}",
+        report.wall_ticks,
+        exchange.ledger().len(),
+        report.storage.total_bytes(),
+        exchange.ledger().verify_integrity(),
+    );
     Ok(())
 }

@@ -1,0 +1,138 @@
+//! The exchange pipeline's two pinned guarantees:
+//!
+//! 1. **Equivalence** — a single cleared swap executed through the
+//!    [`Exchange`] orchestrator produces a [`RunReport`] byte-identical
+//!    (via `Debug`) to driving the [`Engine`] directly on the same
+//!    provisioned setup. The pipeline adds orchestration, never semantics.
+//! 2. **Determinism** — the same seed and the same offer book yield an
+//!    identical [`ExchangeReport`] for 1, 2, and 8 worker threads. Sharding
+//!    changes wall-clock only.
+
+use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+use atomic_swaps::core::instance::SwapInstance;
+use atomic_swaps::core::runner::RunConfig;
+use atomic_swaps::core::{Engine, Lockstep};
+use atomic_swaps::market::{AssetKind, ClearingService, OfferStatus};
+use atomic_swaps::sim::{Delta, SimRng, SimTime};
+
+/// A deterministic book of `cycles` disjoint rings of the given sizes.
+fn ring_book(sizes: &[usize], seed: u64) -> Vec<ExchangeParty> {
+    let mut rng = SimRng::from_seed(seed);
+    let mut parties = Vec::new();
+    for (c, &len) in sizes.iter().enumerate() {
+        for p in 0..len {
+            parties.push(ExchangeParty::generate(
+                &mut rng,
+                4,
+                AssetKind::new(format!("r{c}k{p}")),
+                AssetKind::new(format!("r{c}k{}", (p + 1) % len)),
+            ));
+        }
+    }
+    parties
+}
+
+#[test]
+fn single_cleared_swap_via_exchange_equals_engine_direct() {
+    let parties = ring_book(&[3], 0xE9);
+    let delta = Delta::from_ticks(10);
+
+    // Path A: the exchange pipeline.
+    let mut exchange = Exchange::new(ExchangeConfig { delta, ..Default::default() });
+    for p in &parties {
+        exchange.submit(p.clone());
+    }
+    let mut executed = exchange.run_epoch().expect("epoch clears");
+    assert_eq!(executed.len(), 1);
+    let via_exchange = executed.remove(0);
+
+    // Path B: the same clearing, provisioned by hand and driven through
+    // the engine directly. The clearing service is deterministic, so both
+    // paths see the same ClearedSwap.
+    let mut service = ClearingService::new();
+    for p in &parties {
+        service.submit(p.offer());
+    }
+    let cleared = service.clear(delta, SimTime::ZERO).expect("clears").remove(0);
+    assert_eq!(cleared.id, via_exchange.id);
+    let keypairs =
+        cleared.offer_of_vertex.iter().map(|o| parties[o.raw() as usize].keypair.clone()).collect();
+    let secrets =
+        cleared.offer_of_vertex.iter().map(|o| parties[o.raw() as usize].secret).collect();
+    let instance = SwapInstance::from_cleared(
+        &cleared,
+        keypairs,
+        secrets,
+        SimTime::ZERO,
+        RunConfig::default(),
+    );
+    let direct = Engine::from_instance(instance, Lockstep::new(delta)).run();
+
+    // Byte-identical reports: outcomes, trigger times, traces, metrics,
+    // storage — everything.
+    assert_eq!(format!("{direct:?}"), format!("{:?}", via_exchange.report));
+    assert!(direct.all_deal());
+}
+
+#[test]
+fn exchange_report_invariant_under_worker_threads() {
+    let run = |threads: usize| {
+        let mut exchange = Exchange::new(ExchangeConfig { threads, ..Default::default() });
+        for p in ring_book(&[2, 3, 2, 4, 3, 2, 5, 2], 0xD1) {
+            exchange.submit(p);
+        }
+        let executed = exchange.run_epoch().expect("epoch clears");
+        assert_eq!(executed.len(), 8, "threads={threads}");
+        // Per-swap reports are also identical, not just the aggregate.
+        let per_swap: Vec<String> =
+            executed.iter().map(|s| format!("{}:{:?}", s.id, s.report)).collect();
+        (format!("{:?}", exchange.report()), per_swap)
+    };
+    let (baseline_report, baseline_swaps) = run(1);
+    for threads in [2, 8] {
+        let (report, swaps) = run(threads);
+        assert_eq!(baseline_report, report, "aggregate report differs at {threads} threads");
+        assert_eq!(baseline_swaps, swaps, "per-swap reports differ at {threads} threads");
+    }
+}
+
+#[test]
+fn pipeline_resolves_offer_lifecycle_end_to_end() {
+    let mut exchange = Exchange::new(ExchangeConfig { threads: 4, ..Default::default() });
+    let ids: Vec<_> = ring_book(&[3, 2], 0xF2).into_iter().map(|p| exchange.submit(p)).collect();
+    // A straggler with no counterparty, and a cancelled offer.
+    let mut rng = SimRng::from_seed(0xF3);
+    let straggler = exchange.submit(ExchangeParty::generate(
+        &mut rng,
+        4,
+        AssetKind::new("straggler"),
+        AssetKind::new("r0k0"),
+    ));
+    let cancelled = exchange.submit(ExchangeParty::generate(
+        &mut rng,
+        4,
+        AssetKind::new("x"),
+        AssetKind::new("y"),
+    ));
+    exchange.cancel(cancelled).expect("open offer cancels");
+
+    let executed = exchange.run_epoch().expect("epoch clears");
+    assert_eq!(executed.len(), 2);
+    assert!(executed.iter().all(|s| s.report.all_deal() && s.report.settled));
+
+    for id in ids {
+        assert_eq!(exchange.service().status(id), Some(OfferStatus::Settled));
+    }
+    assert_eq!(exchange.service().status(straggler), Some(OfferStatus::Open));
+    assert_eq!(exchange.service().status(cancelled), Some(OfferStatus::Cancelled));
+
+    let report = exchange.report();
+    assert_eq!(report.epochs, 1);
+    assert_eq!(report.swaps_cleared, 2);
+    assert_eq!(report.swaps_settled, 2);
+    assert_eq!(report.swaps_refunded, 0);
+    assert_eq!(report.offers_cancelled, 1);
+    // 3 + 2 arcs, one chain each, merged into the global ledger.
+    assert_eq!(exchange.ledger().len(), 5);
+    assert!(exchange.ledger().verify_integrity());
+}
