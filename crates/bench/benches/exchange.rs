@@ -6,10 +6,16 @@
 //! orchestrator shards them across worker threads; the `exchange/epoch`
 //! group times the identical workload at 1, 2, 4, and 8 workers. The
 //! aggregate report is asserted identical in every case — sharding is a
-//! wall-clock knob only — so the timing delta *is* the speedup.
+//! wall-clock knob only — so the timing delta *is* the speedup. The thread
+//! sweep forces the hashkey protocol so the workload stays the heavyweight
+//! one (and comparable with earlier recordings).
+//!
+//! The `exchange/protocol` group adds the protocol-choice axis: the same
+//! book under `ForceHashkey` vs `Auto` (per-cycle §4.6 HTLC selection), so
+//! the HTLC fast path's storage/wall win is *measured*, not asserted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy};
 use swap_market::AssetKind;
 use swap_sim::SimRng;
 
@@ -36,8 +42,8 @@ fn book() -> Vec<ExchangeParty> {
 }
 
 /// One full epoch: submit the book, clear, execute, resolve.
-fn run_epoch(parties: &[ExchangeParty], threads: usize) {
-    let mut exchange = Exchange::new(ExchangeConfig { threads, ..Default::default() });
+fn run_epoch(parties: &[ExchangeParty], threads: usize, protocol: ProtocolPolicy) {
+    let mut exchange = Exchange::new(ExchangeConfig { threads, protocol, ..Default::default() });
     for p in parties {
         exchange.submit(p.clone());
     }
@@ -57,7 +63,8 @@ fn bench_exchange_throughput(c: &mut Criterion) {
     // The pipeline's semantic throughput win, independent of host cores:
     // all in-flight swaps share one epoch wall in simulated time.
     {
-        let config = ExchangeConfig::default();
+        let config =
+            ExchangeConfig { protocol: ProtocolPolicy::ForceHashkey, ..ExchangeConfig::default() };
         let delta_ticks = config.delta.ticks();
         let mut exchange = Exchange::new(config);
         for p in &parties {
@@ -77,11 +84,43 @@ fn bench_exchange_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(format!("epoch/{RINGS}x3"), threads),
             &threads,
-            |b, &threads| b.iter(|| run_epoch(&parties, threads)),
+            |b, &threads| b.iter(|| run_epoch(&parties, threads, ProtocolPolicy::ForceHashkey)),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_exchange_throughput);
+/// The protocol-choice axis: the same book forced through the general
+/// hashkey protocol vs auto-selected (all-HTLC for simple cycles). The
+/// timing delta is the §4.6 fast path's execution win; the storage delta
+/// is printed alongside.
+fn bench_protocol_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange");
+    group.sample_size(3);
+    let parties = book();
+    for (label, policy) in
+        [("force-hashkey", ProtocolPolicy::ForceHashkey), ("auto-select", ProtocolPolicy::Auto)]
+    {
+        // Report the storage footprint once per policy so the bench output
+        // carries the space axis too.
+        let mut exchange = Exchange::new(ExchangeConfig { protocol: policy, ..Default::default() });
+        for p in &parties {
+            exchange.submit(p.clone());
+        }
+        exchange.run_epoch().expect("epoch clears");
+        println!(
+            "exchange/protocol/{label}: {} bytes on-chain across {} swaps",
+            exchange.report().storage.total_bytes(),
+            exchange.report().swaps_cleared
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("protocol/{RINGS}x3"), label),
+            &policy,
+            |b, &policy| b.iter(|| run_epoch(&parties, 1, policy)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_throughput, bench_protocol_choice);
 criterion_main!(benches);

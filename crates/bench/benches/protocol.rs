@@ -7,9 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use swap_bench::bench_setup_config;
 use swap_core::runner::{RunConfig, SwapRunner};
 use swap_core::setup::SwapSetup;
-use swap_core::SingleLeaderSwap;
+use swap_core::{ProtocolKind, SwapInstance};
 use swap_digraph::{generators, Digraph};
-use swap_sim::{Delta, SimRng, SimTime};
+use swap_sim::SimRng;
 
 fn run_general(digraph: Digraph, broadcast: bool) {
     let mut setup = SwapSetup::generate(digraph, &bench_setup_config(), &mut SimRng::from_seed(1))
@@ -47,15 +47,16 @@ fn bench_single_vs_multi(c: &mut Criterion) {
         let digraph = generators::cycle(n);
         group.bench_with_input(BenchmarkId::new("htlc", n), &digraph, |b, d| {
             b.iter(|| {
-                let swap = SingleLeaderSwap::new(
+                let setup = SwapSetup::generate(
                     d.clone(),
-                    swap_digraph::VertexId::new(0),
-                    Delta::from_ticks(10),
-                    SimTime::ZERO,
+                    &bench_setup_config(),
                     &mut SimRng::from_seed(2),
                 )
-                .expect("single leader");
-                assert!(swap.run().all_deal());
+                .expect("valid");
+                let report = SwapInstance::new(0, setup, RunConfig::default())
+                    .with_protocol(ProtocolKind::Htlc)
+                    .run_lockstep();
+                assert!(report.all_deal());
             })
         });
         group.bench_with_input(BenchmarkId::new("hashkey", n), &digraph, |b, d| {

@@ -11,8 +11,10 @@
 //! ```
 //!
 //! Experiment ids follow DESIGN.md's index (E1–E14), plus E15 for the
-//! event-driven engine's per-chain latency timing model and E16 for the
-//! exchange pipeline (continuous clearing + sharded concurrent execution).
+//! event-driven engine's per-chain latency timing model, E16 for the
+//! exchange pipeline (continuous clearing + sharded concurrent execution),
+//! and E17 for per-cycle protocol selection (§4.6 single-leader HTLCs vs
+//! the general hashkey protocol on the same cleared books).
 
 use std::collections::BTreeSet;
 
@@ -21,9 +23,9 @@ use swap_contract::SwapSpec;
 use swap_core::hashkey::HashkeyTable;
 use swap_core::runner::{RunConfig, SwapRunner};
 use swap_core::setup::SwapSetup;
-use swap_core::single_leader::{timeout_assignment_feasible, SingleLeaderSwap};
+use swap_core::single_leader::timeout_assignment_feasible;
 use swap_core::timing::PerChainLatency;
-use swap_core::{assign_timeouts, Behavior, Engine, Outcome};
+use swap_core::{assign_timeouts, Behavior, Engine, Outcome, ProtocolKind, SwapInstance};
 use swap_crypto::{MssKeypair, Secret};
 use swap_digraph::{generators, Digraph, FeedbackVertexSet, VertexId};
 use swap_pebble::{EagerPebbleGame, LazyPebbleGame};
@@ -55,6 +57,7 @@ fn main() {
         ("e14", e14_extensions),
         ("e15", e15_timing_models),
         ("e16", e16_exchange_pipeline),
+        ("e17", e17_protocol_selection),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -501,18 +504,15 @@ fn e10_figure6_timeouts() -> bool {
     let ticks: Vec<u64> = timeouts.iter().map(|t| t.ticks() / 10).collect();
     println!("    Lemma 4.13 ladder on C₃ (in Δ): {ticks:?}  (paper: [6, 5, 4])");
     let ladder_ok = ticks == vec![6, 5, 4];
-    // And the §4.6 protocol actually runs on it.
-    let swap = SingleLeaderSwap::new(
-        tri,
-        alice,
-        Delta::from_ticks(10),
-        SimTime::ZERO,
-        &mut SimRng::from_seed(0xE10),
-    )
-    .expect("feasible")
-    .run();
-    println!("    §4.6 protocol outcome: all Deal = {}", swap.all_deal());
-    feasible_single && infeasible_two && ladder_ok && swap.all_deal()
+    // And the §4.6 protocol actually runs on it — through the same
+    // event-driven engine as the hashkey protocol.
+    let setup = SwapSetup::generate(tri, &bench_setup_config(), &mut SimRng::from_seed(0xE10))
+        .expect("valid");
+    let report = SwapInstance::new(0, setup, RunConfig::default())
+        .with_protocol(ProtocolKind::Htlc)
+        .run_lockstep();
+    println!("    §4.6 protocol outcome: all Deal = {}", report.all_deal());
+    feasible_single && infeasible_two && ladder_ok && report.all_deal()
 }
 
 /// E11 (Figure 7): hashkey path enumeration for the two-leader triangle.
@@ -932,5 +932,151 @@ fn e16_exchange_pipeline() -> bool {
         }
     }
     println!("    reports invariant under thread count, all rings settled: {ok}");
+    ok
+}
+
+/// E17 (protocol axis): single-leader HTLCs vs the general hashkey
+/// protocol on the same cleared-book sweep. The exchange auto-selects per
+/// cycle (every simple trade cycle is single-leader feasible, so auto
+/// books run entirely on HTLCs); the forced-hashkey baseline runs the
+/// identical books through the general protocol. Both must settle every
+/// ring; the HTLC path must store and transmit strictly less. Timings and
+/// byte counts land in `target/BENCH_E17.json`.
+fn e17_protocol_selection() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy};
+    use swap_core::ProtocolKind;
+    use swap_market::AssetKind;
+
+    println!("E17 Protocol selection: §4.6 HTLCs vs hashkeys on cleared books\n");
+    let widths = [8, 14, 8, 12, 12, 10, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            ["rings", "policy", "settled", "storage B", "unlock B", "ms", "ok"]
+                .map(String::from)
+                .as_ref(),
+            &widths
+        )
+    );
+
+    // Books of disjoint rings with mixed cycle lengths, deterministic per
+    // size; ring r has 2 + (r mod 4) parties.
+    let book = |rings: usize| -> Vec<ExchangeParty> {
+        let mut rng = SimRng::from_seed(0xE17 + rings as u64);
+        let mut parties = Vec::new();
+        for r in 0..rings {
+            let len = 2 + r % 4;
+            for p in 0..len {
+                parties.push(ExchangeParty::generate(
+                    &mut rng,
+                    4,
+                    AssetKind::new(format!("r{r}k{p}")),
+                    AssetKind::new(format!("r{r}k{}", (p + 1) % len)),
+                ));
+            }
+        }
+        parties
+    };
+
+    struct Row {
+        rings: usize,
+        policy: &'static str,
+        settled: u64,
+        storage_bytes: usize,
+        unlock_bytes: u64,
+        elapsed_ms: f64,
+    }
+    let mut ok = true;
+    let mut rows: Vec<Row> = Vec::new();
+    for rings in [4usize, 8, 16] {
+        let parties = book(rings);
+        let mut per_policy: Vec<swap_core::exchange::ExchangeReport> = Vec::new();
+        for (policy, label) in
+            [(ProtocolPolicy::Auto, "auto"), (ProtocolPolicy::ForceHashkey, "force-hashkey")]
+        {
+            let clock = Instant::now();
+            let mut exchange =
+                Exchange::new(ExchangeConfig { protocol: policy, ..Default::default() });
+            for p in &parties {
+                exchange.submit(p.clone());
+            }
+            exchange.run_epoch().expect("honest book clears");
+            let elapsed_ms = clock.elapsed().as_secs_f64() * 1e3;
+            let report = exchange.into_report();
+            let expected = match policy {
+                ProtocolPolicy::Auto => ProtocolKind::Htlc,
+                ProtocolPolicy::ForceHashkey => ProtocolKind::Hashkey,
+            };
+            let unlock_bytes: u64 = report.swaps.iter().map(|s| s.metrics.unlock_bytes).sum();
+            let row_ok = report.swaps_settled == rings as u64
+                && report.swaps_refunded == 0
+                && report.swaps.iter().all(|s| s.protocol == expected);
+            ok &= row_ok;
+            println!(
+                "    {}",
+                fmt_row(
+                    &[
+                        rings.to_string(),
+                        label.to_string(),
+                        report.swaps_settled.to_string(),
+                        report.storage.total_bytes().to_string(),
+                        unlock_bytes.to_string(),
+                        format!("{elapsed_ms:.1}"),
+                        if row_ok { "✓".into() } else { "✗".into() },
+                    ],
+                    &widths
+                )
+            );
+            rows.push(Row {
+                rings,
+                policy: label,
+                settled: report.swaps_settled,
+                storage_bytes: report.storage.total_bytes(),
+                unlock_bytes,
+                elapsed_ms,
+            });
+            per_policy.push(report);
+        }
+        // The §4.6 win, measured: auto (all-HTLC) stores and transmits
+        // strictly less than the forced-hashkey baseline on the same book.
+        let auto = &per_policy[0];
+        let forced = &per_policy[1];
+        let cheaper = auto.storage.total_bytes() < forced.storage.total_bytes();
+        ok &= cheaper;
+        println!(
+            "    {rings} rings: htlc/hashkey storage = {:.3}, settled {} = {}",
+            auto.storage.total_bytes() as f64 / forced.storage.total_bytes() as f64,
+            auto.swaps_settled,
+            forced.swaps_settled,
+        );
+        ok &= auto.swaps_settled == forced.swaps_settled;
+    }
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e17")
+            .field_str("name", "protocol selection: htlc auto-select vs forced hashkey")
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("rings", row.rings)
+                            .field_str("policy", row.policy)
+                            .field_u64("swaps_settled", row.settled)
+                            .field_usize("storage_bytes", row.storage_bytes)
+                            .field_u64("unlock_bytes", row.unlock_bytes)
+                            .field_f64("elapsed_ms", row.elapsed_ms);
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E17", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E17.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    auto-selection settles everything on HTLCs, strictly cheaper: {ok}");
     ok
 }

@@ -204,6 +204,7 @@ pub fn exchange_report_fields(o: &mut JsonObject, r: &ExchangeReport) {
                             .field_u64("epoch", swap.epoch)
                             .field_usize("parties", swap.parties)
                             .field_usize("leaders", swap.leaders)
+                            .field_str("protocol", swap.protocol.label())
                             .field_bool("settled", swap.settled)
                             .field_bool("all_deal", swap.all_deal)
                             .field_u64("rounds", swap.rounds)

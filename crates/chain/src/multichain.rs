@@ -37,14 +37,10 @@ impl fmt::Display for ChainId {
 
 /// A set of independent blockchains sharing a contract logic type.
 ///
-/// # Example
-///
-/// ```no_run
-/// // Typical setup (C is your ContractLogic type):
-/// // let mut chains: ChainSet<C> = ChainSet::new();
-/// // let btc = chains.create_chain("bitcoin", SimTime::ZERO);
-/// // chains.get_mut(btc).unwrap().publish_contract(...);
-/// ```
+/// Typical setup (`C` is your [`ContractLogic`] type): create the set,
+/// `create_chain` per arc, then drive each chain's `publish_contract` /
+/// `call_contract` through [`ChainSet::get_mut`]. `swap-core`'s
+/// provisioning (`SwapSetup`) and the crate tests are worked examples.
 #[derive(Debug, Clone, Default)]
 pub struct ChainSet<C: ContractLogic> {
     chains: BTreeMap<ChainId, Blockchain<C>>,

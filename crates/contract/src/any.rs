@@ -102,6 +102,26 @@ impl AnyContract {
             AnyContract::Htlc(_) => None,
         }
     }
+
+    /// Whether this contract's transfer has irrevocably happened, in the
+    /// flavor's own terms: an HTLC *triggered* (secret revealed in time); a
+    /// swap contract *fully unlocked or claimed* (once every hashlock is
+    /// open, only the counterparty can ever take the asset).
+    pub fn transfer_triggered(&self) -> bool {
+        match self {
+            AnyContract::Htlc(c) => c.is_triggered(),
+            AnyContract::Swap(c) => c.fully_unlocked() || c.is_claimed(),
+        }
+    }
+
+    /// Whether the contract reached a terminal state: the escrowed asset
+    /// left escrow, either toward the counterparty or back to the party.
+    pub fn settled(&self) -> bool {
+        match self {
+            AnyContract::Htlc(c) => c.is_terminated(),
+            AnyContract::Swap(c) => c.is_claimed() || c.is_refunded(),
+        }
+    }
 }
 
 impl ContractLogic for AnyContract {
@@ -199,6 +219,40 @@ mod tests {
         assert_eq!(events, vec![AnyEvent::Htlc(HtlcEvent::Triggered)]);
         assert!(any.is_terminated());
         assert!(any.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn htlc_trigger_and_settle_semantics() {
+        let (mut any, mut assets) = htlc_any();
+        assert!(!any.transfer_triggered());
+        assert!(!any.settled());
+        let mut ctx = ExecCtx {
+            caller: addr(2),
+            now: SimTime::from_ticks(10),
+            this: ContractId::new(0),
+            assets: &mut assets,
+        };
+        any.apply(
+            AnyCall::Htlc(HtlcCall::Reveal { secret: Secret::from_bytes([5u8; 32]) }),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(any.transfer_triggered());
+        assert!(any.settled());
+    }
+
+    #[test]
+    fn htlc_refund_settles_without_triggering() {
+        let (mut any, mut assets) = htlc_any();
+        let mut ctx = ExecCtx {
+            caller: addr(1),
+            now: SimTime::from_ticks(99),
+            this: ContractId::new(0),
+            assets: &mut assets,
+        };
+        any.apply(AnyCall::Htlc(HtlcCall::Refund), &mut ctx).unwrap();
+        assert!(!any.transfer_triggered());
+        assert!(any.settled());
     }
 
     #[test]

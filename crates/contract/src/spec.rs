@@ -88,11 +88,8 @@ impl std::error::Error for SpecError {}
 
 /// The published swap specification.
 ///
-/// # Example
-///
-/// ```no_run
-/// // Constructed by the market-clearing service; see `swap-market`.
-/// ```
+/// Constructed by the market-clearing service; see `swap-market`'s
+/// `SpecBuilder` for assembly and the crate tests for worked examples.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SwapSpec {
     /// The swap digraph `D = (V, A)`.

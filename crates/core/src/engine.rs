@@ -3,20 +3,20 @@
 //! Protocol activity is a stream of scheduled events popped from
 //! [`swap_sim::Simulation`] in deterministic `(time, seq)` order:
 //!
-//! * [`Ev::Boundary`] — a round boundary opens: stale snapshots are
+//! * `Ev::Boundary` — a round boundary opens: stale snapshots are
 //!   refreshed (full-rebuild mode) or already fresh (delta mode), newly
 //!   confirmed bulletin entries are promoted, and one wake-up per party is
 //!   scheduled.
-//! * [`Ev::Wake`] — one party observes its [`View`] and emits actions; each
+//! * `Ev::Wake` — one party observes its [`View`] and emits actions; each
 //!   action is scheduled to execute at the instant the [`TimingModel`]
 //!   assigns to its target chain.
-//! * [`Ev::Exec`] — an action executes as a transaction; successful
+//! * `Ev::Exec` — an action executes as a transaction; successful
 //!   mutations schedule a visibility event for the touched arc.
-//! * [`Ev::Visible`] — a chain change reaches observers: the arc's cached
+//! * `Ev::Visible` — a chain change reaches observers: the arc's cached
 //!   snapshot is re-built *only if* the chain's state-version moved — the
 //!   snapshot-delta hot path that replaces the classic per-round O(|A|)
 //!   full rebuild.
-//! * [`Ev::Close`] — the round's bookkeeping: scan arcs whose chain
+//! * `Ev::Close` — the round's bookkeeping: scan arcs whose chain
 //!   version moved for new triggers, check settlement, and either finish or
 //!   open the next round.
 //!
@@ -25,18 +25,27 @@
 //! (`tests/engine_equivalence.rs` pins this against recorded seed-runner
 //! reports), while [`crate::timing::PerChainLatency`] gives each chain its
 //! own publish/confirm latency under a dominating Δ.
+//!
+//! It is also generic over the *protocol*: everything protocol-specific —
+//! party strategies, the contract flavor published on
+//! [`swap_contract::AnyContract`] chains, snapshot
+//! construction, and call translation — lives behind
+//! [`crate::protocol::SwapProtocol`]. The same event loop therefore runs
+//! the general §4.5 hashkey protocol and the §4.6 single-leader HTLC
+//! protocol, and the [`crate::exchange::Exchange`] picks per cleared cycle
+//! via [`crate::protocol::ProtocolKind::select`].
 
 use std::sync::Arc;
 
 use swap_chain::{ChainId, ContractId, Owner};
-use swap_contract::{SwapCall, SwapContract, SwapSpec};
-use swap_crypto::Secret;
+use swap_contract::{AnyContract, SwapSpec};
 use swap_digraph::{ArcId, VertexId};
 use swap_sim::{SimTime, Simulation, TraceLog};
 
 use crate::instance::SwapInstance;
 use crate::outcome::Outcome;
-use crate::party::{Action, Behavior, BulletinEntry, ContractSnapshot, Party, View};
+use crate::party::{Action, ArcSnapshot, Behavior, BulletinEntry, View};
+use crate::protocol::{build_protocol, SwapProtocol};
 use crate::runner::{RunConfig, RunMetrics, RunReport, SnapshotMode};
 use crate::setup::SwapSetup;
 use crate::timing::TimingModel;
@@ -56,6 +65,16 @@ enum Ev {
     Close(u64),
 }
 
+/// The trace/metering facts of an on-chain action, copied out before the
+/// owned [`Action`] moves into the protocol's call translation.
+#[derive(Debug, Clone, Copy)]
+enum OnChainMeta {
+    Unlock { index: usize, path_len: usize },
+    Claim,
+    Refund,
+    Reveal,
+}
+
 /// Executes one swap instance as a discrete-event simulation under a
 /// pluggable [`TimingModel`].
 #[derive(Debug)]
@@ -64,11 +83,11 @@ pub struct Engine<T: TimingModel> {
     config: RunConfig,
     timing: T,
     sim: Simulation<Ev>,
-    /// The one spec allocation all published contracts share.
+    /// The spec, shared with the protocol (and, for the hashkey protocol,
+    /// with every honestly published contract).
     shared_spec: Arc<SwapSpec>,
-    /// Lazily built corrupted spec for `RunConfig::corrupt_arcs`.
-    corrupted_spec: Option<Arc<SwapSpec>>,
-    parties: Vec<Party>,
+    /// The protocol strategy: party machines, contract flavor, snapshots.
+    protocol: Box<dyn SwapProtocol>,
     conforming: Vec<bool>,
     contract_of_arc: Vec<Option<ContractId>>,
     triggered_at: Vec<Option<SimTime>>,
@@ -79,7 +98,7 @@ pub struct Engine<T: TimingModel> {
     visible_bulletin: Vec<BulletinEntry>,
     bulletin_cursor: usize,
     /// Per-arc contract snapshots as observers currently see them.
-    visible: Vec<Option<ContractSnapshot>>,
+    visible: Vec<Option<ArcSnapshot>>,
     /// Chain state-version each cached snapshot reflects.
     visible_version: Vec<Option<u64>>,
     /// Chain state-version as of each arc's last bookkeeping scan.
@@ -116,21 +135,13 @@ impl<T: TimingModel> Engine<T> {
     ///
     /// Same conditions as [`Engine::new`].
     pub fn from_instance(instance: SwapInstance, timing: T) -> Self {
-        let SwapInstance { id: _, setup, config } = instance;
+        let SwapInstance { id: _, setup, config, protocol } = instance;
         let spec = &setup.spec;
         assert!(spec.delta.ticks() >= 2, "delta must be at least 2 ticks");
         assert!(
             spec.start >= SimTime::ZERO + spec.delta.times(1),
             "spec must start at least one delta after the epoch"
         );
-        let parties: Vec<Party> = spec
-            .digraph
-            .vertices()
-            .map(|v| {
-                let behavior = config.behaviors.get(&v).cloned().unwrap_or_default();
-                Party::new(v, setup.keypairs[v.index()].clone(), setup.secrets[v.index()], behavior)
-            })
-            .collect();
         let conforming: Vec<bool> = spec
             .digraph
             .vertices()
@@ -140,6 +151,7 @@ impl<T: TimingModel> Engine<T> {
         let t0 = spec.start - spec.delta.times(1);
         let max_rounds = config.max_rounds.unwrap_or(2 * spec.diam + 6);
         let shared_spec = Arc::new(spec.clone());
+        let protocol = build_protocol(protocol, &setup, &config, Arc::clone(&shared_spec));
         let mut sim = Simulation::new();
         sim.schedule(t0, Ev::Boundary(0));
         Engine {
@@ -148,8 +160,7 @@ impl<T: TimingModel> Engine<T> {
             timing,
             sim,
             shared_spec,
-            corrupted_spec: None,
-            parties,
+            protocol,
             conforming,
             contract_of_arc: vec![None; arc_count],
             triggered_at: vec![None; arc_count],
@@ -213,7 +224,7 @@ impl<T: TimingModel> Engine<T> {
             self.visible_bulletin.push(self.bulletin[self.bulletin_cursor].1.clone());
             self.bulletin_cursor += 1;
         }
-        self.pending_wakes = self.parties.len();
+        self.pending_wakes = self.shared_spec.digraph.vertex_count();
         let now = self.sim.now();
         for vertex in self.shared_spec.digraph.vertices() {
             self.sim.schedule(now, Ev::Wake { round, vertex });
@@ -231,7 +242,7 @@ impl<T: TimingModel> Engine<T> {
             contracts: &self.visible,
             bulletin: &self.visible_bulletin,
         };
-        let actions = self.parties[vertex.index()].step(&view);
+        let actions = self.protocol.step(vertex, &view);
         for action in actions {
             let chain = self.chain_of_action(&action);
             let exec_at = self.timing.exec_time(now, chain);
@@ -251,25 +262,13 @@ impl<T: TimingModel> Engine<T> {
             | Action::Unlock { arc, .. }
             | Action::Claim { arc }
             | Action::Refund { arc }
+            | Action::Reveal { arc, .. }
             | Action::DirectTransfer { arc } => Some(self.setup.chain_of_arc[arc.index()]),
             Action::Announce { .. } => None,
         }
     }
 
-    /// The spec corrupt publishers embed: every hashlock replaced by one
-    /// nobody can open. Built once and shared.
-    fn corrupted_spec(&mut self) -> Arc<SwapSpec> {
-        if self.corrupted_spec.is_none() {
-            let mut spec = (*self.shared_spec).clone();
-            for h in spec.hashlocks.iter_mut() {
-                *h = Secret::from_bytes([0xBA; 32]).hashlock();
-            }
-            self.corrupted_spec = Some(Arc::new(spec));
-        }
-        Arc::clone(self.corrupted_spec.as_ref().expect("just built"))
-    }
-
-    fn chain_mut(&mut self, arc: ArcId) -> &mut swap_chain::Blockchain<SwapContract> {
+    fn chain_mut(&mut self, arc: ArcId) -> &mut swap_chain::Blockchain<AnyContract> {
         let chain_id = self.setup.chain_of_arc[arc.index()];
         self.setup.chains.get_mut(chain_id).expect("chain exists")
     }
@@ -296,21 +295,15 @@ impl<T: TimingModel> Engine<T> {
             return;
         }
         self.visible_version[arc] = Some(version);
-        let leaders = self.shared_spec.leaders.len();
-        self.visible[arc] = self.contract_of_arc[arc].and_then(|id| {
+        let snapshot = self.contract_of_arc[arc].and_then(|id| {
             let contract = chain.contract(id)?;
-            let valid = (Arc::ptr_eq(contract.spec_handle(), &self.shared_spec)
-                || contract.spec() == &*self.shared_spec)
-                && contract.arc() == ArcId::new(arc as u32)
-                && contract.asset() == self.setup.asset_of_arc[arc];
-            Some(ContractSnapshot {
-                unlock_records: (0..leaders).map(|i| contract.unlock_record(i).cloned()).collect(),
-                fully_unlocked: contract.fully_unlocked(),
-                claimed: contract.is_claimed(),
-                refunded: contract.is_refunded(),
-                valid,
-            })
+            Some(self.protocol.snapshot(
+                contract,
+                ArcId::new(arc as u32),
+                self.setup.asset_of_arc[arc],
+            ))
         });
+        self.visible[arc] = snapshot;
     }
 
     /// An action executes as a transaction at `exec_time`.
@@ -324,17 +317,13 @@ impl<T: TimingModel> Engine<T> {
                     return;
                 }
                 let asset = self.setup.asset_of_arc[arc.index()];
-                // The contract embeds "its own" spec copy (that *is* the
-                // O(|A|) per-contract storage of Theorem 4.10); in memory
-                // all honest contracts share one Arc allocation.
-                let contract_spec = if self.config.corrupt_arcs.contains(&arc) {
-                    // A malicious publisher substitutes hashlocks nobody can
-                    // open; observers must detect the mismatch and abandon.
-                    self.corrupted_spec()
-                } else {
-                    Arc::clone(&self.shared_spec)
-                };
-                let contract = SwapContract::new(contract_spec, arc, asset);
+                // The protocol decides the contract flavor and what it
+                // embeds (for the hashkey protocol, "its own" spec copy —
+                // that *is* the O(|A|) per-contract storage of
+                // Theorem 4.10; a corrupt publisher substitutes hashlocks
+                // nobody can open).
+                let corrupt = self.config.corrupt_arcs.contains(&arc);
+                let contract = self.protocol.contract_for(arc, asset, corrupt);
                 let chain = self.chain_mut(arc);
                 match chain.publish_contract(contract, actor_addr, exec_time) {
                     Ok(id) => {
@@ -359,95 +348,73 @@ impl<T: TimingModel> Engine<T> {
                     }
                 }
             }
-            Action::Unlock { arc, index, secret, path, sig } => {
+            action @ (Action::Unlock { .. }
+            | Action::Claim { .. }
+            | Action::Refund { .. }
+            | Action::Reveal { .. }) => {
+                // Copy out everything the traces need, then hand the action
+                // to the protocol *by value* so the multi-kilobyte unlock
+                // payloads (path + signature chain) move instead of clone.
+                let (arc, meta) = match &action {
+                    Action::Unlock { arc, index, path, .. } => {
+                        (*arc, OnChainMeta::Unlock { index: *index, path_len: path.len() })
+                    }
+                    Action::Claim { arc } => (*arc, OnChainMeta::Claim),
+                    Action::Refund { arc } => (*arc, OnChainMeta::Refund),
+                    Action::Reveal { arc, .. } => (*arc, OnChainMeta::Reveal),
+                    _ => unreachable!("outer match narrows the variants"),
+                };
                 let Some(id) = self.contract_of_arc[arc.index()] else {
                     self.metrics.rejected_calls += 1;
                     return;
                 };
-                let wire = 32 + path.to_bytes().len() + sig.byte_len();
-                let path_len = path.len();
+                let (call, wire) =
+                    self.protocol.call_of(action).expect("unlock/claim/refund/reveal are on-chain");
                 let chain = self.chain_mut(arc);
-                match chain.call_contract(
-                    id,
-                    actor_addr,
-                    SwapCall::Unlock { index, secret, path, sig },
-                    exec_time,
-                    wire,
-                ) {
+                match chain.call_contract(id, actor_addr, call, exec_time, wire) {
                     Ok(_) => {
-                        self.metrics.unlock_calls += 1;
-                        self.metrics.unlock_bytes += wire as u64;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "hashlock.unlocked",
-                            format!("arc {arc} index {index} path_len {path_len}"),
-                        );
+                        let (kind, detail) = match meta {
+                            OnChainMeta::Unlock { index, path_len } => {
+                                self.metrics.unlock_calls += 1;
+                                self.metrics.unlock_bytes += wire as u64;
+                                (
+                                    "hashlock.unlocked",
+                                    format!("arc {arc} index {index} path_len {path_len}"),
+                                )
+                            }
+                            OnChainMeta::Claim => {
+                                self.metrics.claim_calls += 1;
+                                ("arc.claimed", format!("arc {arc}"))
+                            }
+                            OnChainMeta::Refund => {
+                                self.metrics.refund_calls += 1;
+                                ("arc.refunded", format!("arc {arc}"))
+                            }
+                            OnChainMeta::Reveal => {
+                                // The §4.6 analogue of an unlock: metered in
+                                // the same counters so wire-size comparisons
+                                // across protocols read off one field.
+                                self.metrics.unlock_calls += 1;
+                                self.metrics.unlock_bytes += wire as u64;
+                                ("secret.revealed", format!("arc {arc}"))
+                            }
+                        };
+                        self.trace.record(exec_time, actor_name, kind, detail);
                         self.schedule_visibility(exec_time, arc);
                     }
                     Err(e) => {
                         self.metrics.rejected_calls += 1;
+                        let verb = match meta {
+                            OnChainMeta::Unlock { index, .. } => format!("unlock {arc}[{index}]"),
+                            OnChainMeta::Claim => format!("claim {arc}"),
+                            OnChainMeta::Refund => format!("refund {arc}"),
+                            OnChainMeta::Reveal => format!("reveal {arc}"),
+                        };
                         self.trace.record(
                             exec_time,
                             actor_name,
                             "tx.rejected",
-                            format!("unlock {arc}[{index}]: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::Claim { arc } => {
-                let Some(id) = self.contract_of_arc[arc.index()] else {
-                    self.metrics.rejected_calls += 1;
-                    return;
-                };
-                let chain = self.chain_mut(arc);
-                match chain.call_contract(id, actor_addr, SwapCall::Claim, exec_time, 40) {
-                    Ok(_) => {
-                        self.metrics.claim_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "arc.claimed",
-                            format!("arc {arc}"),
-                        );
-                        self.schedule_visibility(exec_time, arc);
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("claim {arc}: {e}"),
-                        );
-                    }
-                }
-            }
-            Action::Refund { arc } => {
-                let Some(id) = self.contract_of_arc[arc.index()] else {
-                    self.metrics.rejected_calls += 1;
-                    return;
-                };
-                let chain = self.chain_mut(arc);
-                match chain.call_contract(id, actor_addr, SwapCall::Refund, exec_time, 40) {
-                    Ok(_) => {
-                        self.metrics.refund_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "arc.refunded",
-                            format!("arc {arc}"),
-                        );
-                        self.schedule_visibility(exec_time, arc);
-                    }
-                    Err(e) => {
-                        self.metrics.rejected_calls += 1;
-                        self.trace.record(
-                            exec_time,
-                            actor_name,
-                            "tx.rejected",
-                            format!("refund {arc}: {e}"),
+                            format!("{verb}: {e}"),
                         );
                     }
                 }
@@ -507,16 +474,14 @@ impl<T: TimingModel> Engine<T> {
             self.scan_version[arc] = Some(version);
             let Some(id) = self.contract_of_arc[arc] else { continue };
             let Some(contract) = chain.contract(id) else { continue };
-            if self.triggered_at[arc].is_none()
-                && (contract.fully_unlocked() || contract.is_claimed())
-            {
+            if self.triggered_at[arc].is_none() && contract.transfer_triggered() {
                 // The arc triggered when its chain last moved — in lockstep
                 // that is the round's shared execution instant.
                 let at = chain.last_mutation_at();
                 self.triggered_at[arc] = Some(at);
                 self.trace.record(at, "sim", "arc.triggered", format!("arc a{arc}"));
             }
-            if !self.settled_arcs[arc] && (contract.is_claimed() || contract.is_refunded()) {
+            if !self.settled_arcs[arc] && contract.settled() {
                 self.settled_arcs[arc] = true;
                 self.settled_count += 1;
             }
@@ -533,8 +498,9 @@ impl<T: TimingModel> Engine<T> {
         let spec = &*self.shared_spec;
         let n = spec.digraph.vertex_count();
         // An arc triggered iff its transfer irrevocably happened: the asset
-        // reached the counterparty, or the contract is fully unlocked (only
-        // the counterparty can ever take the asset).
+        // reached the counterparty, or the contract says so in its flavor's
+        // own terms (an HTLC triggered; a swap contract fully unlocked —
+        // only the counterparty can ever take the asset then).
         let arc_triggered: Vec<bool> = spec
             .digraph
             .arcs()
@@ -551,7 +517,7 @@ impl<T: TimingModel> Engine<T> {
                 }
                 self.contract_of_arc[arc.id.index()]
                     .and_then(|id| chain.contract(id))
-                    .is_some_and(|c| c.fully_unlocked() || c.is_claimed())
+                    .is_some_and(AnyContract::transfer_triggered)
             })
             .collect();
         let outcomes: Vec<Outcome> = (0..n)
@@ -580,7 +546,7 @@ impl<T: TimingModel> Engine<T> {
         // Settlement is monotone and every round's close scan updates the
         // counter before the engine can finish, so it is current here.
         let settled = self.settled_count == self.settled_arcs.len();
-        let abandoned = self.parties.iter().filter(|p| p.abandoned()).map(|p| p.vertex()).collect();
+        let abandoned = spec.digraph.vertices().filter(|&v| self.protocol.abandoned(v)).collect();
         let report = RunReport {
             outcomes,
             arc_triggered,

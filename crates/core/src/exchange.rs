@@ -14,8 +14,13 @@
 //! 3. **Party-side verification.** Before anything is escrowed, every
 //!    party's slot is re-checked against its original offer
 //!    ([`swap_market::verify_cleared_swap`]) — the service is untrusted.
-//! 4. **Provisioning.** Each cleared swap becomes a [`SwapInstance`]:
-//!    chains and assets created for its spec, key material in vertex order.
+//! 4. **Provisioning + protocol choice.** Each cleared swap becomes a
+//!    [`SwapInstance`]: chains and assets created for its spec, key
+//!    material in vertex order — and, under [`ProtocolPolicy::Auto`], the
+//!    cheapest feasible protocol per cycle: §4.6 single-leader HTLCs when
+//!    the timeout assignment exists (every simple trade cycle qualifies),
+//!    the general §4.5 hashkey protocol otherwise. The choice is recorded
+//!    per swap in [`SwapSummary::protocol`].
 //! 5. **Sharded execution.** Cleared cycles are party- and chain-disjoint,
 //!    so in-flight swaps run *concurrently*: instances are round-robin
 //!    sharded across `threads` scoped workers, each worker exclusively
@@ -36,7 +41,7 @@ use std::fmt;
 use std::thread;
 
 use swap_chain::ChainSet;
-use swap_contract::SwapContract;
+use swap_contract::AnyContract;
 use swap_crypto::{MssKeypair, Secret};
 use swap_digraph::VertexId;
 use swap_market::{
@@ -46,6 +51,7 @@ use swap_market::{
 use swap_sim::{Delta, SimDuration, SimRng, SimTime};
 
 use crate::instance::SwapInstance;
+use crate::protocol::ProtocolKind;
 use crate::runner::{RunConfig, RunMetrics, RunReport};
 use crate::setup::SwapSetup;
 use crate::timing::Lockstep;
@@ -64,6 +70,23 @@ pub struct ExchangeConfig {
     pub run: RunConfig,
     /// Leader-election strategy for cleared swaps.
     pub leader_strategy: LeaderStrategy,
+    /// How the exchange picks the protocol executing each cleared cycle.
+    pub protocol: ProtocolPolicy,
+}
+
+/// Per-cycle protocol selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolPolicy {
+    /// Pick the cheapest feasible protocol per cleared cycle: §4.6
+    /// single-leader HTLCs when the timeout assignment exists (the common
+    /// case — every simple trade cycle qualifies), the general §4.5
+    /// hashkey protocol otherwise. The choice lands in
+    /// [`SwapSummary::protocol`].
+    #[default]
+    Auto,
+    /// Run everything on the general hashkey protocol (the pre-selection
+    /// behavior; useful as a benchmark baseline).
+    ForceHashkey,
 }
 
 impl Default for ExchangeConfig {
@@ -73,6 +96,7 @@ impl Default for ExchangeConfig {
             threads: 1,
             run: RunConfig::default(),
             leader_strategy: LeaderStrategy::MinimumExact,
+            protocol: ProtocolPolicy::Auto,
         }
     }
 }
@@ -175,6 +199,9 @@ pub struct SwapSummary {
     pub parties: usize,
     /// Elected leaders.
     pub leaders: usize,
+    /// The protocol that executed the swap (per-cycle auto-selection, or
+    /// the forced baseline — see [`ProtocolPolicy`]).
+    pub protocol: ProtocolKind,
     /// Whether every published contract reached a terminal state.
     pub settled: bool,
     /// Whether every party ended in `Deal` (the offers settled iff so).
@@ -247,7 +274,7 @@ pub struct Exchange {
     /// The exchange's clock: when the next epoch's book closes.
     now: SimTime,
     /// The merged global ledger: every executed swap's chains, absorbed.
-    ledger: ChainSet<SwapContract>,
+    ledger: ChainSet<AnyContract>,
     report: ExchangeReport,
 }
 
@@ -296,7 +323,7 @@ impl Exchange {
     }
 
     /// The merged global ledger across every executed swap.
-    pub fn ledger(&self) -> &ChainSet<SwapContract> {
+    pub fn ledger(&self) -> &ChainSet<AnyContract> {
         &self.ledger
     }
 
@@ -361,7 +388,7 @@ impl Exchange {
         let delta = self.config.delta;
         let mut epoch_wall = delta.ticks();
         let mut out = Vec::with_capacity(executed.len());
-        for (id, epoch, report, setup) in executed {
+        for (id, epoch, protocol, report, setup) in executed {
             let spec = &setup.spec;
             let all_deal = report.all_deal();
             // The swap is over either way: drop its parties' key material.
@@ -385,6 +412,7 @@ impl Exchange {
                 epoch,
                 parties: spec.digraph.vertex_count(),
                 leaders: spec.leaders.len(),
+                protocol,
                 settled: report.settled,
                 all_deal,
                 rounds: report.metrics.rounds,
@@ -414,24 +442,34 @@ impl Exchange {
     }
 
     /// Provisions one cleared swap: key material in cleared-vertex order,
-    /// chains and assets per arc.
+    /// chains and assets per arc. Under [`ProtocolPolicy::Auto`] the
+    /// instance carries the per-cycle protocol choice
+    /// ([`SwapInstance::from_cleared`] reads the market's
+    /// [`ClearedSwap::single_leader_feasible`] hint); `ForceHashkey`
+    /// overrides it.
     fn provision(&self, swap: &ClearedSwap) -> SwapInstance {
         let keypairs: Vec<MssKeypair> =
             swap.offer_of_vertex.iter().map(|oid| self.material[oid].0.clone()).collect();
         let secrets: Vec<Secret> =
             swap.offer_of_vertex.iter().map(|oid| self.material[oid].1).collect();
-        SwapInstance::from_cleared(swap, keypairs, secrets, self.now, self.config.run.clone())
+        let instance =
+            SwapInstance::from_cleared(swap, keypairs, secrets, self.now, self.config.run.clone());
+        match self.config.protocol {
+            ProtocolPolicy::Auto => instance,
+            ProtocolPolicy::ForceHashkey => instance.with_protocol(ProtocolKind::Hashkey),
+        }
     }
 }
 
 /// One executed swap as it comes back from a shard.
-type ShardResult = (SwapId, u64, RunReport, SwapSetup);
+type ShardResult = (SwapId, u64, ProtocolKind, RunReport, SwapSetup);
 
 /// Runs one instance to completion under lockstep timing.
 fn run_instance((id, epoch, instance): (SwapId, u64, SwapInstance)) -> ShardResult {
     let delta = instance.setup.spec.delta;
+    let protocol = instance.protocol;
     let (report, setup) = instance.engine(Lockstep::new(delta)).run_full();
-    (id, epoch, report, setup)
+    (id, epoch, protocol, report, setup)
 }
 
 /// Executes instances across `threads` scoped workers and merges the

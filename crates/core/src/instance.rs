@@ -3,24 +3,27 @@
 //! [`SwapInstance`] is the split between *provisioning* and *execution*
 //! state: it owns everything a single swap needs to run — the validated
 //! spec, every party's key material, the per-arc chains and assets
-//! ([`SwapSetup`]), and the run configuration — but none of the engine's
-//! in-flight event bookkeeping. That makes it the natural currency of the
-//! exchange pipeline: the orchestrator provisions one instance per cleared
-//! swap on the main thread, ships instances to worker shards (each
-//! instance exclusively owns its chains, so shards share nothing), and
-//! turns each into an [`Engine`] only at execution time.
+//! ([`SwapSetup`]), the run configuration, and the *protocol choice*
+//! ([`ProtocolKind`]) — but none of the engine's in-flight event
+//! bookkeeping. That makes it the natural currency of the exchange
+//! pipeline: the orchestrator provisions one instance per cleared swap on
+//! the main thread, ships instances to worker shards (each instance
+//! exclusively owns its chains, so shards share nothing), and turns each
+//! into an [`Engine`] only at execution time.
 
 use swap_crypto::{MssKeypair, Secret};
 use swap_market::ClearedSwap;
 use swap_sim::SimTime;
 
 use crate::engine::Engine;
+use crate::protocol::ProtocolKind;
 use crate::runner::{RunConfig, RunReport};
 use crate::setup::SwapSetup;
 use crate::timing::{Lockstep, TimingModel};
 
-/// A provisioned swap plus its run configuration, ready to be turned into
-/// an [`Engine`] (or shipped to a worker thread first).
+/// A provisioned swap plus its run configuration and protocol choice,
+/// ready to be turned into an [`Engine`] (or shipped to a worker thread
+/// first).
 #[derive(Debug, Clone)]
 pub struct SwapInstance {
     /// Orchestrator-assigned id; aggregate reports merge in id order. For
@@ -31,18 +34,30 @@ pub struct SwapInstance {
     pub setup: SwapSetup,
     /// Per-run configuration: behaviors, round limits, snapshot mode.
     pub config: RunConfig,
+    /// Which protocol executes the swap. [`SwapInstance::new`] defaults to
+    /// the general hashkey protocol; [`SwapInstance::from_cleared`] selects
+    /// the cheapest feasible one per cleared cycle.
+    pub protocol: ProtocolKind,
 }
 
 impl SwapInstance {
-    /// Wraps an already provisioned setup.
+    /// Wraps an already provisioned setup; the general hashkey protocol
+    /// executes it (override with [`SwapInstance::with_protocol`]).
     pub fn new(id: u64, setup: SwapSetup, config: RunConfig) -> SwapInstance {
-        SwapInstance { id, setup, config }
+        SwapInstance { id, setup, config, protocol: ProtocolKind::Hashkey }
     }
 
     /// Provisions an instance for a [`ClearedSwap`]: chains and assets are
     /// created for the cleared spec exactly as [`SwapSetup::from_parts`]
     /// does, with `keypairs` and `secrets` in cleared-vertex order (the
     /// order of `cleared.offer_of_vertex`).
+    ///
+    /// The protocol is auto-selected by [`ProtocolKind::select`] from the
+    /// cycle's shape and the configured behaviors: single-leader feasible
+    /// cycles (the common case — every simple trade cycle is, see
+    /// [`ClearedSwap::single_leader_feasible`]) run the cheap §4.6 HTLC
+    /// protocol, everything else the general hashkey protocol. Override
+    /// with [`SwapInstance::with_protocol`].
     pub fn from_cleared(
         cleared: &ClearedSwap,
         keypairs: Vec<MssKeypair>,
@@ -50,8 +65,19 @@ impl SwapInstance {
         now: SimTime,
         config: RunConfig,
     ) -> SwapInstance {
+        let protocol = ProtocolKind::select(&cleared.spec, &config);
         let setup = SwapSetup::from_parts(cleared.spec.clone(), keypairs, secrets, now);
-        SwapInstance { id: cleared.id.raw(), setup, config }
+        SwapInstance { id: cleared.id.raw(), setup, config, protocol }
+    }
+
+    /// Overrides the protocol choice.
+    ///
+    /// Forcing [`ProtocolKind::Htlc`] on a spec that is not single-leader
+    /// feasible makes engine construction panic; check with
+    /// [`ProtocolKind::select`] first.
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> SwapInstance {
+        self.protocol = protocol;
+        self
     }
 
     /// Turns the instance into an engine under `timing`.
@@ -91,5 +117,19 @@ mod tests {
         let via_instance = SwapInstance::new(7, provision(), RunConfig::default()).run_lockstep();
         assert_eq!(format!("{direct:?}"), format!("{via_instance:?}"));
         assert!(via_instance.all_deal());
+    }
+
+    #[test]
+    fn standalone_instances_default_to_hashkey() {
+        let setup = SwapSetup::generate(
+            generators::herlihy_three_party(),
+            &SetupConfig { key_height: 4, ..SetupConfig::default() },
+            &mut SimRng::from_seed(22),
+        )
+        .unwrap();
+        let instance = SwapInstance::new(0, setup, RunConfig::default());
+        assert_eq!(instance.protocol, ProtocolKind::Hashkey);
+        let forced = instance.with_protocol(ProtocolKind::Htlc);
+        assert_eq!(forced.protocol, ProtocolKind::Htlc);
     }
 }

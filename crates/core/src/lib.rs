@@ -13,6 +13,10 @@
 //!   party wake-ups, transaction execution, and visibility boundaries as
 //!   scheduled events over [`swap_sim::Simulation`], with snapshot-delta
 //!   caching keyed on chain state-versions.
+//! * [`protocol`] — the protocol axis ([`protocol::SwapProtocol`]): the
+//!   general §4.5 hashkey protocol and the §4.6 single-leader HTLC
+//!   protocol as pluggable strategies over the one engine, selected per
+//!   swap via [`protocol::ProtocolKind`].
 //! * [`instance`] — the provisioning/execution split: a
 //!   [`instance::SwapInstance`] owns one swap's spec, key material, chains,
 //!   and run configuration, and becomes an [`engine::Engine`] at execution
@@ -29,8 +33,9 @@
 //!   [`RunReport`]s with outcomes, per-arc trigger times, traces, and
 //!   storage/communication metrics.
 //! * [`outcome`] — the Figure 3 outcome lattice ([`Outcome`]).
-//! * [`single_leader`] — the §4.6 timeout-only protocol on classic HTLCs,
-//!   plus the Figure 6 feasibility analysis.
+//! * [`single_leader`] — the §4.6 Lemma 4.13 timeout assignment and the
+//!   Figure 6 feasibility analysis (the protocol itself runs as
+//!   [`protocol::HtlcProtocol`]).
 //! * [`hashkey`] — Figure 7 hashkey-path enumeration.
 //! * [`recurrent`] — the §5 recurrent-swap extension (next-round hashlocks
 //!   distributed during Phase Two).
@@ -66,6 +71,7 @@ pub mod hashkey;
 pub mod instance;
 pub mod outcome;
 pub mod party;
+pub mod protocol;
 pub mod recurrent;
 pub mod runner;
 pub mod setup;
@@ -76,15 +82,16 @@ pub mod waitsfor;
 pub use engine::Engine;
 pub use exchange::{
     Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport, ExecutedSwap,
-    SwapSummary,
+    ProtocolPolicy, SwapSummary,
 };
 pub use instance::SwapInstance;
 pub use outcome::Outcome;
-pub use party::{Action, Behavior};
+pub use party::{Action, ArcSnapshot, Behavior};
+pub use protocol::{HashkeyProtocol, HtlcProtocol, ProtocolKind, SwapProtocol};
 pub use runner::{RunConfig, RunMetrics, RunReport, SnapshotMode, SwapRunner};
 pub use setup::{SetupConfig, SwapSetup};
 pub use single_leader::{
-    assign_timeouts, single_leader_of, timeout_assignment_feasible, SingleLeaderSwap,
+    assign_timeouts, single_leader_of, timeout_assignment_feasible, TimeoutError,
 };
 pub use timing::{Lockstep, PerChainLatency, TimingModel};
 

@@ -15,8 +15,9 @@ use swap_crypto::{MssKeypair, Secret, SigChain};
 use swap_digraph::{ArcId, VertexId, VertexPath};
 use swap_sim::SimTime;
 
-/// What one arc's contract looks like to observers at a round boundary
-/// (`None` entries in the runner's table mean "no contract published yet").
+/// What one arc's general swap contract looks like to observers at a round
+/// boundary (`None` entries in the runner's table mean "no contract
+/// published yet").
 #[derive(Debug, Clone)]
 pub struct ContractSnapshot {
     /// Unlock record per hashlock index, if unlocked.
@@ -30,6 +31,53 @@ pub struct ContractSnapshot {
     /// Whether the contract matches the published spec for this arc
     /// (parties verify and abandon otherwise, §4.5).
     pub valid: bool,
+}
+
+/// What one arc's classic HTLC looks like to observers at a round boundary
+/// (§4.6 single-leader protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct HtlcSnapshot {
+    /// The revealed secret, if the contract triggered — publicly readable,
+    /// which is exactly how secrets propagate without hashkeys.
+    pub revealed: Option<Secret>,
+    /// Whether the transfer fired.
+    pub triggered: bool,
+    /// Whether the asset was refunded.
+    pub refunded: bool,
+    /// Whether the contract matches the published spec for this arc —
+    /// right hashlock, right Lemma 4.13 timeout, right parties and asset.
+    /// Conforming observers treat an invalid contract as absent (the §4.6
+    /// analogue of §4.5's verify-and-abandon).
+    pub valid: bool,
+}
+
+/// A flavor-tagged contract observation: the engine snapshots whatever
+/// contract flavor the active [`crate::protocol::SwapProtocol`] hosts, and
+/// party strategies project the flavor they understand.
+#[derive(Debug, Clone)]
+pub enum ArcSnapshot {
+    /// A general multi-leader swap contract (§4.5).
+    Swap(ContractSnapshot),
+    /// A classic two-party HTLC (§4.6).
+    Htlc(HtlcSnapshot),
+}
+
+impl ArcSnapshot {
+    /// The swap-contract view, if that is the flavor.
+    pub fn as_swap(&self) -> Option<&ContractSnapshot> {
+        match self {
+            ArcSnapshot::Swap(s) => Some(s),
+            ArcSnapshot::Htlc(_) => None,
+        }
+    }
+
+    /// The HTLC view, if that is the flavor.
+    pub fn as_htlc(&self) -> Option<&HtlcSnapshot> {
+        match self {
+            ArcSnapshot::Htlc(s) => Some(s),
+            ArcSnapshot::Swap(_) => None,
+        }
+    }
 }
 
 /// A broadcast-bulletin entry: a leader's secret with its base signature,
@@ -55,7 +103,7 @@ pub struct View<'a> {
     /// The instant of this round boundary.
     pub now: SimTime,
     /// Per-arc contract snapshots (`None` = not yet published/visible).
-    pub contracts: &'a [Option<ContractSnapshot>],
+    pub contracts: &'a [Option<ArcSnapshot>],
     /// Visible bulletin entries.
     pub bulletin: &'a [BulletinEntry],
 }
@@ -91,6 +139,14 @@ pub enum Action {
     Refund {
         /// The target arc.
         arc: ArcId,
+    },
+    /// Present the plain secret to `arc`'s HTLC (§4.6 — no path, no
+    /// signature chain).
+    Reveal {
+        /// The target arc.
+        arc: ArcId,
+        /// The hashlock preimage.
+        secret: Secret,
     },
     /// Bypass the protocol entirely: transfer the arc's asset directly to
     /// the counterparty (only coalitions do this).
@@ -174,7 +230,6 @@ pub struct Party {
     /// Leaving arcs already refunded (submitted).
     refunded: BTreeSet<ArcId>,
     direct_done: bool,
-    script_cursor: usize,
 }
 
 impl Party {
@@ -192,7 +247,6 @@ impl Party {
             claimed: BTreeSet::new(),
             refunded: BTreeSet::new(),
             direct_done: false,
-            script_cursor: 0,
         }
     }
 
@@ -208,24 +262,34 @@ impl Party {
     }
 
     /// One protocol round: observe `view`, emit actions.
+    ///
+    /// The behavior is dispatched by reference — cloning it per round would
+    /// copy entire `Scripted` action vectors on the hot path — and the
+    /// scripted drain moves each fired action out of the script instead of
+    /// cloning it (fired entries are never replayed).
     pub fn step(&mut self, view: &View<'_>) -> Vec<Action> {
-        match self.behavior.clone() {
-            Behavior::Halt { at_round } if view.round >= at_round => Vec::new(),
-            Behavior::Scripted { actions } => {
-                let mut out = Vec::new();
-                while self.script_cursor < actions.len()
-                    && actions[self.script_cursor].0 <= view.round
-                {
-                    if actions[self.script_cursor].0 == view.round {
-                        out.push(actions[self.script_cursor].1.clone());
-                    }
-                    self.script_cursor += 1;
-                }
-                out
+        if let Behavior::Halt { at_round } = self.behavior {
+            if view.round >= at_round {
+                return Vec::new();
             }
-            Behavior::Direct { skip_arcs } => self.step_direct(view, &skip_arcs),
-            behavior => self.step_protocol(view, &behavior),
         }
+        if let Behavior::Scripted { actions } = &mut self.behavior {
+            let due = actions.iter().take_while(|(round, _)| *round <= view.round).count();
+            return actions
+                .drain(..due)
+                .filter(|(round, _)| *round == view.round)
+                .map(|(_, action)| action)
+                .collect();
+        }
+        // Temporarily park the behavior so the strategy methods can borrow
+        // the rest of `self` mutably without cloning it.
+        let behavior = std::mem::take(&mut self.behavior);
+        let out = match &behavior {
+            Behavior::Direct { skip_arcs } => self.step_direct(view, skip_arcs),
+            behavior => self.step_protocol(view, behavior),
+        };
+        self.behavior = behavior;
+        out
     }
 
     /// The Lemma 3.4 coalition bypass.
@@ -250,12 +314,13 @@ impl Party {
             return Vec::new();
         }
         // §4.5 Phase One: verify every visible contract on arcs entering or
-        // leaving me; abandon on any invalid one.
+        // leaving me; abandon on any invalid one (a wrong contract flavor
+        // is as invalid as wrong hashlocks).
         for arc in
             view.spec.digraph.in_arcs(self.vertex).chain(view.spec.digraph.out_arcs(self.vertex))
         {
             if let Some(snapshot) = &view.contracts[arc.id.index()] {
-                if !snapshot.valid {
+                if !snapshot.as_swap().is_some_and(|s| s.valid) {
                     self.abandoned = true;
                     return Vec::new();
                 }
@@ -326,7 +391,11 @@ impl Party {
             }
             // (b) Learn secrets observed on leaving arcs' contracts.
             for arc in view.spec.digraph.out_arcs(self.vertex) {
-                let Some(snapshot) = &view.contracts[arc.id.index()] else { continue };
+                let Some(snapshot) =
+                    view.contracts[arc.id.index()].as_ref().and_then(ArcSnapshot::as_swap)
+                else {
+                    continue;
+                };
                 for (i, record) in snapshot.unlock_records.iter().enumerate() {
                     let Some(record) = record else { continue };
                     if self.hashkeys.contains_key(&i) {
@@ -397,7 +466,11 @@ impl Party {
                 if self.refunded.contains(&arc.id) {
                     continue;
                 }
-                let Some(snapshot) = &view.contracts[arc.id.index()] else { continue };
+                let Some(snapshot) =
+                    view.contracts[arc.id.index()].as_ref().and_then(ArcSnapshot::as_swap)
+                else {
+                    continue;
+                };
                 if !snapshot.fully_unlocked && !snapshot.claimed && !snapshot.refunded {
                     self.refunded.insert(arc.id);
                     actions.push(Action::Refund { arc: arc.id });
@@ -416,7 +489,11 @@ impl Party {
             if self.claimed.contains(&arc.id) {
                 continue;
             }
-            let Some(snapshot) = &view.contracts[arc.id.index()] else { continue };
+            let Some(snapshot) =
+                view.contracts[arc.id.index()].as_ref().and_then(ArcSnapshot::as_swap)
+            else {
+                continue;
+            };
             if snapshot.claimed || snapshot.refunded {
                 continue;
             }
@@ -452,7 +529,7 @@ mod tests {
 
     fn empty_view<'a>(
         spec: &'a SwapSpec,
-        contracts: &'a [Option<ContractSnapshot>],
+        contracts: &'a [Option<ArcSnapshot>],
         round: u64,
     ) -> View<'a> {
         View {
@@ -498,7 +575,7 @@ mod tests {
         // Once the alice→bob arc has a contract, bob publishes on bob→carol.
         let mut contracts = vec![None, None, None];
         let a_to_b = spec.digraph.arcs().find(|a| a.tail == bob).unwrap().id;
-        contracts[a_to_b.index()] = Some(published_snapshot(&spec));
+        contracts[a_to_b.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));
         let view = empty_view(&spec, &contracts, 1);
         let actions = parties[bob.index()].step(&view);
         assert_eq!(actions.len(), 1);
@@ -510,9 +587,9 @@ mod tests {
     fn leader_issues_hashkey_and_claims_when_all_entering_ready() {
         let (spec, mut parties) = three_party();
         let leader = spec.leaders[0];
-        let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
+        let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
-            contracts[arc.id.index()] = Some(published_snapshot(&spec));
+            contracts[arc.id.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));
         }
         let view = empty_view(&spec, &contracts, 3);
         let actions = parties[leader.index()].step(&view);
@@ -542,7 +619,7 @@ mod tests {
             sig: base,
             at: spec.start,
         };
-        let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
+        let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
             let mut snap = published_snapshot(&spec);
             // carol → alice arc carries the unlock.
@@ -550,7 +627,7 @@ mod tests {
                 snap.unlock_records[0] = Some(record.clone());
                 snap.fully_unlocked = true;
             }
-            contracts[arc.id.index()] = Some(snap);
+            contracts[arc.id.index()] = Some(ArcSnapshot::Swap(snap));
         }
         let view = empty_view(&spec, &contracts, 4);
         let actions = parties[carol.index()].step(&view);
@@ -573,17 +650,17 @@ mod tests {
     fn party_abandons_on_invalid_contract() {
         let (spec, mut parties) = three_party();
         let bob = spec.digraph.vertex_by_name("bob").unwrap();
-        let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
+        let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         let a_to_b = spec.digraph.arcs().find(|a| a.tail == bob).unwrap().id;
         let mut bad = published_snapshot(&spec);
         bad.valid = false;
-        contracts[a_to_b.index()] = Some(bad);
+        contracts[a_to_b.index()] = Some(ArcSnapshot::Swap(bad));
         let view = empty_view(&spec, &contracts, 1);
         assert!(parties[bob.index()].step(&view).is_empty());
         assert!(parties[bob.index()].abandoned());
         // Stays abandoned even when things look fine later.
         let mut contracts = vec![None, None, None];
-        contracts[a_to_b.index()] = Some(published_snapshot(&spec));
+        contracts[a_to_b.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));
         let view = empty_view(&spec, &contracts, 2);
         assert!(parties[bob.index()].step(&view).is_empty());
     }
@@ -635,9 +712,9 @@ mod tests {
         let actions = party.step(&view);
         assert!(actions.iter().any(|a| matches!(a, Action::Publish { .. })));
         // Even with everything ready, no unlock ever comes.
-        let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
+        let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
-            contracts[arc.id.index()] = Some(published_snapshot(&spec));
+            contracts[arc.id.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));
         }
         let view = empty_view(&spec, &contracts, 3);
         let actions = party.step(&view);
@@ -669,9 +746,9 @@ mod tests {
         let base = SigChain::sign_secret(&mut alice_kp, &leader_secret(alice)).unwrap();
         let bulletin =
             vec![BulletinEntry { leader_index: 0, secret: leader_secret(alice), base_sig: base }];
-        let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
+        let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
-            contracts[arc.id.index()] = Some(published_snapshot(&spec));
+            contracts[arc.id.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));
         }
         let view = View {
             spec: &spec,
@@ -733,9 +810,9 @@ mod tests {
     fn refund_emitted_after_deadline() {
         let (spec, mut parties) = three_party();
         let alice = spec.digraph.vertex_by_name("alice").unwrap();
-        let mut contracts: Vec<Option<ContractSnapshot>> = vec![None, None, None];
+        let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
-            contracts[arc.id.index()] = Some(published_snapshot(&spec));
+            contracts[arc.id.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));
         }
         // Well past all_hashkeys_dead; alice's entering arc not unlocked.
         let view = View {

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use swap_chain::{AssetDescriptor, AssetId, ChainId, ChainSet};
-use swap_contract::{SwapContract, SwapSpec};
+use swap_contract::{AnyContract, SwapSpec};
 use swap_crypto::{MssKeypair, Secret};
 use swap_digraph::{Digraph, VertexId};
 use swap_market::{BuildError, LeaderStrategy, SpecBuilder};
@@ -56,8 +56,10 @@ pub struct SwapSetup {
     /// Secret per vertex (every party generates one, §4.2; only leaders'
     /// matter to the spec).
     pub secrets: Vec<Secret>,
-    /// One blockchain per arc (index = arc index).
-    pub chains: ChainSet<SwapContract>,
+    /// One blockchain per arc (index = arc index). Chains host
+    /// [`AnyContract`], so the same setup runs under either protocol of the
+    /// [`crate::protocol::SwapProtocol`] axis.
+    pub chains: ChainSet<AnyContract>,
     /// The chain hosting each arc's contract (index = arc index).
     pub chain_of_arc: Vec<ChainId>,
     /// The escrowable asset for each arc (index = arc index), minted on the
@@ -129,7 +131,7 @@ impl SwapSetup {
 
         // One chain and one asset per arc; the asset starts with the party
         // (the arc's head).
-        let mut chains: ChainSet<SwapContract> = ChainSet::new();
+        let mut chains: ChainSet<AnyContract> = ChainSet::new();
         let mut chain_of_arc = Vec::with_capacity(digraph.arc_count());
         let mut asset_of_arc = Vec::with_capacity(digraph.arc_count());
         for arc in digraph.arcs() {
@@ -168,7 +170,7 @@ impl SwapSetup {
         now: SimTime,
     ) -> SwapSetup {
         let digraph = spec.digraph.clone();
-        let mut chains: ChainSet<swap_contract::SwapContract> = ChainSet::new();
+        let mut chains: ChainSet<AnyContract> = ChainSet::new();
         let mut chain_of_arc = Vec::with_capacity(digraph.arc_count());
         let mut asset_of_arc = Vec::with_capacity(digraph.arc_count());
         for arc in digraph.arcs() {

@@ -1,4 +1,5 @@
-//! The single-leader protocol of §4.6: plain timeouts, no hashkeys.
+//! The §4.6 single-leader timeout analysis: Lemma 4.13 timeout assignment
+//! and the Figure 6 feasibility check.
 //!
 //! When the swap digraph needs only one leader `v̂`, the subdigraph of
 //! followers is acyclic and each arc `(u, v)` can carry the classic HTLC
@@ -15,17 +16,18 @@
 //! cannot hold around it (Figure 6, right) — which
 //! [`timeout_assignment_feasible`] checks directly from the constraint
 //! system.
+//!
+//! The protocol that *runs* on these timeouts is
+//! [`crate::protocol::HtlcProtocol`], an implementation of the
+//! [`crate::protocol::SwapProtocol`] axis executed by the shared
+//! event-driven [`crate::engine::Engine`] — there is no separate
+//! single-leader runner.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
-use swap_chain::{AssetDescriptor, AssetId, ChainId, ChainSet, ContractId, ContractLogic, Owner};
-use swap_contract::{HtlcCall, HtlcContract};
-use swap_crypto::{Address, MssKeypair, Secret};
-use swap_digraph::{algo, ArcId, Digraph, FeedbackVertexSet, VertexId};
-use swap_sim::{Delta, SimRng, SimTime, TraceLog};
-
-use crate::outcome::Outcome;
+use swap_digraph::{algo, Digraph, FeedbackVertexSet, VertexId};
+use swap_sim::{Delta, SimTime};
 
 /// Why per-arc timeouts cannot be assigned.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +43,12 @@ pub enum TimeoutError {
     /// A follower cannot reach the leader (cannot happen when strongly
     /// connected; reported defensively).
     LeaderUnreachable(VertexId),
+    /// The spec does not have exactly one leader, so the §4.6 protocol
+    /// does not apply at all.
+    NotSingleLeader {
+        /// How many leaders the spec elected.
+        leaders: usize,
+    },
 }
 
 impl fmt::Display for TimeoutError {
@@ -51,6 +59,9 @@ impl fmt::Display for TimeoutError {
             }
             TimeoutError::NotStronglyConnected => write!(f, "digraph not strongly connected"),
             TimeoutError::LeaderUnreachable(v) => write!(f, "{v} cannot reach the leader"),
+            TimeoutError::NotSingleLeader { leaders } => {
+                write!(f, "spec has {leaders} leaders; the §4.6 protocol needs exactly one")
+            }
         }
     }
 }
@@ -142,354 +153,6 @@ pub fn timeout_assignment_feasible(digraph: &Digraph, leaders: &BTreeSet<VertexI
     true
 }
 
-/// Behavior knobs for the single-leader runner (a subset of the general
-/// runner's: this protocol variant exists for the timing comparison, not
-/// for re-proving every adversarial theorem).
-#[derive(Debug, Clone, Default)]
-pub enum HtlcBehavior {
-    /// Follows the protocol.
-    #[default]
-    Conforming,
-    /// Conforming until `at_round`, then silent.
-    Halt {
-        /// First silent round.
-        at_round: u64,
-    },
-}
-
-/// Report from a [`SingleLeaderSwap`] run; mirrors the general runner's
-/// report shape.
-#[derive(Debug)]
-pub struct HtlcRunReport {
-    /// Outcome per vertex.
-    pub outcomes: Vec<Outcome>,
-    /// Whether each arc triggered.
-    pub arc_triggered: Vec<bool>,
-    /// Completion instant (last trigger), if all arcs triggered.
-    pub completion: Option<SimTime>,
-    /// Execution trace.
-    pub trace: TraceLog,
-    /// Total bytes stored on all chains.
-    pub storage_bytes: usize,
-    /// Total wire bytes of reveal calls (for comparison with hashkey
-    /// unlock bytes — the §4.6 "reduced message sizes" claim).
-    pub reveal_bytes: u64,
-    /// Refund count.
-    pub refunds: u64,
-}
-
-impl HtlcRunReport {
-    /// `true` iff every party ended with `Deal`.
-    pub fn all_deal(&self) -> bool {
-        self.outcomes.iter().all(|&o| o == Outcome::Deal)
-    }
-}
-
-/// A provisioned single-leader swap running the §4.6 timeout protocol.
-#[derive(Debug)]
-pub struct SingleLeaderSwap {
-    digraph: Digraph,
-    leader: VertexId,
-    secret: Secret,
-    addresses: Vec<Address>,
-    delta: Delta,
-    t0: SimTime,
-    timeouts: Vec<SimTime>,
-    chains: ChainSet<HtlcContract>,
-    chain_of_arc: Vec<ChainId>,
-    asset_of_arc: Vec<AssetId>,
-    behaviors: BTreeMap<VertexId, HtlcBehavior>,
-}
-
-impl SingleLeaderSwap {
-    /// Provisions chains, assets, and timeouts for `digraph` with the given
-    /// single `leader`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the timeout assignment does not exist (Lemma 4.13's
-    /// preconditions).
-    pub fn new(
-        digraph: Digraph,
-        leader: VertexId,
-        delta: Delta,
-        t0: SimTime,
-        rng: &mut SimRng,
-    ) -> Result<Self, TimeoutError> {
-        let timeouts = assign_timeouts(&digraph, leader, t0, delta)?;
-        let n = digraph.vertex_count();
-        let mut key_rng = rng.stream("sls/keys");
-        let addresses: Vec<Address> = (0..n)
-            .map(|_| MssKeypair::from_seed_with_height(key_rng.bytes32(), 1).public_key().address())
-            .collect();
-        let secret = Secret::random(&mut rng.stream("sls/secret"));
-        let mut chains: ChainSet<HtlcContract> = ChainSet::new();
-        let mut chain_of_arc = Vec::new();
-        let mut asset_of_arc = Vec::new();
-        for arc in digraph.arcs() {
-            let cid = chains.create_chain(
-                format!("htlc-{}-{}", digraph.name(arc.head), digraph.name(arc.tail)),
-                t0,
-            );
-            let chain = chains.get_mut(cid).expect("just created");
-            let asset = chain.mint_asset(
-                AssetDescriptor::unique(format!("asset-of-{}", digraph.name(arc.head))),
-                addresses[arc.head.index()],
-                t0,
-            );
-            chain_of_arc.push(cid);
-            asset_of_arc.push(asset);
-        }
-        Ok(SingleLeaderSwap {
-            digraph,
-            leader,
-            secret,
-            addresses,
-            delta,
-            t0,
-            timeouts,
-            chains,
-            chain_of_arc,
-            asset_of_arc,
-            behaviors: BTreeMap::new(),
-        })
-    }
-
-    /// Sets a party's behavior (default conforming).
-    pub fn set_behavior(&mut self, v: VertexId, behavior: HtlcBehavior) {
-        self.behaviors.insert(v, behavior);
-    }
-
-    /// The assigned timeout per arc.
-    pub fn timeouts(&self) -> &[SimTime] {
-        &self.timeouts
-    }
-
-    /// Runs the protocol to settlement.
-    pub fn run(mut self) -> HtlcRunReport {
-        let n = self.digraph.vertex_count();
-        let m = self.digraph.arc_count();
-        let mut trace = TraceLog::new();
-        let mut contract_of_arc: Vec<Option<ContractId>> = vec![None; m];
-        let mut published_phase_one = vec![false; n];
-        let mut revealed_entering = vec![false; n];
-        let mut refunded: Vec<BTreeSet<ArcId>> = vec![BTreeSet::new(); n];
-        let mut reveal_bytes = 0u64;
-        let mut refunds = 0u64;
-        let diam = self.digraph.diameter() as u64;
-        let max_rounds = 2 * diam + 6;
-
-        for round in 0..=max_rounds {
-            let now = self.t0 + self.delta.times(round);
-            let exec_time = now + self.delta.duration() / 2;
-            // Snapshot: which arcs have contracts; which have revealed
-            // secrets (visible state from previous rounds — the snapshot is
-            // taken before any action this round applies).
-            let has_contract: Vec<bool> = contract_of_arc.iter().map(|c| c.is_some()).collect();
-            let secret_on_arc: Vec<Option<Secret>> = (0..m)
-                .map(|a| {
-                    let id = contract_of_arc[a]?;
-                    let chain = self.chains.get(self.chain_of_arc[a]).expect("chain");
-                    chain.contract(id).and_then(|c| c.revealed_secret().copied())
-                })
-                .collect();
-            let triggered_now: Vec<bool> = (0..m)
-                .map(|a| {
-                    contract_of_arc[a]
-                        .and_then(|id| {
-                            self.chains.get(self.chain_of_arc[a]).expect("chain").contract(id)
-                        })
-                        .is_some_and(|c| c.is_triggered())
-                })
-                .collect();
-
-            let mut actions: Vec<(VertexId, HtlcAction)> = Vec::new();
-            for v in self.digraph.vertices() {
-                match self.behaviors.get(&v) {
-                    Some(HtlcBehavior::Halt { at_round }) if round >= *at_round => continue,
-                    _ => {}
-                }
-                // Phase One.
-                let entering_ready = self.digraph.in_arcs(v).all(|a| has_contract[a.id.index()]);
-                let is_leader = v == self.leader;
-                if !published_phase_one[v.index()] && (is_leader || entering_ready) {
-                    published_phase_one[v.index()] = true;
-                    for arc in self.digraph.out_arcs(v) {
-                        actions.push((v, HtlcAction::Publish(arc.id)));
-                    }
-                }
-                // Phase Two: the leader reveals on its entering arcs once
-                // they all carry contracts; a follower echoes a secret it
-                // sees revealed on any leaving arc.
-                let knows_secret = if is_leader {
-                    Some(self.secret)
-                } else {
-                    self.digraph.out_arcs(v).find_map(|a| secret_on_arc[a.id.index()])
-                };
-                if !revealed_entering[v.index()] && entering_ready {
-                    if let Some(secret) = knows_secret {
-                        revealed_entering[v.index()] = true;
-                        for arc in self.digraph.in_arcs(v) {
-                            if !triggered_now[arc.id.index()] {
-                                actions.push((v, HtlcAction::Reveal(arc.id, secret)));
-                            }
-                        }
-                    }
-                }
-                // Refunds on expired leaving arcs.
-                for arc in self.digraph.out_arcs(v) {
-                    if has_contract[arc.id.index()]
-                        && !triggered_now[arc.id.index()]
-                        && now >= self.timeouts[arc.id.index()]
-                        && !refunded[v.index()].contains(&arc.id)
-                    {
-                        refunded[v.index()].insert(arc.id);
-                        actions.push((v, HtlcAction::Refund(arc.id)));
-                    }
-                }
-            }
-
-            for (v, action) in actions {
-                let v_addr = self.addresses[v.index()];
-                let name = self.digraph.name(v).to_string();
-                match action {
-                    HtlcAction::Publish(arc) => {
-                        let a = arc.index();
-                        let contract = HtlcContract::new(
-                            self.asset_of_arc[a],
-                            self.addresses[self.digraph.head(arc).index()],
-                            self.addresses[self.digraph.tail(arc).index()],
-                            self.secret.hashlock(),
-                            self.timeouts[a],
-                        );
-                        let chain = self.chains.get_mut(self.chain_of_arc[a]).expect("chain");
-                        if let Ok(id) = chain.publish_contract(contract, v_addr, exec_time) {
-                            contract_of_arc[a] = Some(id);
-                            trace.record(
-                                exec_time,
-                                name,
-                                "contract.published",
-                                format!("arc {arc}"),
-                            );
-                        }
-                    }
-                    HtlcAction::Reveal(arc, secret) => {
-                        let a = arc.index();
-                        let Some(id) = contract_of_arc[a] else { continue };
-                        let chain = self.chains.get_mut(self.chain_of_arc[a]).expect("chain");
-                        match chain.call_contract(
-                            id,
-                            v_addr,
-                            HtlcCall::Reveal { secret },
-                            exec_time,
-                            32,
-                        ) {
-                            Ok(_) => {
-                                reveal_bytes += 32;
-                                trace.record(
-                                    exec_time,
-                                    name,
-                                    "arc.triggered",
-                                    format!("arc {arc}"),
-                                );
-                            }
-                            Err(e) => {
-                                trace.record(
-                                    exec_time,
-                                    name,
-                                    "tx.rejected",
-                                    format!("reveal {arc}: {e}"),
-                                );
-                            }
-                        }
-                    }
-                    HtlcAction::Refund(arc) => {
-                        let a = arc.index();
-                        let Some(id) = contract_of_arc[a] else { continue };
-                        let chain = self.chains.get_mut(self.chain_of_arc[a]).expect("chain");
-                        match chain.call_contract(id, v_addr, HtlcCall::Refund, exec_time, 8) {
-                            Ok(_) => {
-                                refunds += 1;
-                                trace.record(exec_time, name, "arc.refunded", format!("arc {arc}"));
-                            }
-                            Err(e) => {
-                                trace.record(
-                                    exec_time,
-                                    name,
-                                    "tx.rejected",
-                                    format!("refund {arc}: {e}"),
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Early exit once every contract is terminal.
-            let all_settled = (0..m).all(|a| {
-                contract_of_arc[a].is_some_and(|id| {
-                    self.chains
-                        .get(self.chain_of_arc[a])
-                        .expect("chain")
-                        .contract(id)
-                        .is_some_and(|c| c.is_terminated())
-                })
-            });
-            if all_settled {
-                break;
-            }
-        }
-
-        // Evaluation.
-        let arc_triggered: Vec<bool> = self
-            .digraph
-            .arcs()
-            .map(|arc| {
-                let a = arc.id.index();
-                let chain = self.chains.get(self.chain_of_arc[a]).expect("chain");
-                let tail_addr = self.addresses[arc.tail.index()];
-                chain.assets().owner(self.asset_of_arc[a]) == Some(Owner::Party(tail_addr))
-            })
-            .collect();
-        let outcomes: Vec<Outcome> = self
-            .digraph
-            .vertices()
-            .map(|v| {
-                let entering = (
-                    self.digraph.in_arcs(v).filter(|a| arc_triggered[a.id.index()]).count(),
-                    self.digraph.in_degree(v),
-                );
-                let leaving = (
-                    self.digraph.out_arcs(v).filter(|a| arc_triggered[a.id.index()]).count(),
-                    self.digraph.out_degree(v),
-                );
-                Outcome::classify(entering, leaving)
-            })
-            .collect();
-        let completion = if arc_triggered.iter().all(|&t| t) {
-            trace.last_time_of_kind("arc.triggered")
-        } else {
-            None
-        };
-        HtlcRunReport {
-            outcomes,
-            arc_triggered,
-            completion,
-            trace,
-            storage_bytes: self.chains.storage_report().total_bytes(),
-            reveal_bytes,
-            refunds,
-        }
-    }
-}
-
-#[derive(Debug)]
-enum HtlcAction {
-    Publish(ArcId),
-    Reveal(ArcId, Secret),
-    Refund(ArcId),
-}
-
 /// Convenience: picks a minimum feedback vertex set and reports whether it
 /// is a singleton (i.e. whether the single-leader protocol applies at all).
 pub fn single_leader_of(digraph: &Digraph) -> Option<VertexId> {
@@ -579,126 +242,14 @@ mod tests {
     }
 
     #[test]
-    fn conforming_run_matches_figure_2_timeline() {
-        let d = generators::herlihy_three_party();
-        let alice = d.vertex_by_name("alice").unwrap();
-        let swap = SingleLeaderSwap::new(
-            d,
-            alice,
-            Delta::from_ticks(10),
-            SimTime::ZERO,
-            &mut SimRng::from_seed(3),
-        )
-        .unwrap();
-        let report = swap.run();
-        assert!(report.all_deal(), "outcomes: {:?}", report.outcomes);
-        let publishes: Vec<u64> =
-            report.trace.entries_of_kind("contract.published").map(|e| e.time.ticks()).collect();
-        assert_eq!(publishes, vec![5, 15, 25]);
-        let triggers: Vec<u64> =
-            report.trace.entries_of_kind("arc.triggered").map(|e| e.time.ticks()).collect();
-        assert_eq!(triggers, vec![35, 45, 55]);
-        assert_eq!(report.refunds, 0);
-    }
-
-    #[test]
-    fn conforming_runs_across_families() {
-        for d in [generators::cycle(4), generators::star(3), generators::flower(2, 3)] {
-            let leader = single_leader_of(&d).expect("single leader");
-            let swap = SingleLeaderSwap::new(
-                d.clone(),
-                leader,
-                Delta::from_ticks(10),
-                SimTime::ZERO,
-                &mut SimRng::from_seed(4),
-            )
-            .unwrap();
-            let report = swap.run();
-            assert!(report.all_deal(), "digraph:\n{}", d.render());
-        }
-    }
-
-    #[test]
-    fn halted_leader_leads_to_refunds_no_underwater() {
-        let d = generators::herlihy_three_party();
-        let alice = d.vertex_by_name("alice").unwrap();
-        for halt_round in 0..8 {
-            let mut swap = SingleLeaderSwap::new(
-                d.clone(),
-                alice,
-                Delta::from_ticks(10),
-                SimTime::ZERO,
-                &mut SimRng::from_seed(5),
-            )
-            .unwrap();
-            swap.set_behavior(alice, HtlcBehavior::Halt { at_round: halt_round });
-            let report = swap.run();
-            for (i, &o) in report.outcomes.iter().enumerate() {
-                if VertexId::new(i as u32) != alice {
-                    assert!(o != Outcome::Underwater, "halt {halt_round}, party {i}: {o}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn halted_follower_cannot_hurt_others() {
-        let d = generators::herlihy_three_party();
-        let alice = d.vertex_by_name("alice").unwrap();
-        let carol = d.vertex_by_name("carol").unwrap();
-        for halt_round in 0..8 {
-            let mut swap = SingleLeaderSwap::new(
-                d.clone(),
-                alice,
-                Delta::from_ticks(10),
-                SimTime::ZERO,
-                &mut SimRng::from_seed(6),
-            )
-            .unwrap();
-            swap.set_behavior(carol, HtlcBehavior::Halt { at_round: halt_round });
-            let report = swap.run();
-            for (i, &o) in report.outcomes.iter().enumerate() {
-                if VertexId::new(i as u32) != carol {
-                    assert!(o != Outcome::Underwater, "halt {halt_round}, party {i}: {o}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn storage_smaller_than_general_protocol() {
-        // §4.6's point: single-leader swaps avoid storing digraphs, key
-        // tables, and signature chains. Compare the two protocols on the
-        // same digraph.
-        use crate::runner::{RunConfig, SwapRunner};
-        use crate::setup::{SetupConfig, SwapSetup};
-        let d = generators::herlihy_three_party();
-        let alice = d.vertex_by_name("alice").unwrap();
-        let simple = SingleLeaderSwap::new(
-            d.clone(),
-            alice,
-            Delta::from_ticks(10),
-            SimTime::ZERO,
-            &mut SimRng::from_seed(7),
-        )
-        .unwrap()
-        .run();
-        let setup =
-            SwapSetup::generate(d, &SetupConfig::default(), &mut SimRng::from_seed(7)).unwrap();
-        let general = SwapRunner::new(setup, RunConfig::default()).run();
-        assert!(general.all_deal() && simple.all_deal());
-        assert!(
-            simple.storage_bytes < general.storage.total_bytes(),
-            "simple {} vs general {}",
-            simple.storage_bytes,
-            general.storage.total_bytes()
-        );
-        assert!(simple.reveal_bytes < general.metrics.unlock_bytes);
-    }
-
-    #[test]
     fn single_leader_of_detection() {
         assert!(single_leader_of(&generators::herlihy_three_party()).is_some());
         assert!(single_leader_of(&generators::two_leader_triangle()).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TimeoutError::NotSingleLeader { leaders: 2 }.to_string().contains("2 leaders"));
+        assert!(TimeoutError::NotStronglyConnected.to_string().contains("strongly"));
     }
 }

@@ -11,7 +11,7 @@
 //! Both are built from scratch on SHA-256 (no external crypto crates are on
 //! the sanctioned dependency list):
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256, tested against the NIST example
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256, tested against the NIST example
 //!   vectors,
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104), used for deterministic key
 //!   derivation,

@@ -3,7 +3,7 @@
 //! Theorem 4.12 of the paper shows that in any uniform hashed-timelock swap
 //! protocol the leaders must form a feedback vertex set of the swap digraph.
 //! Finding a *minimum* directed feedback vertex set is NP-complete (Karp
-//! 1972, cited as [15]); the paper notes an efficient 2-approximation exists
+//! 1972, cited as \[15\]); the paper notes an efficient 2-approximation exists
 //! for the undirected variant. This module provides:
 //!
 //! * [`FeedbackVertexSet::is_feedback_vertex_set`] — the defining check,

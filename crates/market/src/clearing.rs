@@ -156,6 +156,24 @@ pub struct ClearedSwap {
     pub arc_kinds: Vec<AssetKind>,
 }
 
+impl ClearedSwap {
+    /// The protocol hint an execution layer reads off the cycle's shape:
+    /// whether the §4.6 single-leader timeout protocol applies — exactly
+    /// one elected leader whose removal leaves the followers acyclic
+    /// (Lemma 4.13's precondition, the Figure 6 obstruction otherwise).
+    ///
+    /// Every simple trade cycle with one leader satisfies this, which makes
+    /// cheap HTLC execution the common case for cleared books.
+    pub fn single_leader_feasible(&self) -> bool {
+        if self.spec.leaders.len() != 1 {
+            return false;
+        }
+        let removed: BTreeSet<VertexId> = self.spec.leaders.iter().copied().collect();
+        let followers = self.spec.digraph.delete_vertices(&removed);
+        swap_digraph::fvs::find_cycle(&followers).is_none()
+    }
+}
+
 /// Errors from [`ClearingService::clear`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClearError {

@@ -36,7 +36,7 @@
 //! [`ClearingService::settle_swap`] / [`ClearingService::refund_swap`].
 //!
 //! [`SpecBuilder`] is the lower-level brick: given any digraph and identity
-//! table it assembles a validated [`SwapSpec`], choosing leaders exactly or
+//! table it assembles a validated [`swap_contract::SwapSpec`], choosing leaders exactly or
 //! greedily. The protocol runner and benches use it to set up swaps over
 //! arbitrary digraph families.
 

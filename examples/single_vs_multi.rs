@@ -1,45 +1,45 @@
-//! Single-leader timeouts vs general hashkeys (§4.6 ablation).
+//! Single-leader timeouts vs general hashkeys (§4.6 ablation) — one
+//! engine, two protocols.
 //!
 //! On single-leader digraphs the protocol can drop hashkeys entirely and
 //! use classic HTLCs with the Lemma 4.13 timeout ladder — "reducing message
-//! sizes and eliminating the need for digital signatures". This example
-//! runs *both* protocols on the same digraph families and compares bytes
-//! on-chain, message bytes, and completion times.
+//! sizes and eliminating the need for digital signatures". Since the
+//! protocol became a pluggable axis (`SwapProtocol`), both variants run on
+//! the *same* event-driven engine: this example executes each digraph
+//! family under both `ProtocolKind`s and compares bytes on-chain, message
+//! bytes, and completion times, then lets the `Exchange` pick per cleared
+//! cycle and prints its choices.
 //!
 //! Run with: `cargo run --example single_vs_multi`
 
-use atomic_swaps::core::runner::{RunConfig, SwapRunner};
+use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy};
+use atomic_swaps::core::runner::{RunConfig, RunReport};
 use atomic_swaps::core::setup::{SetupConfig, SwapSetup};
-use atomic_swaps::core::{single_leader_of, SingleLeaderSwap};
+use atomic_swaps::core::{single_leader_of, ProtocolKind, SwapInstance};
 use atomic_swaps::digraph::{generators, Digraph};
-use atomic_swaps::sim::{Delta, SimRng, SimTime};
+use atomic_swaps::market::AssetKind;
+use atomic_swaps::sim::SimRng;
 
-fn compare(name: &str, digraph: Digraph) -> Result<(), Box<dyn std::error::Error>> {
-    let leader = single_leader_of(&digraph).expect("family has a single leader");
-    let delta = Delta::from_ticks(10);
-
-    // §4.6 protocol: plain HTLCs with the timeout ladder.
-    let mut rng = SimRng::from_seed(11);
-    let simple =
-        SingleLeaderSwap::new(digraph.clone(), leader, delta, SimTime::ZERO, &mut rng)?.run();
-
-    // General protocol: hashkeys with signature chains.
+fn run(digraph: Digraph, protocol: ProtocolKind) -> Result<RunReport, Box<dyn std::error::Error>> {
     let mut rng = SimRng::from_seed(11);
     let setup = SwapSetup::generate(digraph, &SetupConfig::default(), &mut rng)?;
-    let start = setup.spec.start;
-    let general = SwapRunner::new(setup, RunConfig::default()).run();
+    Ok(SwapInstance::new(0, setup, RunConfig::default()).with_protocol(protocol).run_lockstep())
+}
 
+fn compare(name: &str, digraph: Digraph) -> Result<(), Box<dyn std::error::Error>> {
+    assert!(single_leader_of(&digraph).is_some(), "family has a single leader");
+    let simple = run(digraph.clone(), ProtocolKind::Htlc)?;
+    let general = run(digraph, ProtocolKind::Hashkey)?;
     assert!(simple.all_deal() && general.all_deal());
-    let simple_done = simple.completion.expect("completes") - SimTime::ZERO;
-    let general_done = general.completion.expect("completes") - (start - delta.times(1));
+    let done = |r: &RunReport| r.completion.expect("completes").ticks();
     println!(
         "{name:<14} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
-        simple.storage_bytes,
+        simple.storage.total_bytes(),
         general.storage.total_bytes(),
-        simple.reveal_bytes,
+        simple.metrics.unlock_bytes,
         general.metrics.unlock_bytes,
-        simple_done.ticks(),
-        general_done.ticks(),
+        done(&simple),
+        done(&general),
     );
     Ok(())
 }
@@ -58,7 +58,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(92));
     println!(
         "The §4.6 variant stores and transmits orders of magnitude less — that is why\n\
-         the paper singles out single-leader digraphs as the practical common case."
+         the paper singles out single-leader digraphs as the practical common case.\n"
     );
+
+    // The exchange makes the choice per cleared cycle: simple trade cycles
+    // are single-leader feasible and run on cheap HTLCs automatically.
+    let mut rng = SimRng::from_seed(12);
+    let mut exchange = Exchange::new(ExchangeConfig {
+        protocol: ProtocolPolicy::Auto,
+        ..ExchangeConfig::default()
+    });
+    for ring in 0..3usize {
+        for p in 0..3 {
+            exchange.submit(ExchangeParty::generate(
+                &mut rng,
+                4,
+                AssetKind::new(format!("r{ring}k{p}")),
+                AssetKind::new(format!("r{ring}k{}", (p + 1) % 3)),
+            ));
+        }
+    }
+    let executed = exchange.run_epoch()?;
+    println!("Exchange epoch: {} cleared cycles, protocol chosen per cycle:", executed.len());
+    for summary in &exchange.report().swaps {
+        println!(
+            "  {}: {} parties, {} leader(s) -> {}  (settled: {})",
+            summary.swap, summary.parties, summary.leaders, summary.protocol, summary.settled
+        );
+    }
+    assert!(exchange.report().swaps.iter().all(|s| s.protocol == ProtocolKind::Htlc));
     Ok(())
 }

@@ -8,10 +8,10 @@
 //!    identical [`ExchangeReport`] for 1, 2, and 8 worker threads. Sharding
 //!    changes wall-clock only.
 
-use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy};
 use atomic_swaps::core::instance::SwapInstance;
 use atomic_swaps::core::runner::RunConfig;
-use atomic_swaps::core::{Engine, Lockstep};
+use atomic_swaps::core::{Engine, Lockstep, ProtocolKind};
 use atomic_swaps::market::{AssetKind, ClearingService, OfferStatus};
 use atomic_swaps::sim::{Delta, SimRng, SimTime};
 
@@ -135,4 +135,77 @@ fn pipeline_resolves_offer_lifecycle_end_to_end() {
     // 3 + 2 arcs, one chain each, merged into the global ledger.
     assert_eq!(exchange.ledger().len(), 5);
     assert!(exchange.ledger().verify_integrity());
+}
+
+/// The protocol-selection acceptance pin: a single-leader-feasible cleared
+/// cycle executed via the `Exchange` provably runs on `AnyContract::Htlc`
+/// contracts (per-swap protocol tag plus the ledger's actual contract
+/// flavors), with strictly lower storage than the same cycle forced
+/// through the general hashkey protocol.
+#[test]
+fn auto_selection_runs_cleared_cycles_on_htlcs_and_saves_storage() {
+    let parties = ring_book(&[4], 0xAB);
+    let run = |policy: ProtocolPolicy| {
+        let mut exchange = Exchange::new(ExchangeConfig { protocol: policy, ..Default::default() });
+        for p in &parties {
+            exchange.submit(p.clone());
+        }
+        let executed = exchange.run_epoch().expect("epoch clears");
+        assert_eq!(executed.len(), 1);
+        assert!(executed[0].report.all_deal() && executed[0].report.settled);
+        let mut htlc_contracts = 0usize;
+        let mut swap_contracts = 0usize;
+        for (_, chain) in exchange.ledger().iter() {
+            for (_, contract) in chain.contracts() {
+                if contract.as_htlc().is_some() {
+                    htlc_contracts += 1;
+                } else {
+                    swap_contracts += 1;
+                }
+            }
+        }
+        (exchange.into_report(), htlc_contracts, swap_contracts)
+    };
+
+    let (auto_report, auto_htlc, auto_swap) = run(ProtocolPolicy::Auto);
+    assert_eq!(auto_report.swaps.len(), 1);
+    assert_eq!(auto_report.swaps[0].protocol, ProtocolKind::Htlc, "cycles auto-select HTLCs");
+    assert_eq!((auto_htlc, auto_swap), (4, 0), "every arc's contract is an HTLC");
+
+    let (forced_report, forced_htlc, forced_swap) = run(ProtocolPolicy::ForceHashkey);
+    assert_eq!(forced_report.swaps[0].protocol, ProtocolKind::Hashkey);
+    assert_eq!((forced_htlc, forced_swap), (0, 4), "forcing keeps the general contract");
+
+    // §4.6's storage and message-size claims, measured at exchange scale.
+    assert!(
+        auto_report.storage.total_bytes() < forced_report.storage.total_bytes(),
+        "htlc {} vs hashkey {}",
+        auto_report.storage.total_bytes(),
+        forced_report.storage.total_bytes()
+    );
+    assert!(
+        auto_report.swaps[0].metrics.unlock_bytes < forced_report.swaps[0].metrics.unlock_bytes
+    );
+}
+
+/// Mixed books: the exchange applies the per-cycle choice independently —
+/// every simple cycle is single-leader feasible, so an auto epoch tags all
+/// of them `htlc` while a forced epoch tags all `hashkey`, and both settle.
+#[test]
+fn protocol_choice_is_recorded_per_swap() {
+    for (policy, expected) in [
+        (ProtocolPolicy::Auto, ProtocolKind::Htlc),
+        (ProtocolPolicy::ForceHashkey, ProtocolKind::Hashkey),
+    ] {
+        let mut exchange =
+            Exchange::new(ExchangeConfig { protocol: policy, threads: 2, ..Default::default() });
+        for p in ring_book(&[3, 5, 2], 0xCC) {
+            exchange.submit(p);
+        }
+        let executed = exchange.run_epoch().expect("epoch clears");
+        assert_eq!(executed.len(), 3);
+        let report = exchange.report();
+        assert_eq!(report.swaps_settled, 3);
+        assert!(report.swaps.iter().all(|s| s.protocol == expected), "policy {policy:?}");
+    }
 }

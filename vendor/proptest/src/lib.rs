@@ -114,7 +114,7 @@ pub mod strategy {
             Map { source: self, map: f }
         }
 
-        /// Boxes this strategy as a trait object (used by [`prop_oneof!`]).
+        /// Boxes this strategy as a trait object (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -169,7 +169,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (see [`prop_oneof!`]).
+    /// Uniform choice between boxed alternatives (see `prop_oneof!`).
     pub struct OneOf<T> {
         options: Vec<BoxedStrategy<T>>,
     }
