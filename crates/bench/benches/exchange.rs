@@ -1,5 +1,5 @@
-//! Criterion benches for the exchange pipeline: offers → epoch clearing →
-//! concurrent swap execution, sequential vs sharded.
+//! Criterion benches for the exchange pipeline: offers → staged epochs →
+//! concurrent swap execution, sequential vs sharded, batch vs pipelined.
 //!
 //! One epoch over a book of 16 disjoint 3-party rings (48 offers) executes
 //! 16 in-flight swaps. Cleared cycles are party- and chain-disjoint, so the
@@ -13,9 +13,18 @@
 //! The `exchange/protocol` group adds the protocol-choice axis: the same
 //! book under `ForceHashkey` vs `Auto` (per-cycle §4.6 HTLC selection), so
 //! the HTLC fast path's storage/wall win is *measured*, not asserted.
+//!
+//! The `exchange/drive` group adds the driving-mode axis on a 4-wave
+//! rolling book: `batch` drains each epoch before submitting the next
+//! wave; `pipelined` submits wave w+1 the instant epoch w starts
+//! executing, so clearing/provisioning overlap execution. Host wall-clock
+//! differences are modest (the stages are cheap host-side); the simulated
+//! wall-tick win is printed alongside and measured rigorously by E18.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy};
+use swap_core::exchange::{
+    EpochStage, Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy, StageCosts, StepEvent,
+};
 use swap_market::AssetKind;
 use swap_sim::SimRng;
 
@@ -41,13 +50,14 @@ fn book() -> Vec<ExchangeParty> {
     parties
 }
 
-/// One full epoch: submit the book, clear, execute, resolve.
-fn run_epoch(parties: &[ExchangeParty], threads: usize, protocol: ProtocolPolicy) {
+/// One full epoch through the staged pipeline: submit the book, drive the
+/// stage machine dry, resolve.
+fn drive_epoch(parties: &[ExchangeParty], threads: usize, protocol: ProtocolPolicy) {
     let mut exchange = Exchange::new(ExchangeConfig { threads, protocol, ..Default::default() });
     for p in parties {
         exchange.submit(p.clone());
     }
-    let executed = exchange.run_epoch().expect("epoch clears");
+    let executed = exchange.drive_until_quiescent().expect("epoch clears");
     assert_eq!(executed.len(), RINGS);
     assert_eq!(exchange.report().swaps_settled, RINGS as u64);
 }
@@ -70,7 +80,7 @@ fn bench_exchange_throughput(c: &mut Criterion) {
         for p in &parties {
             exchange.submit(p.clone());
         }
-        exchange.run_epoch().expect("epoch clears");
+        exchange.drive_until_quiescent().expect("epoch clears");
         let report = exchange.report();
         let sequential: u64 = report.swaps.iter().map(|s| (s.rounds + 1) * delta_ticks).sum();
         println!(
@@ -84,7 +94,7 @@ fn bench_exchange_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(format!("epoch/{RINGS}x3"), threads),
             &threads,
-            |b, &threads| b.iter(|| run_epoch(&parties, threads, ProtocolPolicy::ForceHashkey)),
+            |b, &threads| b.iter(|| drive_epoch(&parties, threads, ProtocolPolicy::ForceHashkey)),
         );
     }
     group.finish();
@@ -107,7 +117,7 @@ fn bench_protocol_choice(c: &mut Criterion) {
         for p in &parties {
             exchange.submit(p.clone());
         }
-        exchange.run_epoch().expect("epoch clears");
+        exchange.drive_until_quiescent().expect("epoch clears");
         println!(
             "exchange/protocol/{label}: {} bytes on-chain across {} swaps",
             exchange.report().storage.total_bytes(),
@@ -116,11 +126,91 @@ fn bench_protocol_choice(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(format!("protocol/{RINGS}x3"), label),
             &policy,
-            |b, &policy| b.iter(|| run_epoch(&parties, 1, policy)),
+            |b, &policy| b.iter(|| drive_epoch(&parties, 1, policy)),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_exchange_throughput, bench_protocol_choice);
+/// The driving-mode axis on a rolling book: batch (each wave waits for the
+/// previous epoch to settle) vs pipelined (wave w+1 submitted as epoch w
+/// starts executing, so clearing overlaps execution).
+fn bench_driving_mode(c: &mut Criterion) {
+    const WAVES: usize = 4;
+    const WAVE_RINGS: usize = 4;
+    let costs = StageCosts {
+        clearing_base: 10,
+        clearing_per_offer: 1,
+        provisioning_base: 5,
+        provisioning_per_party: 1,
+        settling_base: 5,
+        settling_per_swap: 1,
+    };
+    let wave = |w: usize| -> Vec<ExchangeParty> {
+        let mut rng = SimRng::from_seed(0xD0 + w as u64);
+        let mut parties = Vec::with_capacity(WAVE_RINGS * 3);
+        for r in 0..WAVE_RINGS {
+            for p in 0..3 {
+                parties.push(ExchangeParty::generate(
+                    &mut rng,
+                    KEY_HEIGHT,
+                    AssetKind::new(format!("w{w}r{r}k{p}")),
+                    AssetKind::new(format!("w{w}r{r}k{}", (p + 1) % 3)),
+                ));
+            }
+        }
+        parties
+    };
+    let run = |pipelined: bool| -> u64 {
+        let mut exchange =
+            Exchange::new(ExchangeConfig { threads: 2, stage_costs: costs, ..Default::default() });
+        if pipelined {
+            let mut next = 0usize;
+            for p in wave(next) {
+                exchange.submit(p);
+            }
+            next += 1;
+            loop {
+                match exchange.step().expect("pipeline advances") {
+                    StepEvent::StageEntered { stage: EpochStage::Executing, .. }
+                        if next < WAVES =>
+                    {
+                        for p in wave(next) {
+                            exchange.submit(p);
+                        }
+                        next += 1;
+                    }
+                    StepEvent::Quiescent => break,
+                    _ => {}
+                }
+            }
+        } else {
+            for w in 0..WAVES {
+                for p in wave(w) {
+                    exchange.submit(p);
+                }
+                exchange.drive_until_quiescent().expect("epoch settles");
+            }
+        }
+        assert_eq!(exchange.report().swaps_settled, (WAVES * WAVE_RINGS) as u64);
+        exchange.report().wall_ticks
+    };
+    println!(
+        "exchange/drive: {WAVES}-wave rolling book, sim wall ticks: batch {} vs pipelined {}",
+        run(false),
+        run(true)
+    );
+    let mut group = c.benchmark_group("exchange");
+    group.sample_size(3);
+    for (label, pipelined) in [("batch", false), ("pipelined", true)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("drive/{WAVES}x{WAVE_RINGS}x3"), label),
+            &pipelined,
+            |b, &pipelined| b.iter(|| run(pipelined)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_throughput, bench_protocol_choice, bench_driving_mode);
 criterion_main!(benches);

@@ -13,8 +13,10 @@
 //! Experiment ids follow DESIGN.md's index (E1–E14), plus E15 for the
 //! event-driven engine's per-chain latency timing model, E16 for the
 //! exchange pipeline (continuous clearing + sharded concurrent execution),
-//! and E17 for per-cycle protocol selection (§4.6 single-leader HTLCs vs
-//! the general hashkey protocol on the same cleared books).
+//! E17 for per-cycle protocol selection (§4.6 single-leader HTLCs vs the
+//! general hashkey protocol on the same cleared books), and E18 for
+//! multi-epoch pipelining (stage-overlapped vs batch driving of a rolling
+//! book, with per-stage wall-tick attribution).
 
 use std::collections::BTreeSet;
 
@@ -58,6 +60,7 @@ fn main() {
         ("e15", e15_timing_models),
         ("e16", e16_exchange_pipeline),
         ("e17", e17_protocol_selection),
+        ("e18", e18_multi_epoch_pipelining),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -850,7 +853,7 @@ fn e16_exchange_pipeline() -> bool {
             for p in &parties {
                 exchange.submit(p.clone());
             }
-            let executed = exchange.run_epoch().expect("honest book clears");
+            let executed = exchange.drive_until_quiescent().expect("honest book clears");
             let elapsed = clock.elapsed();
             let report = exchange.into_report();
             let elapsed_ms = elapsed.as_secs_f64() * 1e3;
@@ -1002,7 +1005,7 @@ fn e17_protocol_selection() -> bool {
             for p in &parties {
                 exchange.submit(p.clone());
             }
-            exchange.run_epoch().expect("honest book clears");
+            exchange.drive_until_quiescent().expect("honest book clears");
             let elapsed_ms = clock.elapsed().as_secs_f64() * 1e3;
             let report = exchange.into_report();
             let expected = match policy {
@@ -1078,5 +1081,209 @@ fn e17_protocol_selection() -> bool {
         }
     }
     println!("    auto-selection settles everything on HTLCs, strictly cheaper: {ok}");
+    ok
+}
+
+/// E18 (multi-epoch pipelining): stage-overlapped vs batch driving of a
+/// rolling book. Five submission waves roll through the exchange; batch
+/// driving drains each epoch before the next wave is submitted, pipelined
+/// driving submits wave w+1 the instant epoch w enters `Executing`, so
+/// epoch w+1's clearing and provisioning run in the shadow of epoch w's
+/// execution. Stage latencies are modeled explicitly (`StageCosts`), and
+/// the per-stage wall-tick attribution must sum to the total in both
+/// modes. The pipelined total must be *strictly* lower than batch at every
+/// worker count {1, 2, 8}, and identical across worker counts (sharding
+/// is host wall-clock only). Results land in `target/BENCH_E18.json`.
+fn e18_multi_epoch_pipelining() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_core::exchange::{
+        EpochStage, Exchange, ExchangeConfig, ExchangeParty, ExchangeReport, StageCosts, StepEvent,
+    };
+    use swap_market::AssetKind;
+
+    const WAVES: usize = 5;
+    const WAVE_RINGS: usize = 3;
+
+    println!("E18 Multi-epoch pipelining: overlapped vs batch driving, {WAVES}-wave book\n");
+    let widths = [8, 11, 8, 8, 10, 26, 10, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            ["workers", "mode", "epochs", "settled", "wall", "clear/prov/exec/settle", "ms", "ok"]
+                .map(String::from)
+                .as_ref(),
+            &widths
+        )
+    );
+
+    let costs = StageCosts {
+        clearing_base: 10,
+        clearing_per_offer: 1,
+        provisioning_base: 5,
+        provisioning_per_party: 1,
+        settling_base: 5,
+        settling_per_swap: 1,
+    };
+    // Wave w: disjoint rings with mixed cycle lengths 2..=4, deterministic.
+    let wave = |w: usize| -> Vec<ExchangeParty> {
+        let mut rng = SimRng::from_seed(0xE18 + w as u64);
+        let mut parties = Vec::new();
+        for r in 0..WAVE_RINGS {
+            let len = 2 + (w + r) % 3;
+            for p in 0..len {
+                parties.push(ExchangeParty::generate(
+                    &mut rng,
+                    4,
+                    AssetKind::new(format!("w{w}r{r}k{p}")),
+                    AssetKind::new(format!("w{w}r{r}k{}", (p + 1) % len)),
+                ));
+            }
+        }
+        parties
+    };
+
+    let drive = |threads: usize, pipelined: bool| -> ExchangeReport {
+        let mut exchange =
+            Exchange::new(ExchangeConfig { threads, stage_costs: costs, ..Default::default() });
+        if pipelined {
+            let mut next = 0usize;
+            for p in wave(next) {
+                exchange.submit(p);
+            }
+            next += 1;
+            loop {
+                match exchange.step().expect("pipeline advances") {
+                    StepEvent::StageEntered { stage: EpochStage::Executing, .. }
+                        if next < WAVES =>
+                    {
+                        for p in wave(next) {
+                            exchange.submit(p);
+                        }
+                        next += 1;
+                    }
+                    StepEvent::Quiescent => break,
+                    _ => {}
+                }
+            }
+            assert_eq!(next, WAVES, "every wave injected");
+        } else {
+            for w in 0..WAVES {
+                for p in wave(w) {
+                    exchange.submit(p);
+                }
+                exchange.drive_until_quiescent().expect("honest book settles");
+            }
+        }
+        exchange.into_report()
+    };
+
+    struct Row {
+        workers: usize,
+        mode: &'static str,
+        epochs: u64,
+        settled: u64,
+        wall_ticks: u64,
+        elapsed_ms: f64,
+        report: ExchangeReport,
+    }
+    let mut ok = true;
+    let mut rows: Vec<Row> = Vec::new();
+    let total_swaps = (WAVES * WAVE_RINGS) as u64;
+    let mut pipelined_fingerprint: Option<String> = None;
+    for workers in [1usize, 2, 8] {
+        let mut walls = [0u64; 2];
+        for (slot, (mode, pipelined)) in
+            [("batch", false), ("pipelined", true)].into_iter().enumerate()
+        {
+            let clock = Instant::now();
+            let report = drive(workers, pipelined);
+            let elapsed_ms = clock.elapsed().as_secs_f64() * 1e3;
+            walls[slot] = report.wall_ticks;
+            let attribution_sums = report.stage_ticks.total() == report.wall_ticks;
+            let row_ok = report.swaps_settled == total_swaps
+                && report.swaps_refunded == 0
+                && attribution_sums;
+            ok &= row_ok;
+            if pipelined {
+                // Sharding must not change the simulated pipeline at all.
+                let fp = format!("{report:?}");
+                match &pipelined_fingerprint {
+                    None => pipelined_fingerprint = Some(fp),
+                    Some(base) => ok &= *base == fp,
+                }
+            }
+            println!(
+                "    {}",
+                fmt_row(
+                    &[
+                        workers.to_string(),
+                        mode.to_string(),
+                        report.epochs.to_string(),
+                        report.swaps_settled.to_string(),
+                        report.wall_ticks.to_string(),
+                        format!(
+                            "{}/{}/{}/{}",
+                            report.stage_ticks.clearing,
+                            report.stage_ticks.provisioning,
+                            report.stage_ticks.executing,
+                            report.stage_ticks.settling
+                        ),
+                        format!("{elapsed_ms:.1}"),
+                        if row_ok { "✓".into() } else { "✗".into() },
+                    ],
+                    &widths
+                )
+            );
+            rows.push(Row {
+                workers,
+                mode,
+                epochs: report.epochs,
+                settled: report.swaps_settled,
+                wall_ticks: report.wall_ticks,
+                elapsed_ms,
+                report,
+            });
+        }
+        let strictly_lower = walls[1] < walls[0];
+        ok &= strictly_lower;
+        println!(
+            "    workers={workers}: pipelined {} vs batch {} sim ticks ({:.2}x) — strictly lower: \
+             {strictly_lower}",
+            walls[1],
+            walls[0],
+            walls[0] as f64 / walls[1] as f64
+        );
+    }
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e18")
+            .field_str("name", "multi-epoch pipelining: overlapped vs batch driving")
+            .field_usize("waves", WAVES)
+            .field_usize("rings_per_wave", WAVE_RINGS)
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("workers", row.workers)
+                            .field_str("mode", row.mode)
+                            .field_u64("epochs", row.epochs)
+                            .field_u64("swaps_settled", row.settled)
+                            .field_u64("wall_ticks", row.wall_ticks)
+                            .field_f64("elapsed_ms", row.elapsed_ms)
+                            .field_object("report", |r| {
+                                json::exchange_report_fields(r, &row.report)
+                            });
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E18", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E18.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    pipelining strictly beats batch at every worker count, attribution sums: {ok}");
     ok
 }

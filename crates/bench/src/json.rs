@@ -196,6 +196,12 @@ pub fn exchange_report_fields(o: &mut JsonObject, r: &ExchangeReport) {
             .field_u64("swaps_settled", r.swaps_settled)
             .field_u64("swaps_refunded", r.swaps_refunded)
             .field_u64("wall_ticks", r.wall_ticks)
+            .field_object("stage_ticks", |s| {
+                s.field_u64("clearing", r.stage_ticks.clearing)
+                    .field_u64("provisioning", r.stage_ticks.provisioning)
+                    .field_u64("executing", r.stage_ticks.executing)
+                    .field_u64("settling", r.stage_ticks.settling);
+            })
             .field_object("storage", |s| storage_fields(s, &r.storage))
             .field_array("swaps", |arr| {
                 for swap in &r.swaps {

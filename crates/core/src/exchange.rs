@@ -1,42 +1,69 @@
-//! The exchange pipeline: continuous clearing feeding parallel multi-swap
-//! execution on sharded chain sets.
+//! The exchange pipeline: continuous clearing overlapped with parallel
+//! multi-swap execution on sharded chain sets.
 //!
 //! The paper assumes "the swap digraph is constructed by a (possibly
 //! centralized) market-clearing service" (§4.2) and then analyzes *one*
-//! swap. [`Exchange`] is the layer above: it runs the whole market loop —
+//! swap. [`Exchange`] is the layer above: a continuous market whose top
+//! surface is a **stage-based pipeline**, not a blocking batch call. Each
+//! epoch moves through the [`EpochStage`] state machine
 //!
-//! 1. **Offers in.** Parties [`submit`](Exchange::submit) (or
-//!    [`cancel`](Exchange::cancel)) offers carrying their key material and
-//!    trade terms; the exchange forwards them to the untrusted
-//!    [`ClearingService`], which owns the offer lifecycle.
-//! 2. **Epoch clearing.** [`run_epoch`](Exchange::run_epoch) consumes the
-//!    open book into disjoint trade cycles, one [`ClearedSwap`] each.
-//! 3. **Party-side verification.** Before anything is escrowed, every
-//!    party's slot is re-checked against its original offer
-//!    ([`swap_market::verify_cleared_swap`]) — the service is untrusted.
-//! 4. **Provisioning + protocol choice.** Each cleared swap becomes a
-//!    [`SwapInstance`]: chains and assets created for its spec, key
-//!    material in vertex order — and, under [`ProtocolPolicy::Auto`], the
-//!    cheapest feasible protocol per cycle: §4.6 single-leader HTLCs when
-//!    the timeout assignment exists (every simple trade cycle qualifies),
-//!    the general §4.5 hashkey protocol otherwise. The choice is recorded
-//!    per swap in [`SwapSummary::protocol`].
-//! 5. **Sharded execution.** Cleared cycles are party- and chain-disjoint,
-//!    so in-flight swaps run *concurrently*: instances are round-robin
-//!    sharded across `threads` scoped workers, each worker exclusively
-//!    owning its instances' chain sets.
-//! 6. **Deterministic merge.** Results are merged in swap-id order — the
-//!    aggregate [`ExchangeReport`] is byte-identical for 1, 2, or N worker
-//!    threads — swaps settle or refund back into the offer lifecycle, and
-//!    every shard's chains are absorbed into one global ledger
-//!    ([`ChainSet::absorb`]) whose merged storage the report carries.
+//! ```text
+//!   Clearing ──▶ Provisioning ──▶ Executing ──▶ Settling ──▶ (retired)
+//! ```
 //!
-//! Within an epoch every swap runs on its own simulated timeline starting
-//! at the epoch's `now`; the epoch's simulated *wall* duration is the
-//! slowest in-flight swap's duration (they run concurrently), and the next
-//! epoch's book opens at `now + wall`.
+//! and the pipeline keeps one epoch per stage in flight, so epoch `k+1`'s
+//! clearing and provisioning run *while epoch `k` is still executing* on
+//! its disjoint chain shards. [`submit`](Exchange::submit) and
+//! [`cancel`](Exchange::cancel) are accepted at any time — an offer
+//! submitted mid-epoch lands in the next clearing delta instead of waiting
+//! for settlement — and [`step`](Exchange::step) advances the pipeline by
+//! exactly one stage transition
+//! ([`Exchange::drive_until_quiescent`] loops it dry).
+//!
+//! The four stages:
+//!
+//! 1. **Clearing.** A new epoch is admitted whenever the clearing slot is
+//!    free and the book has submissions no clearing has seen. The untrusted
+//!    [`ClearingService`] consumes the open book into disjoint trade
+//!    cycles, *skipping offers whose parties are reserved by in-flight
+//!    swaps* ([`ClearingService::reserved_addresses`]).
+//! 2. **Provisioning.** Every cleared slot is re-verified against the
+//!    party's original offer ([`swap_market::verify_cleared_swap`] — the
+//!    service is untrusted), then each cycle's key material is captured
+//!    into a [`ProvisionedSwap`] and its protocol chosen (under
+//!    [`ProtocolPolicy::Auto`], §4.6 single-leader HTLCs when feasible,
+//!    the general §4.5 hashkey protocol otherwise).
+//! 3. **Executing.** At admission to the execution slot each provisioned
+//!    swap is stamped onto the timeline ([`ProvisionedSwap::admit`]
+//!    rebases its start to `now + Δ`) and all in-flight swaps of the epoch
+//!    run *concurrently*: cleared cycles are party- and chain-disjoint, so
+//!    instances are round-robin sharded across
+//!    [`ExchangeConfig::threads`] scoped workers and merged back in
+//!    swap-id order — byte-identical for 1, 2, or N workers.
+//! 4. **Settling.** Offers resolve (settle on all-`Deal`, refund
+//!    otherwise), every shard's chains are absorbed into the global ledger
+//!    ([`ChainSet::absorb`]), and the epoch retires.
+//!
+//! # Simulated time and per-stage attribution
+//!
+//! Stages cost simulated ticks ([`StageCosts`]; zero by default, so
+//! single-epoch workloads are byte-identical to the historical batch
+//! path). Stage slots are exclusive and epochs advance in order, which
+//! yields the classic pipeline recurrence: a stage starts at the later of
+//! its own epoch's previous-stage completion and the moment the epoch
+//! ahead vacates the slot. Every advance of the pipeline frontier is
+//! attributed to the stage that completed across it
+//! ([`ExchangeReport::stage_ticks`]), and the attribution sums exactly to
+//! [`ExchangeReport::wall_ticks`] — which is how the overlap becomes
+//! observable: in batch driving, clearing ticks accumulate once per epoch;
+//! in pipelined driving they hide under the previous epoch's execution and
+//! only the pipeline fill pays them.
+//!
+//! The historical `run_epoch` survives as a thin deprecated shim over
+//! [`step`](Exchange::step) — it force-admits one epoch and drains it —
+//! so existing goldens pin the batch path byte-for-byte.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::thread;
 
@@ -50,7 +77,7 @@ use swap_market::{
 };
 use swap_sim::{Delta, SimDuration, SimRng, SimTime};
 
-use crate::instance::SwapInstance;
+use crate::instance::{ProvisionedSwap, SwapInstance};
 use crate::protocol::ProtocolKind;
 use crate::runner::{RunConfig, RunMetrics, RunReport};
 use crate::setup::SwapSetup;
@@ -72,6 +99,12 @@ pub struct ExchangeConfig {
     pub leader_strategy: LeaderStrategy,
     /// How the exchange picks the protocol executing each cleared cycle.
     pub protocol: ProtocolPolicy,
+    /// Simulated cost of the non-execution pipeline stages. Zero by
+    /// default: stage latencies are negligible next to protocol rounds at
+    /// small book sizes, and zero costs keep the batch shim byte-identical
+    /// to the historical `run_epoch`. Experiments model them explicitly to
+    /// measure the pipelining win (see E18).
+    pub stage_costs: StageCosts,
 }
 
 /// Per-cycle protocol selection policy.
@@ -97,8 +130,163 @@ impl Default for ExchangeConfig {
             run: RunConfig::default(),
             leader_strategy: LeaderStrategy::MinimumExact,
             protocol: ProtocolPolicy::Auto,
+            stage_costs: StageCosts::default(),
         }
     }
+}
+
+/// The pipeline's per-epoch state machine. Every admitted epoch moves
+/// through the stages strictly in order:
+///
+/// ```text
+/// Clearing ──▶ Provisioning ──▶ Executing ──▶ Settling ──▶ (retired)
+/// ```
+///
+/// At most one epoch occupies each stage, and epochs advance in admission
+/// order — the classic in-order pipeline, so epoch `k+1` clears and
+/// provisions while epoch `k` executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EpochStage {
+    /// The clearing service is consuming the open book into trade cycles.
+    Clearing,
+    /// Cleared slots verified party-side; key material and protocol choice
+    /// captured per cycle ([`ProvisionedSwap`]).
+    Provisioning,
+    /// All of the epoch's swaps are running concurrently on their disjoint
+    /// chain shards.
+    Executing,
+    /// Offers resolving and shard chains merging into the global ledger.
+    Settling,
+}
+
+impl EpochStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [EpochStage; 4] = [
+        EpochStage::Clearing,
+        EpochStage::Provisioning,
+        EpochStage::Executing,
+        EpochStage::Settling,
+    ];
+
+    /// The stage after this one; `None` after [`EpochStage::Settling`]
+    /// (the epoch retires).
+    pub fn next(self) -> Option<EpochStage> {
+        match self {
+            EpochStage::Clearing => Some(EpochStage::Provisioning),
+            EpochStage::Provisioning => Some(EpochStage::Executing),
+            EpochStage::Executing => Some(EpochStage::Settling),
+            EpochStage::Settling => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EpochStage::Clearing => 0,
+            EpochStage::Provisioning => 1,
+            EpochStage::Executing => 2,
+            EpochStage::Settling => 3,
+        }
+    }
+}
+
+impl fmt::Display for EpochStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochStage::Clearing => write!(f, "clearing"),
+            EpochStage::Provisioning => write!(f, "provisioning"),
+            EpochStage::Executing => write!(f, "executing"),
+            EpochStage::Settling => write!(f, "settling"),
+        }
+    }
+}
+
+/// Simulated tick costs of the non-execution stages (the execution stage's
+/// duration is the slowest in-flight swap's run, exactly as before). Each
+/// stage costs `base + per_item × items`:
+///
+/// * clearing: per *open offer* the epoch scans,
+/// * provisioning: per *party* across the epoch's cleared cycles,
+/// * settling: per *swap* the epoch resolves.
+///
+/// All zero by default (see [`ExchangeConfig::stage_costs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCosts {
+    /// Fixed ticks per clearing stage.
+    pub clearing_base: u64,
+    /// Ticks per open offer the clearing scans.
+    pub clearing_per_offer: u64,
+    /// Fixed ticks per provisioning stage.
+    pub provisioning_base: u64,
+    /// Ticks per party across the epoch's cleared swaps.
+    pub provisioning_per_party: u64,
+    /// Fixed ticks per settling stage.
+    pub settling_base: u64,
+    /// Ticks per swap the epoch resolves.
+    pub settling_per_swap: u64,
+}
+
+/// Wall-tick attribution per pipeline stage: every advance of the pipeline
+/// frontier is charged to the stage whose completion carried it, so the
+/// four counters sum exactly to [`ExchangeReport::wall_ticks`]. Under
+/// batch driving each epoch pays clearing + provisioning + executing +
+/// settling in full; under pipelined driving the non-execution stages of
+/// epoch `k+1` hide beneath epoch `k`'s execution and contribute (almost)
+/// nothing — which is precisely the observable form of the overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTicks {
+    /// Frontier ticks spent completing clearing stages.
+    pub clearing: u64,
+    /// Frontier ticks spent completing provisioning stages.
+    pub provisioning: u64,
+    /// Frontier ticks spent completing execution stages.
+    pub executing: u64,
+    /// Frontier ticks spent completing settling stages.
+    pub settling: u64,
+}
+
+impl StageTicks {
+    /// Sum over the four stages; always equals the report's `wall_ticks`.
+    pub fn total(&self) -> u64 {
+        self.clearing + self.provisioning + self.executing + self.settling
+    }
+
+    fn charge(&mut self, stage: EpochStage, ticks: u64) {
+        match stage {
+            EpochStage::Clearing => self.clearing += ticks,
+            EpochStage::Provisioning => self.provisioning += ticks,
+            EpochStage::Executing => self.executing += ticks,
+            EpochStage::Settling => self.settling += ticks,
+        }
+    }
+}
+
+/// What one [`Exchange::step`] call did.
+#[derive(Debug)]
+pub enum StepEvent {
+    /// An epoch entered `stage` at simulated time `at` (entering
+    /// [`EpochStage::Clearing`] is the admission of a new epoch).
+    StageEntered {
+        /// The epoch that advanced.
+        epoch: u64,
+        /// The stage it entered.
+        stage: EpochStage,
+        /// The simulated instant it entered.
+        at: SimTime,
+    },
+    /// An epoch finished settling and retired: its offers are resolved,
+    /// its chains absorbed, and its swaps' full reports are here, in
+    /// swap-id order.
+    EpochSettled {
+        /// The retired epoch.
+        epoch: u64,
+        /// The simulated instant settlement completed.
+        at: SimTime,
+        /// The epoch's executed swaps, ascending swap id.
+        executed: Vec<ExecutedSwap>,
+    },
+    /// Nothing to do: no epoch is in flight and no submission has arrived
+    /// since the last clearing.
+    Quiescent,
 }
 
 /// A simulation-side market participant: key material plus trade terms.
@@ -141,7 +329,7 @@ impl ExchangeParty {
     }
 }
 
-/// Errors from [`Exchange::run_epoch`].
+/// Errors from advancing the pipeline ([`Exchange::step`] and friends).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExchangeError {
     /// The clearing service failed to assemble a matched cycle.
@@ -174,6 +362,34 @@ impl std::error::Error for ExchangeError {}
 impl From<ClearError> for ExchangeError {
     fn from(e: ClearError) -> Self {
         ExchangeError::Clear(e)
+    }
+}
+
+/// Error from [`Exchange::drive_until_quiescent`]: the pipeline error plus
+/// every swap that had already settled during the drive — partial results
+/// are returned, never dropped.
+#[derive(Debug)]
+pub struct DriveError {
+    /// The error the failing step raised.
+    pub error: ExchangeError,
+    /// Swaps settled by this drive before the error struck (each retiring
+    /// epoch's swaps in ascending swap-id order).
+    pub executed: Vec<ExecutedSwap>,
+}
+
+impl fmt::Display for DriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.error)?;
+        if !self.executed.is_empty() {
+            write!(f, " ({} swap(s) had already settled)", self.executed.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DriveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -218,7 +434,7 @@ pub struct SwapSummary {
 /// [`ExchangeConfig::threads`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExchangeReport {
-    /// Clearing epochs run.
+    /// Clearing epochs admitted.
     pub epochs: u64,
     /// Offers submitted.
     pub offers_submitted: u64,
@@ -230,9 +446,14 @@ pub struct ExchangeReport {
     pub swaps_settled: u64,
     /// Swaps whose offers were refunded.
     pub swaps_refunded: u64,
-    /// Total simulated wall ticks across epochs (each epoch contributes
-    /// its slowest in-flight swap, since in-flight swaps run concurrently).
+    /// Total simulated wall ticks the pipeline frontier advanced. Within an
+    /// epoch, concurrent in-flight swaps share one execution wall (the
+    /// slowest swap's); across epochs, overlapped stages share the
+    /// frontier, so pipelined driving strictly undercuts batch driving
+    /// whenever the non-execution stages cost anything.
     pub wall_ticks: u64,
+    /// Where the wall ticks went, stage by stage; sums to `wall_ticks`.
+    pub stage_ticks: StageTicks,
     /// Merged storage across every chain of every executed swap —
     /// Theorem 4.10's "bits stored on all blockchains", at exchange scale.
     pub storage: swap_chain::StorageReport,
@@ -240,7 +461,31 @@ pub struct ExchangeReport {
     pub swaps: Vec<SwapSummary>,
 }
 
-/// The orchestrator: offers in, epochs of concurrent atomic swaps out.
+/// Stage-to-stage payload of one in-flight epoch.
+#[derive(Debug)]
+enum EpochWork {
+    /// Clearing output, awaiting verification + provisioning.
+    Cleared(Vec<ClearedSwap>),
+    /// Provisioned swaps, awaiting the execution slot.
+    Provisioned(Vec<ProvisionedSwap>),
+    /// Execution results, awaiting settlement.
+    Executed(Vec<ShardResult>),
+    /// Placeholder while a transition consumes the payload.
+    Taken,
+}
+
+/// One epoch somewhere in the pipeline.
+#[derive(Debug)]
+struct InFlightEpoch {
+    epoch: u64,
+    stage: EpochStage,
+    /// When the current stage's simulated work completes.
+    completes_at: SimTime,
+    work: EpochWork,
+}
+
+/// The orchestrator: offers in, a pipeline of concurrent atomic-swap
+/// epochs out.
 ///
 /// # Example
 ///
@@ -259,7 +504,7 @@ pub struct ExchangeReport {
 ///         AssetKind::new(wants),
 ///     ));
 /// }
-/// let executed = exchange.run_epoch().unwrap();
+/// let executed = exchange.drive_until_quiescent().unwrap();
 /// assert_eq!(executed.len(), 2);
 /// assert!(executed.iter().all(|s| s.report.all_deal()));
 /// assert_eq!(exchange.report().swaps_settled, 2);
@@ -271,8 +516,16 @@ pub struct Exchange {
     /// Key material per submitted offer, needed to drive the offer's party
     /// through the protocol once it is matched.
     material: BTreeMap<OfferId, (MssKeypair, Secret)>,
-    /// The exchange's clock: when the next epoch's book closes.
+    /// The pipeline frontier: the simulated instant of the latest completed
+    /// stage transition.
     now: SimTime,
+    /// Epochs currently in the pipeline, admission order (front = oldest).
+    in_flight: VecDeque<InFlightEpoch>,
+    /// When each stage slot was last vacated (indexed by stage).
+    vacated: [SimTime; 4],
+    /// The simulated instant of the latest book change (submission or
+    /// withdrawal) no clearing has seen; `None` while the book is clean.
+    dirty_since: Option<SimTime>,
     /// The merged global ledger: every executed swap's chains, absorbed.
     ledger: ChainSet<AnyContract>,
     report: ExchangeReport,
@@ -287,20 +540,31 @@ impl Exchange {
             service,
             material: BTreeMap::new(),
             now: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            vacated: [SimTime::ZERO; 4],
+            dirty_since: None,
             ledger: ChainSet::new(),
             report: ExchangeReport::default(),
         }
     }
 
-    /// Submits a party's offer to the book, returning its id.
+    /// Submits a party's offer to the book, returning its id. Accepted at
+    /// any time: an offer submitted while epochs are in flight is picked up
+    /// by the *next* clearing delta — it does not wait for settlement.
     pub fn submit(&mut self, party: ExchangeParty) -> OfferId {
         let id = self.service.submit(party.offer());
         self.material.insert(id, (party.keypair, party.secret));
         self.report.offers_submitted += 1;
+        // The *latest* unseen change: the next clearing scans the book as
+        // of admission, so it cannot start before this submission exists.
+        self.dirty_since = Some(self.now);
         id
     }
 
-    /// Withdraws an open offer (see [`ClearingService::cancel`]).
+    /// Withdraws an open offer (see [`ClearingService::cancel`]). Accepted
+    /// at any time; an offer that a clearing already matched into an
+    /// in-flight swap is no longer `Open` and the cancel fails — a
+    /// provisioned swap is never unwound.
     ///
     /// # Errors
     ///
@@ -309,10 +573,14 @@ impl Exchange {
         self.service.cancel(id)?;
         self.material.remove(&id);
         self.report.offers_cancelled += 1;
+        // A withdrawal changes the open book too: the next clearing gets a
+        // look (this is also the recovery path after a failed admission).
+        self.dirty_since = Some(self.now);
         Ok(())
     }
 
-    /// The exchange's simulated clock.
+    /// The pipeline frontier: the simulated instant of the latest completed
+    /// stage transition.
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -337,64 +605,374 @@ impl Exchange {
         self.report
     }
 
-    /// Runs one full epoch of the pipeline: clear the open book, verify
-    /// every cleared slot party-side, provision a [`SwapInstance`] per
-    /// cleared swap, execute all of them concurrently across
-    /// [`ExchangeConfig::threads`] shards, merge deterministically in
-    /// swap-id order, resolve the offer lifecycle
-    /// (settle on all-`Deal`, refund otherwise), and absorb every shard's
-    /// chains into the global ledger.
+    /// The in-flight epochs and the stage each occupies, oldest first.
+    pub fn stages(&self) -> Vec<(u64, EpochStage)> {
+        self.in_flight.iter().map(|e| (e.epoch, e.stage)).collect()
+    }
+
+    /// The stage `epoch` currently occupies, if it is in flight.
+    pub fn stage_of(&self, epoch: u64) -> Option<EpochStage> {
+        self.in_flight.iter().find(|e| e.epoch == epoch).map(|e| e.stage)
+    }
+
+    /// True when nothing is in flight and no submission awaits clearing.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight.is_empty() && self.dirty_since.is_none()
+    }
+
+    /// Advances the pipeline by exactly one stage transition and reports
+    /// what happened. Transitions are processed in simulated-time order:
     ///
-    /// Returns the executed swaps (with full [`RunReport`]s) in swap-id
-    /// order; the aggregate [`ExchangeReport`] accumulates.
+    /// * a new epoch is admitted into [`EpochStage::Clearing`] whenever the
+    ///   slot is free and the book has submissions no clearing has seen;
+    /// * otherwise the in-flight epoch with the earliest admissible
+    ///   transition advances one stage (respecting slot exclusivity and
+    ///   admission order — this is what overlaps epoch `k+1`'s clearing
+    ///   with epoch `k`'s execution);
+    /// * with nothing to do, [`StepEvent::Quiescent`] is returned and the
+    ///   exchange is unchanged.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swap_core::exchange::{EpochStage, Exchange, ExchangeConfig, ExchangeParty, StepEvent};
+    /// use swap_market::AssetKind;
+    /// use swap_sim::SimRng;
+    ///
+    /// let mut rng = SimRng::from_seed(5);
+    /// let mut exchange = Exchange::new(ExchangeConfig::default());
+    /// for (gives, wants) in [("btc", "eth"), ("eth", "btc")] {
+    ///     exchange.submit(ExchangeParty::generate(
+    ///         &mut rng,
+    ///         4,
+    ///         AssetKind::new(gives),
+    ///         AssetKind::new(wants),
+    ///     ));
+    /// }
+    /// // Admission, three advances, retirement, quiescence.
+    /// let mut stages = Vec::new();
+    /// loop {
+    ///     match exchange.step().unwrap() {
+    ///         StepEvent::StageEntered { stage, .. } => stages.push(stage),
+    ///         StepEvent::EpochSettled { executed, .. } => {
+    ///             assert_eq!(executed.len(), 1);
+    ///             break;
+    ///         }
+    ///         StepEvent::Quiescent => unreachable!("an epoch is in flight"),
+    ///     }
+    /// }
+    /// assert_eq!(stages, EpochStage::ALL.to_vec());
+    /// assert!(exchange.is_quiescent());
+    /// ```
     ///
     /// # Errors
     ///
-    /// [`ExchangeError::Clear`] if cycle assembly fails;
-    /// [`ExchangeError::Verify`] if a published swap betrays an offer. In
-    /// both cases nothing is escrowed; on a verification failure every swap
-    /// the epoch cleared is torn down (its offers become `Refunded`), so
-    /// the book is never wedged with permanently-`Matched` offers.
-    pub fn run_epoch(&mut self) -> Result<Vec<ExecutedSwap>, ExchangeError> {
-        let cleared = self.service.clear(self.config.delta, self.now)?;
-        self.report.epochs += 1;
-
-        // The service is untrusted: every party re-checks its slot before
-        // anything is provisioned, let alone escrowed (§4.2).
-        if let Err(error) = self.verify_epoch(&cleared) {
-            // Nothing was escrowed, but `clear` already consumed the
-            // matched offers — tear every cleared swap down so the
-            // lifecycle resolves instead of wedging in `Matched`.
-            for swap in &cleared {
-                self.service.refund_swap(swap.id).expect("issued this epoch");
-                for oid in &swap.offer_of_vertex {
-                    self.material.remove(oid);
-                }
-                self.report.swaps_refunded += 1;
+    /// [`ExchangeError::Clear`] if cycle assembly fails (no offer changes
+    /// status and no epoch is admitted); [`ExchangeError::Verify`] if a
+    /// published swap betrays an offer — nothing was escrowed, and every
+    /// swap of that epoch is torn down (its offers become `Refunded`), so
+    /// the book is never wedged with permanently-`Matched` offers. The
+    /// pipeline stays consistent either way and further `step` calls keep
+    /// driving the remaining epochs.
+    pub fn step(&mut self) -> Result<StepEvent, ExchangeError> {
+        // Admission first: the clearing slot feeds the pipeline.
+        let clearing_busy = self.in_flight.iter().any(|e| e.stage == EpochStage::Clearing);
+        if !clearing_busy {
+            if let Some(dirty_at) = self.dirty_since {
+                let entered = dirty_at.max(self.vacated[EpochStage::Clearing.index()]);
+                return self.admit(entered);
             }
-            self.report.swaps_cleared += cleared.len() as u64;
-            return Err(error);
         }
+        // Otherwise: the admissible transition earliest in simulated time.
+        // An epoch may advance only if no epoch ahead of it occupies the
+        // next stage (slot exclusivity keeps the pipeline in order).
+        let mut best: Option<(usize, SimTime)> = None;
+        for (i, epoch) in self.in_flight.iter().enumerate() {
+            let occupied = match epoch.stage.next() {
+                Some(next) => self.in_flight.iter().take(i).any(|ahead| ahead.stage == next),
+                None => false,
+            };
+            if occupied {
+                continue;
+            }
+            let entry = match epoch.stage.next() {
+                Some(next) => epoch.completes_at.max(self.vacated[next.index()]),
+                None => epoch.completes_at,
+            };
+            if best.map_or(true, |(_, t)| entry < t) {
+                best = Some((i, entry));
+            }
+        }
+        match best {
+            Some((i, entry)) => self.advance(i, entry),
+            None => Ok(StepEvent::Quiescent),
+        }
+    }
 
-        // Provision on the main thread, in clearing order (ascending swap
-        // id): one instance per cleared swap, key material in vertex order.
-        let instances: Vec<(SwapId, u64, SwapInstance)> =
-            cleared.iter().map(|swap| (swap.id, swap.epoch, self.provision(swap))).collect();
+    /// Steps the pipeline until it is [quiescent](Exchange::is_quiescent),
+    /// returning every swap executed along the way (each retiring epoch's
+    /// swaps in ascending swap-id order). Offers that never matched stay
+    /// `Open` in the book — quiescence means no epoch is in flight *and*
+    /// no submission has arrived since the last clearing, not an empty
+    /// book.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+    /// use swap_market::AssetKind;
+    /// use swap_sim::SimRng;
+    ///
+    /// let mut rng = SimRng::from_seed(7);
+    /// let mut exchange = Exchange::new(ExchangeConfig::default());
+    /// for (gives, wants) in [("usd", "gbp"), ("gbp", "usd"), ("doge", "usd")] {
+    ///     exchange.submit(ExchangeParty::generate(
+    ///         &mut rng,
+    ///         4,
+    ///         AssetKind::new(gives),
+    ///         AssetKind::new(wants),
+    ///     ));
+    /// }
+    /// let executed = exchange.drive_until_quiescent().unwrap();
+    /// assert_eq!(executed.len(), 1); // the usd/gbp ring; doge has no taker
+    /// assert!(exchange.is_quiescent());
+    /// assert_eq!(exchange.service().open_count(), 1); // doge rolls over
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`ExchangeError`] a step raises, returned inside
+    /// a [`DriveError`] together with every swap that had already settled
+    /// during this drive (partial results are never lost). The pipeline
+    /// stays consistent and the drive can be resumed by calling this
+    /// again.
+    pub fn drive_until_quiescent(&mut self) -> Result<Vec<ExecutedSwap>, DriveError> {
+        let mut executed = Vec::new();
+        loop {
+            match self.step() {
+                Ok(StepEvent::EpochSettled { executed: mut swaps, .. }) => {
+                    executed.append(&mut swaps);
+                }
+                Ok(StepEvent::Quiescent) => return Ok(executed),
+                Ok(StepEvent::StageEntered { .. }) => {}
+                Err(error) => return Err(DriveError { error, executed }),
+            }
+        }
+    }
 
-        let executed = execute_sharded(instances, self.config.threads);
+    /// Runs one full epoch *as a blocking batch call*: admits exactly one
+    /// clearing epoch (even over an empty book) and drains it to
+    /// settlement, returning its executed swaps in swap-id order.
+    ///
+    /// This is the historical one-epoch-at-a-time surface, kept for one
+    /// release as a thin shim over [`step`](Exchange::step) so existing
+    /// goldens pin byte-equivalence of the batch path; with the default
+    /// zero [`StageCosts`] it is byte-identical to the pre-pipeline
+    /// `run_epoch`. It defeats the pipeline's purpose — clearing of epoch
+    /// `k+1` cannot overlap execution of epoch `k` when every epoch is
+    /// drained before the next is admitted — so new code should submit
+    /// continuously and drive with `step` /
+    /// [`drive_until_quiescent`](Exchange::drive_until_quiescent).
+    ///
+    /// Mixing the shim with the staged driver is unsupported: if *other*
+    /// epochs are in flight when it is called, any of their swaps settling
+    /// during the drain are not returned by any call (their summaries,
+    /// counters, and ledger effects still land in
+    /// [`report`](Exchange::report) / [`ledger`](Exchange::ledger), but
+    /// the full [`RunReport`]s are dropped).
+    ///
+    /// # Errors
+    ///
+    /// As [`step`](Exchange::step).
+    #[deprecated(
+        since = "0.6.0",
+        note = "drive the staged pipeline instead: `step()` / `drive_until_quiescent()`"
+    )]
+    pub fn run_epoch(&mut self) -> Result<Vec<ExecutedSwap>, ExchangeError> {
+        // Force an admission even when no new offer arrived: the batch
+        // surface always cleared (and counted) exactly one epoch per call.
+        self.dirty_since.get_or_insert(self.now);
+        let target = self.service.epoch();
+        loop {
+            match self.step()? {
+                StepEvent::EpochSettled { epoch, executed, .. } if epoch == target => {
+                    return Ok(executed);
+                }
+                StepEvent::Quiescent => return Ok(Vec::new()),
+                _ => {}
+            }
+        }
+    }
 
-        // Deterministic merge: `executed` is in swap-id order whatever the
-        // shard layout was.
-        let delta = self.config.delta;
-        let mut epoch_wall = delta.ticks();
-        let mut out = Vec::with_capacity(executed.len());
-        for (id, epoch, protocol, report, setup) in executed {
+    /// Admits a new epoch into the clearing stage at `entered`.
+    fn admit(&mut self, entered: SimTime) -> Result<StepEvent, ExchangeError> {
+        let costs = &self.config.stage_costs;
+        let cost =
+            costs.clearing_base + costs.clearing_per_offer * self.service.open_count() as u64;
+        let completes = entered + SimDuration::from_ticks(cost);
+        // Clearing scans the book as of admission and publishes at
+        // completion; every published start is "at least Δ in the future"
+        // of the publication instant.
+        let cleared = match self.service.clear(self.config.delta, completes) {
+            Ok(cleared) => cleared,
+            Err(e) => {
+                // `clear` is transactional — the book is untouched — but a
+                // book that fails to clear would fail identically on every
+                // retry, and retrying admission first on each `step` would
+                // starve the in-flight epochs. Report the error once and
+                // drop the dirty mark; the next `submit` or `cancel` (the
+                // only ways the book can change) re-marks it.
+                self.dirty_since = None;
+                return Err(e.into());
+            }
+        };
+        self.dirty_since = None;
+        let epoch = self.service.epoch() - 1;
+        self.report.epochs += 1;
+        self.now = self.now.max(entered);
+        self.in_flight.push_back(InFlightEpoch {
+            epoch,
+            stage: EpochStage::Clearing,
+            completes_at: completes,
+            work: EpochWork::Cleared(cleared),
+        });
+        Ok(StepEvent::StageEntered { epoch, stage: EpochStage::Clearing, at: entered })
+    }
+
+    /// Advances the `i`-th in-flight epoch out of its current stage, with
+    /// the next stage entered (or the epoch retired) at `entry`.
+    fn advance(&mut self, i: usize, entry: SimTime) -> Result<StepEvent, ExchangeError> {
+        let leaving = self.in_flight[i].stage;
+        let published_at = self.in_flight[i].completes_at;
+        // Attribute the frontier advance to the stage being left, then
+        // vacate its slot for the epoch behind.
+        let dt = if entry > self.now { (entry - self.now).ticks() } else { 0 };
+        self.now = self.now.max(entry);
+        self.report.wall_ticks += dt;
+        self.report.stage_ticks.charge(leaving, dt);
+        self.vacated[leaving.index()] = entry;
+        let epoch = self.in_flight[i].epoch;
+        let work = std::mem::replace(&mut self.in_flight[i].work, EpochWork::Taken);
+        let costs = self.config.stage_costs;
+        match (leaving, work) {
+            (EpochStage::Clearing, EpochWork::Cleared(cleared)) => {
+                // The service is untrusted: every party re-checks its slot
+                // at publication, before anything is provisioned, let alone
+                // escrowed (§4.2).
+                if let Err(error) = self.verify_epoch(&cleared, published_at) {
+                    // Nothing was escrowed, but `clear` already consumed
+                    // the matched offers — tear every cleared swap down so
+                    // the lifecycle resolves instead of wedging in
+                    // `Matched`.
+                    for swap in &cleared {
+                        self.service.refund_swap(swap.id).expect("issued this epoch");
+                        for oid in &swap.offer_of_vertex {
+                            self.material.remove(oid);
+                        }
+                        self.report.swaps_refunded += 1;
+                    }
+                    self.report.swaps_cleared += cleared.len() as u64;
+                    self.in_flight.remove(i);
+                    return Err(error);
+                }
+                let parties: u64 =
+                    cleared.iter().map(|s| s.spec.digraph.vertex_count() as u64).sum();
+                let provisioned: Vec<ProvisionedSwap> = cleared
+                    .into_iter()
+                    .map(|swap| {
+                        let keypairs = swap
+                            .offer_of_vertex
+                            .iter()
+                            .map(|oid| self.material[oid].0.clone())
+                            .collect();
+                        let secrets =
+                            swap.offer_of_vertex.iter().map(|oid| self.material[oid].1).collect();
+                        let swap =
+                            ProvisionedSwap::new(swap, keypairs, secrets, self.config.run.clone());
+                        match self.config.protocol {
+                            ProtocolPolicy::Auto => swap,
+                            ProtocolPolicy::ForceHashkey => {
+                                swap.with_protocol(ProtocolKind::Hashkey)
+                            }
+                        }
+                    })
+                    .collect();
+                let cost = costs.provisioning_base + costs.provisioning_per_party * parties;
+                self.enter(
+                    i,
+                    EpochStage::Provisioning,
+                    entry,
+                    cost,
+                    EpochWork::Provisioned(provisioned),
+                );
+                Ok(StepEvent::StageEntered { epoch, stage: EpochStage::Provisioning, at: entry })
+            }
+            (EpochStage::Provisioning, EpochWork::Provisioned(provisioned)) => {
+                // Execution admission: each provisioned swap is stamped
+                // onto the timeline here — chains created, start rebased to
+                // `entry + Δ` — and all of the epoch's swaps run
+                // concurrently on their disjoint shards.
+                let instances: Vec<(SwapId, u64, SwapInstance)> = provisioned
+                    .into_iter()
+                    .map(|p| (p.cleared.id, p.cleared.epoch, p.admit(entry)))
+                    .collect();
+                let results = execute_sharded(instances, self.config.threads);
+                let delta = self.config.delta;
+                let mut wall = delta.ticks();
+                for (_, _, _, report, _) in &results {
+                    // The swap occupies rounds 0..=rounds, each Δ long.
+                    wall = wall.max(delta.ticks() * (report.metrics.rounds + 1));
+                }
+                self.enter(i, EpochStage::Executing, entry, wall, EpochWork::Executed(results));
+                Ok(StepEvent::StageEntered { epoch, stage: EpochStage::Executing, at: entry })
+            }
+            (EpochStage::Executing, EpochWork::Executed(results)) => {
+                let cost = costs.settling_base + costs.settling_per_swap * results.len() as u64;
+                self.enter(i, EpochStage::Settling, entry, cost, EpochWork::Executed(results));
+                Ok(StepEvent::StageEntered { epoch, stage: EpochStage::Settling, at: entry })
+            }
+            (EpochStage::Settling, EpochWork::Executed(results)) => {
+                let executed = self.retire(results);
+                self.in_flight.remove(i);
+                Ok(StepEvent::EpochSettled { epoch, at: entry, executed })
+            }
+            (stage, work) => unreachable!("stage {stage} holds mismatched work {work:?}"),
+        }
+    }
+
+    /// Moves the `i`-th in-flight epoch into `stage` at `entered`, with the
+    /// given simulated duration and payload.
+    fn enter(
+        &mut self,
+        i: usize,
+        stage: EpochStage,
+        entered: SimTime,
+        ticks: u64,
+        work: EpochWork,
+    ) {
+        let epoch = &mut self.in_flight[i];
+        epoch.stage = stage;
+        epoch.completes_at = entered + SimDuration::from_ticks(ticks);
+        epoch.work = work;
+    }
+
+    /// Resolves a fully executed epoch: offer lifecycle, aggregate report,
+    /// ledger absorption. Results arrive (and are reported) in swap-id
+    /// order whatever the shard layout was.
+    fn retire(&mut self, results: Vec<ShardResult>) -> Vec<ExecutedSwap> {
+        let mut out = Vec::with_capacity(results.len());
+        // Resolution releases these parties' clearing reservations.
+        let mut released: BTreeSet<swap_crypto::Address> = BTreeSet::new();
+        for (id, epoch, protocol, report, setup) in results {
             let spec = &setup.spec;
             let all_deal = report.all_deal();
             // The swap is over either way: drop its parties' key material.
             if let Some(offers) = self.service.offers_of_swap(id) {
                 for oid in offers {
                     self.material.remove(oid);
+                    if let Some(offer) = self.service.offer(*oid) {
+                        released.insert(offer.key.address());
+                    }
                 }
             }
             if all_deal {
@@ -404,9 +982,6 @@ impl Exchange {
                 self.service.refund_swap(id).expect("issued this epoch");
                 self.report.swaps_refunded += 1;
             }
-            // The swap occupied rounds 0..=rounds, each Δ long, starting at
-            // the epoch's `now`.
-            epoch_wall = epoch_wall.max(delta.ticks() * (report.metrics.rounds + 1));
             self.report.swaps.push(SwapSummary {
                 swap: id,
                 epoch,
@@ -422,42 +997,37 @@ impl Exchange {
             out.push(ExecutedSwap { id, epoch, report });
         }
         self.report.swaps_cleared += out.len() as u64;
-        self.report.wall_ticks += epoch_wall;
         self.report.storage = self.ledger.storage_report();
-        self.now += SimDuration::from_ticks(epoch_wall);
-        Ok(out)
+        // If a released party still has an offer sitting `Open` that a
+        // clearing *skipped while the party was reserved*, wake the
+        // pipeline so the next clearing picks it up. Without this, the
+        // deferred offer would strand until some unrelated submission
+        // re-dirtied the book. Ordinary no-counterparty leftovers are not
+        // deferred, so settlements never admit phantom epochs for them —
+        // and zero-swap epochs release nothing, so this can never re-admit
+        // clearings forever.
+        if !released.is_empty() && self.service.any_deferred_from(&released) {
+            self.dirty_since = Some(self.now);
+        }
+        out
     }
 
-    /// Re-checks every cleared slot against the party's original offer.
-    fn verify_epoch(&self, cleared: &[ClearedSwap]) -> Result<(), ExchangeError> {
+    /// Re-checks every cleared slot against the party's original offer, as
+    /// of the publication instant `published_at`.
+    fn verify_epoch(
+        &self,
+        cleared: &[ClearedSwap],
+        published_at: SimTime,
+    ) -> Result<(), ExchangeError> {
         for swap in cleared {
             for (pos, oid) in swap.offer_of_vertex.iter().enumerate() {
                 let vertex = VertexId::new(pos as u32);
                 let offer = self.service.offer(*oid).expect("cleared offers exist");
-                verify_cleared_swap(swap, vertex, offer, self.now)
+                verify_cleared_swap(swap, vertex, offer, published_at)
                     .map_err(|error| ExchangeError::Verify { swap: swap.id, vertex, error })?;
             }
         }
         Ok(())
-    }
-
-    /// Provisions one cleared swap: key material in cleared-vertex order,
-    /// chains and assets per arc. Under [`ProtocolPolicy::Auto`] the
-    /// instance carries the per-cycle protocol choice
-    /// ([`SwapInstance::from_cleared`] reads the market's
-    /// [`ClearedSwap::single_leader_feasible`] hint); `ForceHashkey`
-    /// overrides it.
-    fn provision(&self, swap: &ClearedSwap) -> SwapInstance {
-        let keypairs: Vec<MssKeypair> =
-            swap.offer_of_vertex.iter().map(|oid| self.material[oid].0.clone()).collect();
-        let secrets: Vec<Secret> =
-            swap.offer_of_vertex.iter().map(|oid| self.material[oid].1).collect();
-        let instance =
-            SwapInstance::from_cleared(swap, keypairs, secrets, self.now, self.config.run.clone());
-        match self.config.protocol {
-            ProtocolPolicy::Auto => instance,
-            ProtocolPolicy::ForceHashkey => instance.with_protocol(ProtocolKind::Hashkey),
-        }
     }
 }
 
@@ -505,6 +1075,7 @@ fn execute_sharded(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use swap_market::OfferStatus;
@@ -551,6 +1122,9 @@ mod tests {
         // duration, not three.
         let per_swap = report.swaps[0].rounds + 1;
         assert_eq!(report.wall_ticks, per_swap * ExchangeConfig::default().delta.ticks());
+        // With the default zero stage costs, every wall tick is execution.
+        assert_eq!(report.stage_ticks.total(), report.wall_ticks);
+        assert_eq!(report.stage_ticks.executing, report.wall_ticks);
     }
 
     #[test]
@@ -626,5 +1200,85 @@ mod tests {
         assert!(executed[0].report.all_deal());
         assert_eq!(exchange.report().epochs, 2);
         assert!(exchange.now() > after_first);
+    }
+
+    #[test]
+    fn staged_drive_equals_batch_shim_on_single_epoch() {
+        // The acceptance pin from the other side: driving the pipeline
+        // stage by stage over a single-epoch workload is byte-identical to
+        // the deprecated batch shim.
+        let drive = |staged: bool| {
+            let mut rng = SimRng::from_seed(600);
+            let mut exchange = Exchange::new(ExchangeConfig { threads: 2, ..Default::default() });
+            for party in book(3, &mut rng) {
+                exchange.submit(party);
+            }
+            let executed = if staged {
+                exchange.drive_until_quiescent().unwrap()
+            } else {
+                exchange.run_epoch().unwrap()
+            };
+            let per_swap: Vec<String> =
+                executed.iter().map(|s| format!("{}:{:?}", s.id, s.report)).collect();
+            (format!("{:?}", exchange.into_report()), per_swap)
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn step_walks_the_stage_machine_in_order() {
+        let mut rng = SimRng::from_seed(700);
+        let mut exchange = Exchange::new(ExchangeConfig::default());
+        for party in book(1, &mut rng) {
+            exchange.submit(party);
+        }
+        assert!(!exchange.is_quiescent());
+        let mut seen = Vec::new();
+        loop {
+            match exchange.step().unwrap() {
+                StepEvent::StageEntered { epoch, stage, .. } => {
+                    assert_eq!(epoch, 0);
+                    assert_eq!(exchange.stage_of(0), Some(stage));
+                    seen.push(stage);
+                }
+                StepEvent::EpochSettled { epoch, executed, .. } => {
+                    assert_eq!(epoch, 0);
+                    assert_eq!(executed.len(), 1);
+                    break;
+                }
+                StepEvent::Quiescent => unreachable!("an epoch is in flight"),
+            }
+        }
+        assert_eq!(seen, EpochStage::ALL.to_vec());
+        assert!(exchange.is_quiescent());
+        assert!(matches!(exchange.step().unwrap(), StepEvent::Quiescent));
+    }
+
+    #[test]
+    fn stage_costs_are_attributed_and_sum_to_wall() {
+        let costs = StageCosts {
+            clearing_base: 4,
+            clearing_per_offer: 1,
+            provisioning_base: 3,
+            provisioning_per_party: 1,
+            settling_base: 2,
+            settling_per_swap: 1,
+        };
+        let mut rng = SimRng::from_seed(800);
+        let mut exchange =
+            Exchange::new(ExchangeConfig { stage_costs: costs, ..Default::default() });
+        for party in book(2, &mut rng) {
+            exchange.submit(party);
+        }
+        let executed = exchange.drive_until_quiescent().unwrap();
+        assert_eq!(executed.len(), 2);
+        let report = exchange.report();
+        // 6 open offers scanned, 6 parties provisioned, 2 swaps settled.
+        assert_eq!(report.stage_ticks.clearing, 4 + 6);
+        assert_eq!(report.stage_ticks.provisioning, 3 + 6);
+        assert_eq!(report.stage_ticks.settling, 2 + 2);
+        assert!(report.stage_ticks.executing > 0);
+        assert_eq!(report.stage_ticks.total(), report.wall_ticks);
+        assert_eq!(report.wall_ticks, exchange.now().ticks());
     }
 }

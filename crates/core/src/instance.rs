@@ -6,10 +6,18 @@
 //! ([`SwapSetup`]), the run configuration, and the *protocol choice*
 //! ([`ProtocolKind`]) — but none of the engine's in-flight event
 //! bookkeeping. That makes it the natural currency of the exchange
-//! pipeline: the orchestrator provisions one instance per cleared swap on
-//! the main thread, ships instances to worker shards (each instance
-//! exclusively owns its chains, so shards share nothing), and turns each
-//! into an [`Engine`] only at execution time.
+//! pipeline: the orchestrator provisions instances on the main thread,
+//! ships them to worker shards (each instance exclusively owns its chains,
+//! so shards share nothing), and turns each into an [`Engine`] only at
+//! execution time.
+//!
+//! Provisioning itself is split once more for the pipelined exchange:
+//! [`ProvisionedSwap`] is the *time-agnostic* half (cleared spec, key
+//! material, run config, protocol choice) that can be prepared while a
+//! previous epoch is still executing, and
+//! [`ProvisionedSwap::admit`] is the *execution admission* that stamps the
+//! swap onto a concrete timeline (chains created, protocol start rebased
+//! to `now + Δ`) once the execution slot is actually free.
 
 use swap_crypto::{MssKeypair, Secret};
 use swap_market::ClearedSwap;
@@ -20,6 +28,65 @@ use crate::protocol::ProtocolKind;
 use crate::runner::{RunConfig, RunReport};
 use crate::setup::SwapSetup;
 use crate::timing::{Lockstep, TimingModel};
+
+/// The time-agnostic half of provisioning a cleared swap: spec and key
+/// material captured, run configuration attached, protocol chosen — but no
+/// chains created and no timeline committed yet. A pipelined orchestrator
+/// prepares these while the previous epoch still executes, then calls
+/// [`ProvisionedSwap::admit`] the instant the execution slot frees up.
+#[derive(Debug, Clone)]
+pub struct ProvisionedSwap {
+    /// The cleared swap being provisioned.
+    pub cleared: ClearedSwap,
+    /// Signing keypair per cleared vertex.
+    pub keypairs: Vec<MssKeypair>,
+    /// Secret per cleared vertex.
+    pub secrets: Vec<Secret>,
+    /// Per-run configuration.
+    pub config: RunConfig,
+    /// The protocol that will execute the swap, chosen at provisioning
+    /// time by [`ProtocolKind::select`] (override with
+    /// [`ProvisionedSwap::with_protocol`]).
+    pub protocol: ProtocolKind,
+}
+
+impl ProvisionedSwap {
+    /// Captures a cleared swap's execution prerequisites. `keypairs` and
+    /// `secrets` are in cleared-vertex order (the order of
+    /// `cleared.offer_of_vertex`). The protocol is auto-selected from the
+    /// cycle's shape and the configured behaviors (single-leader feasible
+    /// cycles — the common case — run the cheap §4.6 HTLC protocol).
+    pub fn new(
+        cleared: ClearedSwap,
+        keypairs: Vec<MssKeypair>,
+        secrets: Vec<Secret>,
+        config: RunConfig,
+    ) -> ProvisionedSwap {
+        let protocol = ProtocolKind::select(&cleared.spec, &config);
+        ProvisionedSwap { cleared, keypairs, secrets, config, protocol }
+    }
+
+    /// Overrides the protocol choice (see [`SwapInstance::with_protocol`]
+    /// for the feasibility caveat).
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> ProvisionedSwap {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Admits the swap to execution at `now`: creates its chains and
+    /// assets, and rebases the protocol start to `now + Δ` — the cleared
+    /// spec promised a start "at least Δ in the future" of publication, and
+    /// admission re-anchors that promise to the moment execution actually
+    /// begins (a later instant than publication whenever clearing of this
+    /// epoch overlapped execution of the previous one).
+    pub fn admit(self, now: SimTime) -> SwapInstance {
+        let ProvisionedSwap { cleared, keypairs, secrets, config, protocol } = self;
+        let mut spec = cleared.spec;
+        spec.start = now + spec.delta.times(1);
+        let setup = SwapSetup::from_parts(spec, keypairs, secrets, now);
+        SwapInstance { id: cleared.id.raw(), setup, config, protocol }
+    }
+}
 
 /// A provisioned swap plus its run configuration and protocol choice,
 /// ready to be turned into an [`Engine`] (or shipped to a worker thread
@@ -50,9 +117,13 @@ impl SwapInstance {
     /// Provisions an instance for a [`ClearedSwap`]: chains and assets are
     /// created for the cleared spec exactly as [`SwapSetup::from_parts`]
     /// does, with `keypairs` and `secrets` in cleared-vertex order (the
-    /// order of `cleared.offer_of_vertex`).
+    /// order of `cleared.offer_of_vertex`), and the protocol start rebased
+    /// to `now + Δ` (see [`ProvisionedSwap::admit`]; for the batch path,
+    /// where `now` is the clearing instant, the rebase is the identity).
     ///
-    /// The protocol is auto-selected by [`ProtocolKind::select`] from the
+    /// This is [`ProvisionedSwap::new`] + [`ProvisionedSwap::admit`] in one
+    /// call, for orchestrators that execute immediately after clearing. The
+    /// protocol is auto-selected by [`ProtocolKind::select`] from the
     /// cycle's shape and the configured behaviors: single-leader feasible
     /// cycles (the common case — every simple trade cycle is, see
     /// [`ClearedSwap::single_leader_feasible`]) run the cheap §4.6 HTLC
@@ -65,9 +136,7 @@ impl SwapInstance {
         now: SimTime,
         config: RunConfig,
     ) -> SwapInstance {
-        let protocol = ProtocolKind::select(&cleared.spec, &config);
-        let setup = SwapSetup::from_parts(cleared.spec.clone(), keypairs, secrets, now);
-        SwapInstance { id: cleared.id.raw(), setup, config, protocol }
+        ProvisionedSwap::new(cleared.clone(), keypairs, secrets, config).admit(now)
     }
 
     /// Overrides the protocol choice.

@@ -81,10 +81,10 @@ pub mod waitsfor;
 
 pub use engine::Engine;
 pub use exchange::{
-    Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport, ExecutedSwap,
-    ProtocolPolicy, SwapSummary,
+    DriveError, EpochStage, Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport,
+    ExecutedSwap, ProtocolPolicy, StageCosts, StageTicks, StepEvent, SwapSummary,
 };
-pub use instance::SwapInstance;
+pub use instance::{ProvisionedSwap, SwapInstance};
 pub use outcome::Outcome;
 pub use party::{Action, ArcSnapshot, Behavior};
 pub use protocol::{HashkeyProtocol, HtlcProtocol, ProtocolKind, SwapProtocol};

@@ -32,7 +32,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use swap_contract::SwapSpec;
-use swap_crypto::{Hashlock, MssPublicKey};
+use swap_crypto::{Address, Hashlock, MssPublicKey};
 use swap_digraph::{Digraph, VertexId};
 use swap_sim::{Delta, SimTime};
 
@@ -294,6 +294,11 @@ pub struct ClearingService {
     /// The `Open` offers (ascending id = submission order), so an epoch
     /// costs O(open book), not O(every offer ever submitted).
     open: BTreeSet<OfferId>,
+    /// Open offers the most recent clearing *skipped* because their party
+    /// was reserved by an in-flight swap (see
+    /// [`ClearingService::any_deferred_from`]). Cleared when the offer is
+    /// matched, cancelled, or seen unreserved by a later clearing.
+    deferred: BTreeSet<OfferId>,
 }
 
 impl ClearingService {
@@ -330,6 +335,7 @@ impl ClearingService {
             OfferStatus::Open => {
                 entry.status = OfferStatus::Cancelled;
                 self.open.remove(&id);
+                self.deferred.remove(&id);
                 Ok(())
             }
             status => Err(CancelError::NotOpen(id, status)),
@@ -394,17 +400,60 @@ impl ClearingService {
         Ok(())
     }
 
+    /// The addresses locked by in-flight (matched-but-unresolved) swaps.
+    /// Clearing never matches an `Open` offer whose party address is in
+    /// this set: a party already driving an in-flight protocol run cannot
+    /// commit its key material to a second concurrent swap. Its open
+    /// offers simply roll over until the in-flight swap settles or refunds.
+    pub fn reserved_addresses(&self) -> BTreeSet<Address> {
+        self.in_flight
+            .values()
+            .flat_map(|offers| offers.iter())
+            .map(|oid| self.entries[oid.0 as usize].offer.key.address())
+            .collect()
+    }
+
+    /// True if any currently `Open` offer of one of `addresses` was
+    /// skipped by a clearing while its party was reserved. An execution
+    /// layer checks this when a swap resolves: releasing a reservation
+    /// makes exactly these deferred offers matchable again, so the book
+    /// deserves another clearing pass — whereas ordinary unmatched
+    /// leftovers (no counterparty) do not warrant one.
+    pub fn any_deferred_from(&self, addresses: &BTreeSet<Address>) -> bool {
+        self.deferred.iter().any(|id| {
+            let entry = &self.entries[id.0 as usize];
+            matches!(entry.status, OfferStatus::Open)
+                && addresses.contains(&entry.offer.key.address())
+        })
+    }
+
     /// Runs one clearing epoch: matches the `Open` offers into disjoint
     /// trade cycles and publishes one [`ClearedSwap`] per cycle. Every
     /// matched offer transitions to [`OfferStatus::Matched`] and is
     /// *consumed* — later epochs can never re-match it. Unmatched offers
     /// stay `Open` for the next epoch.
     ///
+    /// Clearing runs against the *reservation set* of in-flight parties
+    /// ([`reserved_addresses`](Self::reserved_addresses)): an open offer
+    /// whose key is already committed to a matched-but-unresolved swap is
+    /// skipped this epoch and rolls over. This is what lets an execution
+    /// layer clear epoch `k+1` while epoch `k` is still executing. The
+    /// same invariant holds *within* an epoch: cleared cycles are
+    /// party-disjoint by address — a party with several open offers gets
+    /// at most one matched per clearing (the rest are deferred like
+    /// reservation skips), and no cycle binds one address to two of its
+    /// vertices.
+    ///
     /// The matching is greedy FIFO per asset kind: the first submitted open
     /// demand for kind `k` is paired with the first open unmatched supply
     /// of `k`. Deterministic, order-sensitive, and O(n) — richer strategies
     /// (maximum-cycle-cover) belong to the clearing literature the paper
-    /// cites, not to the swap protocol itself.
+    /// cites, not to the swap protocol itself. Under
+    /// [`LeaderStrategy::PreferSingleLeader`] the service additionally
+    /// pairs off mutual two-party trades first and keeps that decomposition
+    /// whenever it matches at least as many offers as plain FIFO: shorter
+    /// cycles carry strictly smaller §4.6 timeout ladders, so ties between
+    /// decompositions resolve toward the cheapest single-leader cycles.
     ///
     /// The start time of every published spec is `now + Δ` ("at least Δ in
     /// the future").
@@ -415,19 +464,88 @@ impl ClearingService {
     /// e.g. duplicate keys). On error no offer changes status and the epoch
     /// number does not advance.
     pub fn clear(&mut self, delta: Delta, now: SimTime) -> Result<Vec<ClearedSwap>, ClearError> {
-        // Dense view of the open book in submission order: an epoch costs
-        // O(open offers), however many resolved entries history holds.
-        let open_idx: Vec<usize> = self.open.iter().map(|id| id.0 as usize).collect();
-        let m = open_idx.len();
+        // Dense view of the open book in submission order, minus the
+        // reservation set: an epoch costs O(open book), however many
+        // resolved entries history holds.
+        let reserved = self.reserved_addresses();
+        let mut open_idx: Vec<usize> = Vec::with_capacity(self.open.len());
+        let mut skipped: Vec<OfferId> = Vec::new();
+        for &id in &self.open {
+            let i = id.0 as usize;
+            if !reserved.is_empty() && reserved.contains(&self.entries[i].offer.key.address()) {
+                skipped.push(id);
+            } else {
+                open_idx.push(i);
+            }
+        }
+        let cycles = match self.leader_strategy {
+            LeaderStrategy::PreferSingleLeader => self.biased_cycles(&open_idx),
+            _ => self.fifo_cycles(&open_idx),
+        };
+        // One party, one concurrent swap: accept cycles in order, rejecting
+        // any whose party address this epoch already committed — or that
+        // binds the same address to two of its own vertices (one keypair
+        // cannot drive two protocol roles at once). Rejected cycles' offers
+        // are *deferred* exactly like reservation skips: they stay open,
+        // and the blocking swap's resolution wakes the book for them.
+        let mut epoch_addresses: BTreeSet<Address> = BTreeSet::new();
+        let mut selected: Vec<Vec<usize>> = Vec::with_capacity(cycles.len());
+        for cycle in cycles {
+            let addrs: Vec<Address> =
+                cycle.iter().map(|&i| self.entries[i].offer.key.address()).collect();
+            let disjoint = addrs.iter().all(|a| !epoch_addresses.contains(a))
+                && addrs.iter().collect::<BTreeSet<_>>().len() == addrs.len();
+            if disjoint {
+                epoch_addresses.extend(addrs);
+                selected.push(cycle);
+            } else {
+                skipped.extend(cycle.iter().map(|&i| OfferId(i as u64)));
+            }
+        }
+        // Assemble every spec before mutating any lifecycle state, so a
+        // build failure leaves the book untouched.
+        let epoch = self.epoch;
+        let mut swaps = Vec::with_capacity(selected.len());
+        for (k, cycle) in selected.iter().enumerate() {
+            let id = SwapId(self.next_swap + k as u64);
+            swaps.push(self.assemble(id, epoch, cycle, delta, now)?);
+        }
+        // Commit: the offers this clearing actually considered leave the
+        // deferred set, then the skipped ones (reservation skips and
+        // rejected cycles) enter it, and the matched offers are consumed.
+        for &i in &open_idx {
+            self.deferred.remove(&OfferId(i as u64));
+        }
+        for id in skipped {
+            self.deferred.insert(id);
+        }
+        for swap in &swaps {
+            for &oid in &swap.offer_of_vertex {
+                self.entries[oid.0 as usize].status = OfferStatus::Matched { epoch, swap: swap.id };
+                self.open.remove(&oid);
+            }
+            self.in_flight.insert(swap.id, swap.offer_of_vertex.clone());
+        }
+        self.next_swap += swaps.len() as u64;
+        self.epoch += 1;
+        Ok(swaps)
+    }
+
+    /// Greedy FIFO matching over the given entry indices (submission
+    /// order): pairs each demand with the earliest unmatched supply of the
+    /// wanted kind and walks the resulting permutation's cycles. Returns
+    /// cycles of *entry* indices.
+    fn fifo_cycles(&self, idx: &[usize]) -> Vec<Vec<usize>> {
+        let m = idx.len();
         // supply[kind] = queue of dense positions giving that kind.
         let mut supply: BTreeMap<&AssetKind, VecDeque<usize>> = BTreeMap::new();
-        for (pos, &i) in open_idx.iter().enumerate() {
+        for (pos, &i) in idx.iter().enumerate() {
             supply.entry(&self.entries[i].offer.gives).or_default().push_back(pos);
         }
         // successor[pos] = dense position receiving pos's asset.
         let mut successor: Vec<Option<usize>> = vec![None; m];
         let mut has_supplier = vec![false; m];
-        for (pos, &i) in open_idx.iter().enumerate() {
+        for (pos, &i) in idx.iter().enumerate() {
             if let Some(queue) = supply.get_mut(&self.entries[i].offer.wants) {
                 if let Some(giver) = queue.pop_front() {
                     successor[giver] = Some(pos);
@@ -462,27 +580,64 @@ impl ClearingService {
             if !closed || cycle.len() < 2 {
                 continue;
             }
-            cycles.push(cycle.into_iter().map(|pos| open_idx[pos]).collect());
+            cycles.push(cycle.into_iter().map(|pos| idx[pos]).collect());
         }
-        // Assemble every spec before mutating any lifecycle state, so a
-        // build failure leaves the book untouched.
-        let epoch = self.epoch;
-        let mut swaps = Vec::with_capacity(cycles.len());
-        for (k, cycle) in cycles.iter().enumerate() {
-            let id = SwapId(self.next_swap + k as u64);
-            swaps.push(self.assemble(id, epoch, cycle, delta, now)?);
+        cycles
+    }
+
+    /// The [`LeaderStrategy::PreferSingleLeader`] decomposition: pair off
+    /// mutual two-party trades first (earliest counter-offer wins), then
+    /// run plain FIFO on the remainder — and keep the biased decomposition
+    /// only when it matches at least as many offers as plain FIFO would.
+    /// Two-party cycles have the smallest possible diameter, hence the
+    /// smallest Lemma 4.13 timeout ladders, so when decompositions tie this
+    /// picks the one that is strictly cheapest under the §4.6 single-leader
+    /// protocol.
+    fn biased_cycles(&self, idx: &[usize]) -> Vec<Vec<usize>> {
+        let m = idx.len();
+        // by_trade[(gives, wants)] = dense positions offering that trade.
+        let mut by_trade: BTreeMap<(&AssetKind, &AssetKind), VecDeque<usize>> = BTreeMap::new();
+        for (pos, &i) in idx.iter().enumerate() {
+            let offer = &self.entries[i].offer;
+            by_trade.entry((&offer.gives, &offer.wants)).or_default().push_back(pos);
         }
-        // Commit: consume the matched offers and advance the epoch.
-        for swap in &swaps {
-            for &oid in &swap.offer_of_vertex {
-                self.entries[oid.0 as usize].status = OfferStatus::Matched { epoch, swap: swap.id };
-                self.open.remove(&oid);
+        let mut paired = vec![false; m];
+        let mut pairs: Vec<Vec<usize>> = Vec::new();
+        for pos in 0..m {
+            if paired[pos] {
+                continue;
             }
-            self.in_flight.insert(swap.id, swap.offer_of_vertex.clone());
+            let offer = &self.entries[idx[pos]].offer;
+            if offer.gives == offer.wants {
+                continue;
+            }
+            if let Some(counters) = by_trade.get_mut(&(&offer.wants, &offer.gives)) {
+                while let Some(&cand) = counters.front() {
+                    if paired[cand] {
+                        counters.pop_front();
+                        continue;
+                    }
+                    paired[pos] = true;
+                    paired[cand] = true;
+                    counters.pop_front();
+                    pairs.push(vec![idx[pos], idx[cand]]);
+                    break;
+                }
+            }
         }
-        self.next_swap += swaps.len() as u64;
-        self.epoch += 1;
-        Ok(swaps)
+        let rest: Vec<usize> = (0..m).filter(|&pos| !paired[pos]).map(|pos| idx[pos]).collect();
+        let mut biased = pairs;
+        biased.extend(self.fifo_cycles(&rest));
+        let plain = self.fifo_cycles(idx);
+        let matched = |cycles: &[Vec<usize>]| cycles.iter().map(Vec::len).sum::<usize>();
+        // Only bias between *tied* decompositions: pairing off a two-cycle
+        // that plain FIFO would have woven into a larger cycle must never
+        // cost the book liquidity.
+        if matched(&biased) >= matched(&plain) {
+            biased
+        } else {
+            plain
+        }
     }
 
     /// Builds the digraph and spec for one cleared cycle of offer indices.
@@ -740,6 +895,133 @@ mod tests {
         assert_eq!(svc.settle_swap(first), Err(LifecycleError::UnknownSwap(first)));
         assert_eq!(svc.refund_swap(second), Err(LifecycleError::UnknownSwap(second)));
         assert!(svc.offers_of_swap(first).is_none());
+    }
+
+    #[test]
+    fn prefer_single_leader_biases_tied_decompositions() {
+        // This book admits two decompositions that tie at 4 matched offers:
+        // one 4-cycle (what plain FIFO weaves, in this submission order) or
+        // two 2-cycles. The biased strategy must pick the 2-cycles: same
+        // liquidity, strictly smaller timeout ladders under §4.6.
+        let book = [("a", "b"), ("b", "c"), ("c", "b"), ("b", "a")];
+        let submit = |svc: &mut ClearingService| {
+            for (i, (g, w)) in book.iter().enumerate() {
+                svc.submit(offer(i as u8 + 1, g, w));
+            }
+        };
+
+        let mut plain = ClearingService::new();
+        submit(&mut plain);
+        let plain_swaps = clear(&mut plain);
+        assert_eq!(plain_swaps.len(), 1);
+        assert_eq!(plain_swaps[0].spec.digraph.vertex_count(), 4);
+
+        let mut biased =
+            ClearingService::new().with_leader_strategy(LeaderStrategy::PreferSingleLeader);
+        submit(&mut biased);
+        let biased_swaps = clear(&mut biased);
+        assert_eq!(biased_swaps.len(), 2, "bias decomposes into two 2-cycles");
+        let matched: usize = biased_swaps.iter().map(|s| s.offer_of_vertex.len()).sum();
+        assert_eq!(matched, 4, "the decompositions tie on matched offers");
+        for swap in &biased_swaps {
+            assert_eq!(swap.spec.digraph.vertex_count(), 2);
+            assert!(swap.single_leader_feasible());
+            // The §4.6 cost of the shorter cycles is strictly lower.
+            assert!(
+                swap.spec.worst_case_duration() < plain_swaps[0].spec.worst_case_duration(),
+                "2-cycle ladder must undercut the 4-cycle ladder"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_never_reduces_matched_offers() {
+        // Pairing (a→b, b→a) off would orphan the (b→c, c→a) tail: plain
+        // FIFO matches 3 offers into a 3-cycle, the pairs-first split only
+        // 2. The decompositions do NOT tie, so the bias must fall back.
+        let book = [("a", "b"), ("b", "c"), ("c", "a"), ("b", "a")];
+        for strategy in [LeaderStrategy::MinimumExact, LeaderStrategy::PreferSingleLeader] {
+            let mut svc = ClearingService::new().with_leader_strategy(strategy);
+            for (i, (g, w)) in book.iter().enumerate() {
+                svc.submit(offer(i as u8 + 1, g, w));
+            }
+            let swaps = clear(&mut svc);
+            assert_eq!(swaps.len(), 1, "{strategy:?}");
+            assert_eq!(swaps[0].spec.digraph.vertex_count(), 3, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn in_flight_parties_are_reserved() {
+        let mut svc = ClearingService::new();
+        let a = svc.submit(offer(1, "x", "y"));
+        let b = svc.submit(offer(2, "y", "x"));
+        let first = clear(&mut svc);
+        assert_eq!(first.len(), 1);
+        let in_flight = first[0].id;
+        assert_eq!(svc.reserved_addresses().len(), 2);
+
+        // The same party (same key, seed 1) returns with a fresh trade
+        // while its first swap is still in flight; a counterparty is ready.
+        let c = svc.submit(offer(1, "p", "q"));
+        let d = svc.submit(offer(3, "q", "p"));
+        // Before any clearing saw it, c is not (yet) deferred.
+        assert!(!svc.any_deferred_from(&svc.reserved_addresses()));
+        assert!(clear(&mut svc).is_empty(), "reserved party must not re-match in flight");
+        assert_eq!(svc.status(a), Some(OfferStatus::Matched { epoch: 0, swap: in_flight }));
+        assert_eq!(svc.status(b), Some(OfferStatus::Matched { epoch: 0, swap: in_flight }));
+        assert_eq!(svc.status(c), Some(OfferStatus::Open));
+        assert_eq!(svc.status(d), Some(OfferStatus::Open));
+        // The clearing skipped c under the reservation: it is deferred (d,
+        // merely unmatched for lack of a counterparty, is not).
+        assert!(svc.any_deferred_from(&svc.reserved_addresses()));
+
+        // Settlement releases the reservation; the rolled-over offers clear.
+        svc.settle_swap(in_flight).unwrap();
+        assert!(svc.reserved_addresses().is_empty());
+        let next = clear(&mut svc);
+        assert_eq!(next.len(), 1);
+        assert!(next[0].offer_of_vertex.contains(&c));
+        assert!(next[0].offer_of_vertex.contains(&d));
+    }
+
+    #[test]
+    fn same_epoch_double_commit_rejected() {
+        // One clearing must never match two offers of the same party into
+        // two concurrent swaps (shared key material breaks the sharded
+        // executor's party-disjointness). The second cycle is deferred and
+        // clears after the first swap resolves.
+        let mut svc = ClearingService::new();
+        let a1 = svc.submit(offer(1, "x", "y"));
+        let a2 = svc.submit(offer(1, "p", "q")); // same party as a1
+        let b = svc.submit(offer(2, "y", "x"));
+        let c = svc.submit(offer(3, "q", "p"));
+        let swaps = clear(&mut svc);
+        assert_eq!(swaps.len(), 1, "one concurrent swap per party");
+        assert!(swaps[0].offer_of_vertex.contains(&a1));
+        assert!(swaps[0].offer_of_vertex.contains(&b));
+        assert_eq!(svc.status(a2), Some(OfferStatus::Open));
+        assert_eq!(svc.status(c), Some(OfferStatus::Open));
+        // The rejected cycle is deferred on the in-flight party, so the
+        // swap's resolution is what re-opens the book for it.
+        assert!(svc.any_deferred_from(&svc.reserved_addresses()));
+        svc.settle_swap(swaps[0].id).unwrap();
+        let next = clear(&mut svc);
+        assert_eq!(next.len(), 1);
+        assert!(next[0].offer_of_vertex.contains(&a2));
+        assert!(next[0].offer_of_vertex.contains(&c));
+    }
+
+    #[test]
+    fn self_cycle_through_one_party_rejected() {
+        // Both sides of the trade belong to one keypair: the cycle would
+        // bind the same address to two vertices, so it must not clear.
+        let mut svc = ClearingService::new();
+        let a = svc.submit(offer(1, "x", "y"));
+        let b = svc.submit(offer(1, "y", "x"));
+        assert!(clear(&mut svc).is_empty(), "one party cannot occupy two vertices");
+        assert_eq!(svc.status(a), Some(OfferStatus::Open));
+        assert_eq!(svc.status(b), Some(OfferStatus::Open));
     }
 
     #[test]

@@ -1,16 +1,21 @@
-//! A full market day on the exchange pipeline: offers stream in, epochs
-//! clear them into disjoint trade cycles, every cleared slot is re-verified
-//! party-side, and all in-flight swaps execute *concurrently* on sharded
-//! chain sets with a deterministic merge.
+//! A full market day on the *staged* exchange pipeline: offers stream in
+//! at any time, epochs move through the
+//! `Clearing → Provisioning → Executing → Settling` stage machine, and the
+//! pipeline overlaps epoch k+1's clearing with epoch k's execution on
+//! disjoint chain shards.
 //!
 //! Seven parties submit barter offers. Two independent rings hide in the
 //! book (usd→eur→gbp→usd and btc↔eth); the "doge" offer has no
-//! counterparty yet and rolls over, clearing in the *second* epoch when one
-//! arrives; one offer is withdrawn before it can match.
+//! counterparty yet; one offer is withdrawn before it can match. While
+//! epoch 0 is still *executing*, a doge taker arrives — the next clearing
+//! delta picks it up immediately (epoch 1 clears in the shadow of epoch
+//! 0's execution) instead of waiting for settlement.
 //!
 //! Run with: `cargo run --example market_clearing`
 
-use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
+use atomic_swaps::core::exchange::{
+    EpochStage, Exchange, ExchangeConfig, ExchangeParty, StageCosts, StepEvent,
+};
 use atomic_swaps::market::AssetKind;
 use atomic_swaps::sim::SimRng;
 
@@ -30,10 +35,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("felix", party("doge", "btc")), // no doge taker yet
         ("gary", party("nft", "usd")),   // will get cold feet
     ];
+    let hana = party("btc", "doge"); // arrives mid-epoch
 
-    // Two worker threads: cleared cycles are party- and chain-disjoint, so
-    // in-flight swaps run concurrently; the report is identical either way.
-    let mut exchange = Exchange::new(ExchangeConfig { threads: 2, ..Default::default() });
+    // Two worker threads (cleared cycles are party- and chain-disjoint, so
+    // in-flight swaps run concurrently), and explicit simulated stage
+    // costs so the overlap shows up in the wall-tick attribution.
+    let mut exchange = Exchange::new(ExchangeConfig {
+        threads: 2,
+        stage_costs: StageCosts {
+            clearing_base: 10,
+            clearing_per_offer: 1,
+            provisioning_base: 5,
+            provisioning_per_party: 1,
+            settling_base: 5,
+            settling_per_swap: 1,
+        },
+        ..Default::default()
+    });
     let mut ids = Vec::new();
     for (name, p) in &book {
         let id = exchange.submit(p.clone());
@@ -45,37 +63,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     exchange.cancel(ids[6])?;
     println!("gary cancelled {}", ids[6]);
 
-    // Epoch 0: the service clears the open book, every party re-checks its
-    // published slot (§4.2 — the service is untrusted), and both rings
-    // execute concurrently.
-    let executed = exchange.run_epoch()?;
-    println!("\nEpoch 0 cleared and executed {} swap(s):", executed.len());
-    for swap in &executed {
-        println!(
-            "  {} ({} parties): all deal = {}, settled = {}",
-            swap.id,
-            swap.report.outcomes.len(),
-            swap.report.all_deal(),
-            swap.report.settled,
-        );
-        assert!(swap.report.all_deal());
+    // Drive the stage machine one transition at a time. The moment epoch 0
+    // enters `Executing`, hana's btc→doge offer arrives — and the very
+    // next transition admits epoch 1's clearing, while epoch 0 is still
+    // running its swaps.
+    println!("\nPipeline transitions:");
+    let mut hana_submitted = false;
+    loop {
+        match exchange.step()? {
+            StepEvent::StageEntered { epoch, stage, at } => {
+                println!("  {at}: epoch {epoch} -> {stage}");
+                if stage == EpochStage::Executing && !hana_submitted {
+                    hana_submitted = true;
+                    let id = exchange.submit(hana.clone());
+                    println!("  {at}: hana submitted {id} mid-epoch: gives btc, wants doge");
+                }
+            }
+            StepEvent::EpochSettled { epoch, at, executed } => {
+                println!("  {at}: epoch {epoch} settled {} swap(s):", executed.len());
+                for swap in &executed {
+                    println!(
+                        "      {} ({} parties): all deal = {}, settled = {}",
+                        swap.id,
+                        swap.report.outcomes.len(),
+                        swap.report.all_deal(),
+                        swap.report.settled,
+                    );
+                    assert!(swap.report.all_deal());
+                }
+            }
+            StepEvent::Quiescent => break,
+        }
     }
+
+    println!("\nOffer statuses:");
     for (i, (name, _)) in book.iter().enumerate() {
         println!("  {name}: {}", exchange.service().status(ids[i]).unwrap());
     }
 
-    // Epoch 1: a doge taker finally arrives, so felix's leftover offer
-    // clears against it — continuous clearing, not one-shot.
-    let hana = party("btc", "doge");
-    exchange.submit(hana);
-    let executed = exchange.run_epoch()?;
-    println!("\nEpoch 1 cleared and executed {} swap(s):", executed.len());
-    assert_eq!(executed.len(), 1);
-    assert!(executed[0].report.all_deal());
-    println!("  felix now: {}", exchange.service().status(ids[5]).unwrap());
-
     // The aggregate observable: counters over all epochs, merged storage
-    // across every chain of every executed swap.
+    // across every chain of every executed swap, and the per-stage wall
+    // attribution — epoch 1's clearing hid under epoch 0's execution, so
+    // `clearing` ticks stay close to one epoch's worth.
     let report = exchange.report();
     println!(
         "\nExchange report: {} epochs, {} offers ({} cancelled), \
@@ -88,11 +117,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.swaps_refunded,
     );
     println!(
-        "  simulated wall: {} ticks; ledger: {} chains, {} bytes stored, integrity {}",
+        "  simulated wall: {} ticks (clearing {}, provisioning {}, executing {}, settling {})",
         report.wall_ticks,
+        report.stage_ticks.clearing,
+        report.stage_ticks.provisioning,
+        report.stage_ticks.executing,
+        report.stage_ticks.settling,
+    );
+    assert_eq!(report.stage_ticks.total(), report.wall_ticks);
+    println!(
+        "  ledger: {} chains, {} bytes stored, integrity {}",
         exchange.ledger().len(),
         report.storage.total_bytes(),
         exchange.ledger().verify_integrity(),
     );
+    assert_eq!(report.swaps_settled, 3);
     Ok(())
 }

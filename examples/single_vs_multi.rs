@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ));
         }
     }
-    let executed = exchange.run_epoch()?;
+    let executed = exchange.drive_until_quiescent()?;
     println!("Exchange epoch: {} cleared cycles, protocol chosen per cycle:", executed.len());
     for summary in &exchange.report().swaps {
         println!(

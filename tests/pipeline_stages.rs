@@ -1,0 +1,325 @@
+//! Staged-pipeline coverage for the exchange: the `EpochStage` machine,
+//! clearing/execution overlap across epochs, mid-epoch submissions landing
+//! in the next clearing delta, cancellation racing an in-flight epoch, and
+//! per-stage wall-tick attribution. (The byte-equivalence goldens against
+//! the deprecated batch shim live in `tests/exchange_pipeline.rs`.)
+
+use atomic_swaps::core::exchange::{
+    EpochStage, Exchange, ExchangeConfig, ExchangeParty, StageCosts, StepEvent,
+};
+use atomic_swaps::market::{AssetKind, CancelError, OfferStatus};
+use atomic_swaps::sim::SimRng;
+
+/// A wave of `rings` disjoint 3-party rings over kinds namespaced by
+/// `wave`, deterministic per seed.
+fn wave(wave: usize, rings: usize, rng: &mut SimRng) -> Vec<ExchangeParty> {
+    let mut parties = Vec::new();
+    for r in 0..rings {
+        for p in 0..3 {
+            parties.push(ExchangeParty::generate(
+                rng,
+                4,
+                AssetKind::new(format!("w{wave}r{r}k{p}")),
+                AssetKind::new(format!("w{wave}r{r}k{}", (p + 1) % 3)),
+            ));
+        }
+    }
+    parties
+}
+
+/// Nonzero stage costs so the overlap is visible in wall ticks.
+fn costs() -> StageCosts {
+    StageCosts {
+        clearing_base: 10,
+        clearing_per_offer: 1,
+        provisioning_base: 5,
+        provisioning_per_party: 1,
+        settling_base: 5,
+        settling_per_swap: 1,
+    }
+}
+
+/// Batch driving: each wave is submitted only after the previous wave's
+/// epoch fully settled, so no stages ever overlap.
+fn drive_batch(waves: usize, rings: usize, threads: usize, seed: u64) -> Exchange {
+    let mut rng = SimRng::from_seed(seed);
+    let mut exchange =
+        Exchange::new(ExchangeConfig { threads, stage_costs: costs(), ..Default::default() });
+    for w in 0..waves {
+        for party in wave(w, rings, &mut rng) {
+            exchange.submit(party);
+        }
+        let executed = exchange.drive_until_quiescent().expect("epoch settles");
+        assert_eq!(executed.len(), rings);
+    }
+    exchange
+}
+
+/// Pipelined driving: wave `w + 1` is submitted the instant epoch `w`
+/// enters `Executing`, so its clearing and provisioning overlap epoch `w`'s
+/// execution. Returns the exchange and the observed event log.
+fn drive_pipelined(
+    waves: usize,
+    rings: usize,
+    threads: usize,
+    seed: u64,
+) -> (Exchange, Vec<String>) {
+    let mut rng = SimRng::from_seed(seed);
+    let mut exchange =
+        Exchange::new(ExchangeConfig { threads, stage_costs: costs(), ..Default::default() });
+    let mut next_wave = 0usize;
+    for party in wave(next_wave, rings, &mut rng) {
+        exchange.submit(party);
+    }
+    next_wave += 1;
+    let mut events = Vec::new();
+    let mut settled_swaps = 0usize;
+    loop {
+        match exchange.step().expect("pipeline advances") {
+            StepEvent::StageEntered { epoch, stage, .. } => {
+                events.push(format!("enter:{epoch}:{stage}"));
+                if stage == EpochStage::Executing && next_wave < waves {
+                    for party in wave(next_wave, rings, &mut rng) {
+                        exchange.submit(party);
+                    }
+                    next_wave += 1;
+                }
+            }
+            StepEvent::EpochSettled { epoch, executed, .. } => {
+                events.push(format!("settled:{epoch}"));
+                settled_swaps += executed.len();
+            }
+            StepEvent::Quiescent => break,
+        }
+    }
+    assert_eq!(next_wave, waves, "every wave was injected");
+    assert_eq!(settled_swaps, waves * rings);
+    (exchange, events)
+}
+
+#[test]
+fn pipelining_overlaps_clearing_with_execution_and_wins_wall_ticks() {
+    const WAVES: usize = 3;
+    const RINGS: usize = 2;
+    let mut pipelined_baseline: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let batch = drive_batch(WAVES, RINGS, threads, 0x18);
+        let (pipelined, events) = drive_pipelined(WAVES, RINGS, threads, 0x18);
+        let (batch, pipelined) = (batch.report().clone(), pipelined.report().clone());
+
+        // Same market outcome either way.
+        assert_eq!(batch.swaps_settled, (WAVES * RINGS) as u64, "threads={threads}");
+        assert_eq!(pipelined.swaps_settled, batch.swaps_settled, "threads={threads}");
+        assert_eq!(pipelined.swaps_refunded, 0);
+        assert_eq!(pipelined.storage, batch.storage, "threads={threads}");
+
+        // The pipelining win, strictly, at every worker count: stages of
+        // epoch k+1 hid beneath epoch k's execution.
+        assert!(
+            pipelined.wall_ticks < batch.wall_ticks,
+            "threads={threads}: pipelined {} vs batch {}",
+            pipelined.wall_ticks,
+            batch.wall_ticks
+        );
+        // Attribution sums to the total in both driving modes.
+        assert_eq!(batch.stage_ticks.total(), batch.wall_ticks, "threads={threads}");
+        assert_eq!(pipelined.stage_ticks.total(), pipelined.wall_ticks, "threads={threads}");
+        // Batch pays clearing once per epoch; the pipeline pays it only
+        // while execution is not hiding it.
+        assert!(pipelined.stage_ticks.clearing < batch.stage_ticks.clearing, "threads={threads}");
+
+        // The overlap itself, observed: epoch 1 started clearing before
+        // epoch 0 settled.
+        let clears1 = events.iter().position(|e| e == "enter:1:clearing").unwrap();
+        let settles0 = events.iter().position(|e| e == "settled:0").unwrap();
+        assert!(clears1 < settles0, "threads={threads}: {events:?}");
+
+        // Worker count is a wall-clock knob, never a semantic one — also
+        // for the staged driver.
+        let fingerprint = format!("{pipelined:?}");
+        match &pipelined_baseline {
+            None => pipelined_baseline = Some(fingerprint),
+            Some(base) => assert_eq!(base, &fingerprint, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn mid_epoch_submissions_land_in_next_clearing_delta() {
+    // Regression for the batch-era blind spot: an offer submitted while an
+    // epoch is in flight must be seen by the *next* clearing, not wait for
+    // settlement. Default (zero) stage costs: the fix is about admission
+    // order, not simulated latency.
+    let mut rng = SimRng::from_seed(0x1A);
+    let mut exchange = Exchange::new(ExchangeConfig::default());
+    for party in wave(0, 1, &mut rng) {
+        exchange.submit(party);
+    }
+    // Step epoch 0 up to execution.
+    loop {
+        match exchange.step().unwrap() {
+            StepEvent::StageEntered { stage: EpochStage::Executing, epoch, .. } => {
+                assert_eq!(epoch, 0);
+                break;
+            }
+            StepEvent::StageEntered { .. } => {}
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+    // Mid-epoch submissions arrive while epoch 0 executes.
+    let late: Vec<_> = wave(1, 1, &mut rng).into_iter().map(|p| exchange.submit(p)).collect();
+    // The very next step admits epoch 1's clearing — before epoch 0 has
+    // settled — and the late offers are matched into epoch 1.
+    match exchange.step().unwrap() {
+        StepEvent::StageEntered { epoch: 1, stage: EpochStage::Clearing, .. } => {}
+        other => panic!("expected epoch 1 clearing admission, got {other:?}"),
+    }
+    assert_eq!(exchange.stage_of(0), Some(EpochStage::Executing));
+    for id in &late {
+        assert!(
+            matches!(exchange.service().status(*id), Some(OfferStatus::Matched { epoch: 1, .. })),
+            "late offer {id} should be matched by epoch 1's clearing"
+        );
+    }
+    let executed = exchange.drive_until_quiescent().unwrap();
+    assert_eq!(executed.len(), 2);
+    assert!(executed.iter().all(|s| s.report.all_deal()));
+    for id in &late {
+        assert_eq!(exchange.service().status(*id), Some(OfferStatus::Settled));
+    }
+}
+
+#[test]
+fn cancel_racing_in_flight_epoch_fails_and_never_unwinds() {
+    let mut rng = SimRng::from_seed(0x1B);
+    let mut exchange = Exchange::new(ExchangeConfig::default());
+    let ids: Vec<_> = wave(0, 1, &mut rng).into_iter().map(|p| exchange.submit(p)).collect();
+
+    // Advance through every stage; at each one, cancelling a matched offer
+    // must fail with `CancelError::NotOpen` carrying the `Matched` status,
+    // and must never unwind the provisioned swap.
+    let mut checked_stages = 0;
+    loop {
+        match exchange.step().unwrap() {
+            StepEvent::StageEntered { stage, .. } => {
+                if stage >= EpochStage::Provisioning {
+                    let err = exchange.cancel(ids[0]).unwrap_err();
+                    assert!(
+                        matches!(err, CancelError::NotOpen(id, OfferStatus::Matched { epoch: 0, .. }) if id == ids[0]),
+                        "stage {stage}: expected NotOpen(Matched), got {err:?}"
+                    );
+                    checked_stages += 1;
+                }
+            }
+            StepEvent::EpochSettled { epoch, executed, .. } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(executed.len(), 1, "the raced cancel never unwound the swap");
+                assert!(executed[0].report.all_deal());
+                break;
+            }
+            StepEvent::Quiescent => panic!("epoch in flight"),
+        }
+    }
+    assert_eq!(checked_stages, 3, "provisioning, executing, settling all raced");
+    // The failed cancels left no trace: every offer settled, none counted
+    // as cancelled.
+    for id in &ids {
+        assert_eq!(exchange.service().status(*id), Some(OfferStatus::Settled));
+    }
+    assert_eq!(exchange.report().offers_cancelled, 0);
+    assert_eq!(exchange.report().swaps_settled, 1);
+    assert!(exchange.ledger().verify_integrity());
+}
+
+#[test]
+fn quiescence_is_stable_with_stragglers() {
+    let mut rng = SimRng::from_seed(0x1C);
+    let mut exchange = Exchange::new(ExchangeConfig::default());
+    for party in wave(0, 1, &mut rng) {
+        exchange.submit(party);
+    }
+    let straggler = exchange.submit(ExchangeParty::generate(
+        &mut rng,
+        4,
+        AssetKind::new("straggler"),
+        AssetKind::new("nobody"),
+    ));
+    let executed = exchange.drive_until_quiescent().unwrap();
+    assert_eq!(executed.len(), 1);
+    assert!(exchange.is_quiescent());
+    assert_eq!(exchange.service().status(straggler), Some(OfferStatus::Open));
+    // A drained pipeline stays drained: no phantom epochs, no wall drift.
+    let wall = exchange.report().wall_ticks;
+    assert!(matches!(exchange.step().unwrap(), StepEvent::Quiescent));
+    assert!(exchange.drive_until_quiescent().unwrap().is_empty());
+    assert_eq!(exchange.report().wall_ticks, wall);
+    assert_eq!(exchange.report().epochs, 1);
+}
+
+#[test]
+fn reservation_released_offers_clear_after_settlement() {
+    // A party whose first swap is in flight submits a second offer; the
+    // next clearing must skip it (the party's key material is reserved),
+    // and the first swap's settlement must wake the pipeline so the
+    // rolled-over offer clears — without any unrelated submission.
+    let mut rng = SimRng::from_seed(0x1D);
+    let alice = ExchangeParty::generate(&mut rng, 4, AssetKind::new("x"), AssetKind::new("y"));
+    let bob = ExchangeParty::generate(&mut rng, 4, AssetKind::new("y"), AssetKind::new("x"));
+    let mut exchange = Exchange::new(ExchangeConfig::default());
+    exchange.submit(alice.clone());
+    exchange.submit(bob);
+    // Step epoch 0 into execution.
+    loop {
+        match exchange.step().unwrap() {
+            StepEvent::StageEntered { stage: EpochStage::Executing, epoch: 0, .. } => break,
+            StepEvent::StageEntered { .. } => {}
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+    // Mid-flight, alice returns with a fresh trade (same key) and a
+    // counterparty arrives; epoch 1's clearing skips alice (reserved).
+    let alice_again =
+        ExchangeParty { gives: AssetKind::new("p"), wants: AssetKind::new("q"), ..alice };
+    let second = exchange.submit(alice_again);
+    let counter = exchange.submit(ExchangeParty::generate(
+        &mut rng,
+        4,
+        AssetKind::new("q"),
+        AssetKind::new("p"),
+    ));
+    // Drive dry: epoch 1 clears nothing, epoch 0 settles and releases the
+    // reservation, and the wake-up admits a further clearing that matches
+    // the rolled-over pair.
+    let executed = exchange.drive_until_quiescent().unwrap();
+    assert_eq!(executed.len(), 2, "both of alice's swaps executed");
+    assert_eq!(exchange.service().status(second), Some(OfferStatus::Settled));
+    assert_eq!(exchange.service().status(counter), Some(OfferStatus::Settled));
+    assert!(exchange.is_quiescent());
+    assert_eq!(exchange.report().swaps_settled, 2);
+}
+
+#[test]
+fn settlement_never_admits_phantom_epochs_for_ordinary_leftovers() {
+    // A party's settlement releases its reservation; if the same party
+    // also has an ordinary no-counterparty leftover (seen and passed over
+    // by clearing *without* any reservation), the wake-up must NOT fire —
+    // otherwise every settlement would admit a zero-swap epoch and inflate
+    // wall ticks by Δ each time.
+    let mut rng = SimRng::from_seed(0x1E);
+    let alice = ExchangeParty::generate(&mut rng, 4, AssetKind::new("x"), AssetKind::new("y"));
+    let mut exchange = Exchange::new(ExchangeConfig::default());
+    exchange.submit(alice.clone());
+    exchange.submit(ExchangeParty::generate(&mut rng, 4, AssetKind::new("y"), AssetKind::new("x")));
+    // Alice's second offer has no counterparty: same clearing sees it
+    // unreserved and simply leaves it open.
+    let leftover = exchange.submit(ExchangeParty {
+        gives: AssetKind::new("p"),
+        wants: AssetKind::new("nobody"),
+        ..alice
+    });
+    let executed = exchange.drive_until_quiescent().unwrap();
+    assert_eq!(executed.len(), 1);
+    assert!(exchange.is_quiescent(), "no phantom clearing admitted for the leftover");
+    assert_eq!(exchange.report().epochs, 1);
+    assert_eq!(exchange.service().status(leftover), Some(OfferStatus::Open));
+}
