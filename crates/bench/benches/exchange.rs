@@ -1,9 +1,9 @@
 //! Criterion benches for the exchange pipeline: offers → staged epochs →
-//! concurrent swap execution, sequential vs sharded, batch vs pipelined.
+//! concurrent swap execution, sequential vs pooled, batch vs pipelined.
 //!
 //! One epoch over a book of 16 disjoint 3-party rings (48 offers) executes
 //! 16 in-flight swaps. Cleared cycles are party- and chain-disjoint, so the
-//! orchestrator shards them across worker threads; the `exchange/epoch`
+//! orchestrator spreads them across pool workers; the `exchange/epoch`
 //! group times the identical workload at 1, 2, 4, and 8 workers. The
 //! aggregate report is asserted identical in every case — sharding is a
 //! wall-clock knob only — so the timing delta *is* the speedup. The thread

@@ -12,11 +12,13 @@
 //!
 //! Experiment ids follow DESIGN.md's index (E1–E14), plus E15 for the
 //! event-driven engine's per-chain latency timing model, E16 for the
-//! exchange pipeline (continuous clearing + sharded concurrent execution),
+//! exchange pipeline (continuous clearing + pooled concurrent execution),
 //! E17 for per-cycle protocol selection (§4.6 single-leader HTLCs vs the
-//! general hashkey protocol on the same cleared books), and E18 for
+//! general hashkey protocol on the same cleared books), E18 for
 //! multi-epoch pipelining (stage-overlapped vs batch driving of a rolling
-//! book, with per-stage wall-tick attribution).
+//! book, with per-stage wall-tick attribution), and E19 for the
+//! worker-pool execution tier (sustained rolling-book throughput as the
+//! multi-slot `Executing` budget sweeps 1/2/8/16 simulated workers).
 
 use std::collections::BTreeSet;
 
@@ -61,6 +63,7 @@ fn main() {
         ("e16", e16_exchange_pipeline),
         ("e17", e17_protocol_selection),
         ("e18", e18_multi_epoch_pipelining),
+        ("e19", e19_rolling_book_worker_pool),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -792,9 +795,9 @@ fn e15_timing_models() -> bool {
 }
 
 /// E16 (exchange pipeline): continuous clearing feeding parallel
-/// multi-swap execution on sharded chain sets. Sweeps offer-book size ×
+/// multi-swap execution on the worker pool. Sweeps offer-book size ×
 /// worker threads: every ring must clear and settle, and the aggregate
-/// `ExchangeReport` must be byte-invariant under thread count (sharding is
+/// `ExchangeReport` must be byte-invariant under thread count (the pool is
 /// a wall-clock knob, never a semantic one). Timings for the whole sweep
 /// land in `target/BENCH_E16.json` via the hand-rolled JSON writer, for
 /// the perf trajectory.
@@ -804,7 +807,7 @@ fn e16_exchange_pipeline() -> bool {
     use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty};
     use swap_market::AssetKind;
 
-    println!("E16 Exchange pipeline: offers → epoch clearing → sharded execution\n");
+    println!("E16 Exchange pipeline: offers → epoch clearing → pooled execution\n");
     let widths = [8, 8, 8, 8, 10, 12, 4];
     println!(
         "    {}",
@@ -1285,5 +1288,215 @@ fn e18_multi_epoch_pipelining() -> bool {
         }
     }
     println!("    pipelining strictly beats batch at every worker count, attribution sums: {ok}");
+    ok
+}
+
+/// E19 (rolling-book worker pool): sustained throughput of the multi-slot
+/// execution tier. Six submission waves roll through the exchange exactly
+/// as in E18 (wave w+1 lands the instant epoch w enters `Executing`), and
+/// the simulated execution budget — `executing_slots`, the tier's "sim
+/// workers" — sweeps {1, 2, 8, 16}. More slots let more epochs reside in
+/// `Executing` at once, so the simulated wall shrinks and sustained
+/// swaps-per-kilotick rises monotonically from 1 → 8 (strictly at 1 → 2
+/// and 2 → 8); at ≥ 2 slots at least two epochs are concurrently resident
+/// (`executing_peak ≥ 2`). Host pool workers {1, 2, 8} are swept at every
+/// slot count and must leave the report byte-identical — host threads buy
+/// wall-clock only, never a different trace. Per-stage attribution must
+/// sum to the wall everywhere. Results land in `target/BENCH_E19.json`.
+fn e19_rolling_book_worker_pool() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_core::exchange::{
+        EpochStage, Exchange, ExchangeConfig, ExchangeParty, ExchangeReport, StageCosts, StepEvent,
+    };
+    use swap_market::AssetKind;
+
+    const WAVES: usize = 6;
+    const WAVE_RINGS: usize = 3;
+
+    println!("E19 Rolling-book worker pool: execution slots × host threads, {WAVES}-wave book\n");
+    let widths = [7, 9, 8, 8, 12, 6, 10, 8, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            ["slots", "threads", "settled", "wall", "swaps/ktick", "peak", "occupancy", "ms", "ok"]
+                .map(String::from)
+                .as_ref(),
+            &widths
+        )
+    );
+
+    // Cheap stage latencies: clearing/provisioning/settling are visible in
+    // the attribution but execution dominates, so epochs pile up behind
+    // the `Executing` budget and the slot count is the bottleneck.
+    let costs = StageCosts {
+        clearing_base: 2,
+        clearing_per_offer: 0,
+        provisioning_base: 2,
+        provisioning_per_party: 0,
+        settling_base: 2,
+        settling_per_swap: 0,
+    };
+    // Wave w: disjoint rings with mixed cycle lengths 2..=4, deterministic.
+    let wave = |w: usize| -> Vec<ExchangeParty> {
+        let mut rng = SimRng::from_seed(0xE19 + w as u64);
+        let mut parties = Vec::new();
+        for r in 0..WAVE_RINGS {
+            let len = 2 + (w + r) % 3;
+            for p in 0..len {
+                parties.push(ExchangeParty::generate(
+                    &mut rng,
+                    4,
+                    AssetKind::new(format!("w{w}r{r}k{p}")),
+                    AssetKind::new(format!("w{w}r{r}k{}", (p + 1) % len)),
+                ));
+            }
+        }
+        parties
+    };
+
+    let drive = |threads: usize, slots: usize| -> ExchangeReport {
+        let mut exchange = Exchange::new(ExchangeConfig {
+            threads,
+            executing_slots: slots,
+            stage_costs: costs,
+            ..Default::default()
+        });
+        let mut next = 0usize;
+        for p in wave(next) {
+            exchange.submit(p);
+        }
+        next += 1;
+        loop {
+            match exchange.step().expect("pipeline advances") {
+                StepEvent::StageEntered { stage: EpochStage::Executing, .. } if next < WAVES => {
+                    for p in wave(next) {
+                        exchange.submit(p);
+                    }
+                    next += 1;
+                }
+                StepEvent::Quiescent => break,
+                _ => {}
+            }
+        }
+        assert_eq!(next, WAVES, "every wave injected");
+        exchange.into_report()
+    };
+
+    struct Row {
+        slots: usize,
+        threads: usize,
+        settled: u64,
+        wall_ticks: u64,
+        swaps_per_ktick: f64,
+        elapsed_ms: f64,
+        swaps_per_sec: f64,
+        report: ExchangeReport,
+    }
+    let mut ok = true;
+    let mut rows: Vec<Row> = Vec::new();
+    let total_swaps = (WAVES * WAVE_RINGS) as u64;
+    let mut wall_of_slots: Vec<(usize, u64)> = Vec::new();
+    for slots in [1usize, 2, 8, 16] {
+        let mut fingerprint: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            let clock = Instant::now();
+            let report = drive(threads, slots);
+            let elapsed = clock.elapsed();
+            let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+            let swaps_per_sec = report.swaps_settled as f64 / elapsed.as_secs_f64();
+            let swaps_per_ktick = report.swaps_settled as f64 * 1e3 / report.wall_ticks as f64;
+            let occupancy = report.executing_resident_ticks as f64 / report.wall_ticks as f64;
+            let attribution_sums = report.stage_ticks.total() == report.wall_ticks;
+            // Host workers must not change the simulated trace at all.
+            let fp = format!("{report:?}");
+            let invariant = fingerprint.get_or_insert_with(|| fp.clone()) == &fp;
+            let row_ok = report.swaps_settled == total_swaps
+                && report.swaps_refunded == 0
+                && attribution_sums
+                && (slots == 1 || report.executing_peak >= 2)
+                && invariant;
+            ok &= row_ok;
+            println!(
+                "    {}",
+                fmt_row(
+                    &[
+                        slots.to_string(),
+                        threads.to_string(),
+                        report.swaps_settled.to_string(),
+                        report.wall_ticks.to_string(),
+                        format!("{swaps_per_ktick:.2}"),
+                        report.executing_peak.to_string(),
+                        format!("{occupancy:.2}"),
+                        format!("{elapsed_ms:.1}"),
+                        if row_ok { "✓".into() } else { "✗".into() },
+                    ],
+                    &widths
+                )
+            );
+            rows.push(Row {
+                slots,
+                threads,
+                settled: report.swaps_settled,
+                wall_ticks: report.wall_ticks,
+                swaps_per_ktick,
+                elapsed_ms,
+                swaps_per_sec,
+                report,
+            });
+        }
+        let wall = rows.last().expect("just pushed").wall_ticks;
+        wall_of_slots.push((slots, wall));
+    }
+
+    // The acceptance curve: the same book settles the same swaps, so
+    // sustained swaps/ktick improves exactly as the wall shrinks — it must
+    // never regress as slots grow, and strictly improve through 1 → 2 → 8.
+    let wall_at = |slots: usize| {
+        wall_of_slots.iter().find(|&&(s, _)| s == slots).expect("swept slot count").1
+    };
+    let monotone = wall_of_slots.windows(2).all(|w| w[1].1 <= w[0].1);
+    let strict = wall_at(2) < wall_at(1) && wall_at(8) < wall_at(2);
+    ok &= monotone && strict;
+    println!(
+        "    sim walls by slots: {} — monotone: {monotone}, strict 1→2→8: {strict}",
+        wall_of_slots.iter().map(|(s, w)| format!("{s}:{w}")).collect::<Vec<_>>().join("  ")
+    );
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e19")
+            .field_str("name", "rolling-book worker pool: execution slots × host threads")
+            .field_usize("waves", WAVES)
+            .field_usize("rings_per_wave", WAVE_RINGS)
+            .field_usize(
+                "host_parallelism",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("slots", row.slots)
+                            .field_usize("threads", row.threads)
+                            .field_u64("swaps_settled", row.settled)
+                            .field_u64("wall_ticks", row.wall_ticks)
+                            .field_f64("swaps_per_ktick", row.swaps_per_ktick)
+                            .field_u64("executing_peak", row.report.executing_peak)
+                            .field_f64("elapsed_ms", row.elapsed_ms)
+                            .field_f64("swaps_per_sec", row.swaps_per_sec)
+                            .field_object("report", |r| {
+                                json::exchange_report_fields(r, &row.report)
+                            });
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E19", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E19.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    throughput monotone in slots, ≥2 epochs resident, report thread-invariant: {ok}");
     ok
 }

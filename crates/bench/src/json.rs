@@ -202,6 +202,8 @@ pub fn exchange_report_fields(o: &mut JsonObject, r: &ExchangeReport) {
                     .field_u64("executing", r.stage_ticks.executing)
                     .field_u64("settling", r.stage_ticks.settling);
             })
+            .field_u64("executing_peak", r.executing_peak)
+            .field_u64("executing_resident_ticks", r.executing_resident_ticks)
             .field_object("storage", |s| storage_fields(s, &r.storage))
             .field_array("swaps", |arr| {
                 for swap in &r.swaps {

@@ -90,9 +90,9 @@ impl<C: ContractLogic> ChainSet<C> {
     /// fresh ids, and returns the `(old, new)` id mapping in `other`'s
     /// iteration order.
     ///
-    /// This is the merge half of sharded execution: each shard runs swaps
-    /// on a [`ChainSet`] it exclusively owns, and the orchestrator folds
-    /// the shards back into one global ledger view afterwards. Absorption
+    /// This is the merge half of concurrent execution: each worker runs a
+    /// swap on a [`ChainSet`] it exclusively owns, and the orchestrator
+    /// folds those sets back into one global ledger view afterwards. Absorption
     /// only re-addresses chains — block histories, contracts, and assets
     /// are untouched, so integrity verification and storage accounting
     /// survive the merge.

@@ -1,5 +1,5 @@
-//! The exchange pipeline: continuous clearing overlapped with parallel
-//! multi-swap execution on sharded chain sets.
+//! The exchange pipeline: continuous clearing feeding multi-epoch parallel
+//! execution on a persistent work-stealing worker pool.
 //!
 //! The paper assumes "the swap digraph is constructed by a (possibly
 //! centralized) market-clearing service" (§4.2) and then analyzes *one*
@@ -11,14 +11,18 @@
 //!   Clearing ──▶ Provisioning ──▶ Executing ──▶ Settling ──▶ (retired)
 //! ```
 //!
-//! and the pipeline keeps one epoch per stage in flight, so epoch `k+1`'s
-//! clearing and provisioning run *while epoch `k` is still executing* on
-//! its disjoint chain shards. [`submit`](Exchange::submit) and
-//! [`cancel`](Exchange::cancel) are accepted at any time — an offer
-//! submitted mid-epoch lands in the next clearing delta instead of waiting
-//! for settlement — and [`step`](Exchange::step) advances the pipeline by
-//! exactly one stage transition
-//! ([`Exchange::drive_until_quiescent`] loops it dry).
+//! The clearing, provisioning, and settling slots hold one epoch each, but
+//! **`Executing` holds up to [`ExchangeConfig::executing_slots`] epochs at
+//! once**: cleared cycles are party- and chain-disjoint across epochs (the
+//! clearing reservation set guarantees it), so nothing in the theory
+//! forces execution to serialize per epoch. Epoch `k+1`'s clearing and
+//! provisioning run while epoch `k` executes, and with more than one
+//! execution slot epoch `k+1`'s *execution* overlaps it too.
+//! [`submit`](Exchange::submit) and [`cancel`](Exchange::cancel) are
+//! accepted at any time — an offer submitted mid-epoch lands in the next
+//! clearing delta instead of waiting for settlement — and
+//! [`step`](Exchange::step) advances the pipeline by exactly one stage
+//! transition ([`Exchange::drive_until_quiescent`] loops it dry).
 //!
 //! The four stages:
 //!
@@ -33,43 +37,48 @@
 //!    into a [`ProvisionedSwap`] and its protocol chosen (under
 //!    [`ProtocolPolicy::Auto`], §4.6 single-leader HTLCs when feasible,
 //!    the general §4.5 hashkey protocol otherwise).
-//! 3. **Executing.** At admission to the execution slot each provisioned
-//!    swap is stamped onto the timeline ([`ProvisionedSwap::admit`]
-//!    rebases its start to `now + Δ`) and all in-flight swaps of the epoch
-//!    run *concurrently*: cleared cycles are party- and chain-disjoint, so
-//!    instances are round-robin sharded across
-//!    [`ExchangeConfig::threads`] scoped workers and merged back in
-//!    swap-id order — byte-identical for 1, 2, or N workers.
+//! 3. **Executing.** The moment an execution slot frees up, each of the
+//!    epoch's provisioned swaps is stamped onto the timeline
+//!    ([`ProvisionedSwap::admit`] rebases its start to `now + Δ`) and
+//!    **queued onto the long-lived [`WorkerPool`]** shared by every epoch
+//!    in flight. Workers return per-swap results over a channel; the merge
+//!    is swap-id-ordered, so the [`ExchangeReport`] is byte-identical for
+//!    1, 2, or N pool workers ([`ExchangeConfig::threads`] is a host
+//!    wall-clock knob, never a semantic one). A swap engine that panics is
+//!    caught at the worker boundary: only that swap fails
+//!    ([`ExchangeError::WorkerPanicked`], its offers refunded) and every
+//!    sibling's finished result still settles.
 //! 4. **Settling.** Offers resolve (settle on all-`Deal`, refund
-//!    otherwise), every shard's chains are absorbed into the global ledger
-//!    ([`ChainSet::absorb`]), and the epoch retires.
+//!    otherwise), every swap's chains are absorbed into the global ledger
+//!    ([`ChainSet::absorb`]), and the epoch retires. Epochs retire in
+//!    admission order even when their executions overlapped.
 //!
 //! # Simulated time and per-stage attribution
 //!
 //! Stages cost simulated ticks ([`StageCosts`]; zero by default, so
-//! single-epoch workloads are byte-identical to the historical batch
-//! path). Stage slots are exclusive and epochs advance in order, which
-//! yields the classic pipeline recurrence: a stage starts at the later of
-//! its own epoch's previous-stage completion and the moment the epoch
-//! ahead vacates the slot. Every advance of the pipeline frontier is
+//! single-epoch workloads behave exactly like the historical batch path).
+//! Epochs advance in order through the exclusive slots, which yields the
+//! classic pipeline recurrence: a stage starts at the later of its own
+//! epoch's previous-stage completion and the moment a slot frees up. An
+//! epoch's simulated execution wall is its slowest swap's run — a function
+//! of the deterministic per-swap reports alone, never of host scheduling —
+//! so the pipeline's simulated trace is identical however many pool
+//! workers raced over the jobs. Every advance of the pipeline frontier is
 //! attributed to the stage that completed across it
 //! ([`ExchangeReport::stage_ticks`]), and the attribution sums exactly to
-//! [`ExchangeReport::wall_ticks`] — which is how the overlap becomes
-//! observable: in batch driving, clearing ticks accumulate once per epoch;
-//! in pipelined driving they hide under the previous epoch's execution and
-//! only the pipeline fill pays them.
-//!
-//! The historical `run_epoch` survives as a thin deprecated shim over
-//! [`step`](Exchange::step) — it force-admits one epoch and drains it —
-//! so existing goldens pin the batch path byte-for-byte.
+//! [`ExchangeReport::wall_ticks`] even while several epochs execute at
+//! once: each frontier advance is charged to exactly one completing stage.
+//! Executing-stage *occupancy* is tracked alongside
+//! ([`ExchangeReport::executing_peak`],
+//! [`ExchangeReport::executing_resident_ticks`]) — the observable form of
+//! multi-epoch overlap.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::thread;
 
 use swap_chain::ChainSet;
 use swap_contract::AnyContract;
-use swap_crypto::{MssKeypair, Secret};
+use swap_crypto::{Address, MssKeypair, Secret};
 use swap_digraph::VertexId;
 use swap_market::{
     verify_cleared_swap, AssetKind, CancelError, ClearError, ClearedSwap, ClearingService,
@@ -77,20 +86,30 @@ use swap_market::{
 };
 use swap_sim::{Delta, SimDuration, SimRng, SimTime};
 
-use crate::instance::{ProvisionedSwap, SwapInstance};
+use crate::instance::{ProvisionedSwap, SwapRunOutput};
+use crate::pool::{Completed, WorkerPool};
 use crate::protocol::ProtocolKind;
 use crate::runner::{RunConfig, RunMetrics, RunReport};
-use crate::setup::SwapSetup;
-use crate::timing::Lockstep;
 
 /// Configuration for an [`Exchange`].
 #[derive(Debug, Clone)]
 pub struct ExchangeConfig {
     /// The synchrony parameter Δ every cleared swap runs under.
     pub delta: Delta,
-    /// Worker threads for in-flight swap execution (clamped to ≥ 1).
-    /// Results are invariant under this knob; only wall-clock changes.
+    /// Host worker threads in the long-lived execution pool (clamped to
+    /// ≥ 1). Results are invariant under this knob; only host wall-clock
+    /// changes.
     pub threads: usize,
+    /// How many epochs may be concurrently resident in
+    /// [`EpochStage::Executing`] (clamped to ≥ 1). This is the *simulated*
+    /// execution-parallelism budget: with one slot epochs execute strictly
+    /// in series (the historical pipeline); with `k` slots up to `k`
+    /// epochs' swaps run side by side on the shared worker pool and the
+    /// simulated frontier reflects the overlap. Unlike
+    /// [`threads`](ExchangeConfig::threads) this knob *does* change the
+    /// simulated trace (wall ticks, occupancy) — deterministically, the
+    /// same for every host worker count.
+    pub executing_slots: usize,
     /// Per-swap run configuration template (behaviors are keyed by vertex
     /// id within each swap, so they apply to every cleared swap alike —
     /// useful for adversarial sweeps).
@@ -101,9 +120,9 @@ pub struct ExchangeConfig {
     pub protocol: ProtocolPolicy,
     /// Simulated cost of the non-execution pipeline stages. Zero by
     /// default: stage latencies are negligible next to protocol rounds at
-    /// small book sizes, and zero costs keep the batch shim byte-identical
-    /// to the historical `run_epoch`. Experiments model them explicitly to
-    /// measure the pipelining win (see E18).
+    /// small book sizes, and zero costs keep single-epoch workloads
+    /// byte-identical to the historical batch path. Experiments model them
+    /// explicitly to measure the pipelining win (see E18/E19).
     pub stage_costs: StageCosts,
 }
 
@@ -127,6 +146,7 @@ impl Default for ExchangeConfig {
         ExchangeConfig {
             delta: Delta::from_ticks(10),
             threads: 1,
+            executing_slots: 1,
             run: RunConfig::default(),
             leader_strategy: LeaderStrategy::MinimumExact,
             protocol: ProtocolPolicy::Auto,
@@ -142,9 +162,11 @@ impl Default for ExchangeConfig {
 /// Clearing ──▶ Provisioning ──▶ Executing ──▶ Settling ──▶ (retired)
 /// ```
 ///
-/// At most one epoch occupies each stage, and epochs advance in admission
-/// order — the classic in-order pipeline, so epoch `k+1` clears and
-/// provisions while epoch `k` executes.
+/// One epoch occupies each of `Clearing`, `Provisioning`, and `Settling`;
+/// `Executing` holds up to [`ExchangeConfig::executing_slots`] epochs at
+/// once. Epochs advance (and retire) in admission order — so epoch `k+1`
+/// clears and provisions while epoch `k` executes, and with multiple
+/// execution slots their executions overlap too.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EpochStage {
     /// The clearing service is consuming the open book into trade cycles.
@@ -152,8 +174,9 @@ pub enum EpochStage {
     /// Cleared slots verified party-side; key material and protocol choice
     /// captured per cycle ([`ProvisionedSwap`]).
     Provisioning,
-    /// All of the epoch's swaps are running concurrently on their disjoint
-    /// chain shards.
+    /// All of the epoch's swaps are queued on the shared worker pool,
+    /// running concurrently — with each other and with every other
+    /// executing epoch's swaps.
     Executing,
     /// Offers resolving and shard chains merging into the global ledger.
     Settling,
@@ -344,6 +367,13 @@ pub enum ExchangeError {
         /// What the party detected.
         error: VerifyError,
     },
+    /// A swap's engine panicked on a pool worker. The panic was caught at
+    /// the worker boundary, so only this swap failed — its offers are
+    /// refunded, every sibling swap's finished result still settles, and
+    /// further `step` calls keep driving the pipeline. (If several swaps
+    /// of one epoch panicked, the lowest swap id is reported; all of them
+    /// are refunded.)
+    WorkerPanicked(SwapId),
 }
 
 impl fmt::Display for ExchangeError {
@@ -352,6 +382,9 @@ impl fmt::Display for ExchangeError {
             ExchangeError::Clear(e) => write!(f, "{e}"),
             ExchangeError::Verify { swap, vertex, error } => {
                 write!(f, "party at vertex {vertex} rejected {swap}: {error}")
+            }
+            ExchangeError::WorkerPanicked(swap) => {
+                write!(f, "{swap}'s engine panicked on a pool worker; its offers were refunded")
             }
         }
     }
@@ -452,8 +485,19 @@ pub struct ExchangeReport {
     /// frontier, so pipelined driving strictly undercuts batch driving
     /// whenever the non-execution stages cost anything.
     pub wall_ticks: u64,
-    /// Where the wall ticks went, stage by stage; sums to `wall_ticks`.
+    /// Where the wall ticks went, stage by stage; sums to `wall_ticks`
+    /// even while several epochs execute at once (each frontier advance is
+    /// charged to exactly one completing stage).
     pub stage_ticks: StageTicks,
+    /// The most epochs ever concurrently resident in
+    /// [`EpochStage::Executing`] (bounded by
+    /// [`ExchangeConfig::executing_slots`]).
+    pub executing_peak: u64,
+    /// Epoch-ticks of `Executing` residency: every frontier advance of
+    /// `dt` ticks contributes `dt × (epochs then executing)`. Divided by
+    /// `wall_ticks` this is the stage's average occupancy — the
+    /// observable form of multi-epoch execution overlap.
+    pub executing_resident_ticks: u64,
     /// Merged storage across every chain of every executed swap —
     /// Theorem 4.10's "bits stored on all blockchains", at exchange scale.
     pub storage: swap_chain::StorageReport,
@@ -466,10 +510,24 @@ pub struct ExchangeReport {
 enum EpochWork {
     /// Clearing output, awaiting verification + provisioning.
     Cleared(Vec<ClearedSwap>),
-    /// Provisioned swaps, awaiting the execution slot.
+    /// Provisioned swaps, awaiting an execution slot.
     Provisioned(Vec<ProvisionedSwap>),
-    /// Execution results, awaiting settlement.
-    Executed(Vec<ShardResult>),
+    /// The epoch's swaps are queued on the worker pool. While any result
+    /// is outstanding, the epoch's `completes_at` is only a *lower bound*
+    /// (Δ — the shortest possible run); [`Exchange::resolve_execution`]
+    /// collects the results and installs the true wall.
+    Queued {
+        /// When the epoch entered `Executing` (and its jobs were queued).
+        entered: SimTime,
+        /// Results not yet received from the pool.
+        pending: usize,
+        /// Results received so far (arrival order; sorted at resolution).
+        outcomes: Vec<SwapRunOutput>,
+        /// Swaps whose job panicked on its worker.
+        panicked: Vec<SwapId>,
+    },
+    /// Execution results resolved and merged, awaiting settlement.
+    Executed(Vec<SwapRunOutput>),
     /// Placeholder while a transition consumes the payload.
     Taken,
 }
@@ -479,7 +537,8 @@ enum EpochWork {
 struct InFlightEpoch {
     epoch: u64,
     stage: EpochStage,
-    /// When the current stage's simulated work completes.
+    /// When the current stage's simulated work completes. For an epoch in
+    /// [`EpochWork::Queued`] state this is a lower bound until resolution.
     completes_at: SimTime,
     work: EpochWork,
 }
@@ -526,15 +585,21 @@ pub struct Exchange {
     /// The simulated instant of the latest book change (submission or
     /// withdrawal) no clearing has seen; `None` while the book is clean.
     dirty_since: Option<SimTime>,
+    /// The long-lived execution tier: every admitted swap of every
+    /// executing epoch is queued here, tagged `(epoch, swap)`.
+    pool: WorkerPool<(u64, SwapId), SwapRunOutput>,
     /// The merged global ledger: every executed swap's chains, absorbed.
     ledger: ChainSet<AnyContract>,
     report: ExchangeReport,
 }
 
 impl Exchange {
-    /// Creates an exchange with an empty book at `t = 0`.
+    /// Creates an exchange with an empty book at `t = 0`. The execution
+    /// worker pool ([`ExchangeConfig::threads`] threads) is spawned here
+    /// and lives as long as the exchange.
     pub fn new(config: ExchangeConfig) -> Exchange {
         let service = ClearingService::new().with_leader_strategy(config.leader_strategy);
+        let pool = WorkerPool::new(config.threads);
         Exchange {
             config,
             service,
@@ -543,6 +608,7 @@ impl Exchange {
             in_flight: VecDeque::new(),
             vacated: [SimTime::ZERO; 4],
             dirty_since: None,
+            pool,
             ledger: ChainSet::new(),
             report: ExchangeReport::default(),
         }
@@ -626,11 +692,20 @@ impl Exchange {
     /// * a new epoch is admitted into [`EpochStage::Clearing`] whenever the
     ///   slot is free and the book has submissions no clearing has seen;
     /// * otherwise the in-flight epoch with the earliest admissible
-    ///   transition advances one stage (respecting slot exclusivity and
-    ///   admission order — this is what overlaps epoch `k+1`'s clearing
+    ///   transition advances one stage (respecting slot budgets and
+    ///   admission order — this is what overlaps epoch `k+1`'s clearing,
+    ///   provisioning, and, with more than one
+    ///   [execution slot](ExchangeConfig::executing_slots), *execution*
     ///   with epoch `k`'s execution);
     /// * with nothing to do, [`StepEvent::Quiescent`] is returned and the
     ///   exchange is unchanged.
+    ///
+    /// An epoch whose pool results are still outstanding carries only a
+    /// *lower bound* on its execution completion; `step` blocks on the
+    /// pool (resolving the true completion) only once that bound undercuts
+    /// every transition already known — so the host-side execution of one
+    /// epoch overlaps both the bookkeeping and the execution of the next,
+    /// while the simulated trace stays deterministic.
     ///
     /// # Example
     ///
@@ -671,9 +746,11 @@ impl Exchange {
     /// status and no epoch is admitted); [`ExchangeError::Verify`] if a
     /// published swap betrays an offer — nothing was escrowed, and every
     /// swap of that epoch is torn down (its offers become `Refunded`), so
-    /// the book is never wedged with permanently-`Matched` offers. The
-    /// pipeline stays consistent either way and further `step` calls keep
-    /// driving the remaining epochs.
+    /// the book is never wedged with permanently-`Matched` offers;
+    /// [`ExchangeError::WorkerPanicked`] if a swap's engine panicked on
+    /// its worker — that swap's offers are refunded, its siblings' results
+    /// survive and settle normally. The pipeline stays consistent in every
+    /// case and further `step` calls keep driving the remaining epochs.
     pub fn step(&mut self) -> Result<StepEvent, ExchangeError> {
         // Admission first: the clearing slot feeds the pipeline.
         let clearing_busy = self.in_flight.iter().any(|e| e.stage == EpochStage::Clearing);
@@ -684,28 +761,74 @@ impl Exchange {
             }
         }
         // Otherwise: the admissible transition earliest in simulated time.
-        // An epoch may advance only if no epoch ahead of it occupies the
-        // next stage (slot exclusivity keeps the pipeline in order).
-        let mut best: Option<(usize, SimTime)> = None;
-        for (i, epoch) in self.in_flight.iter().enumerate() {
-            let occupied = match epoch.stage.next() {
-                Some(next) => self.in_flight.iter().take(i).any(|ahead| ahead.stage == next),
-                None => false,
-            };
-            if occupied {
-                continue;
+        // An epoch still waiting on pool results ([`EpochWork::Queued`])
+        // only has a *lower bound* on its transition time; it is resolved
+        // (blocking on the pool channel) lazily, only once that bound
+        // undercuts every transition already known — any transition known
+        // to be strictly earlier is processed first, which is what lets
+        // the host finish epoch `k`'s swaps while the pipeline books (and
+        // queues) epoch `k+1`. Resolution is host-order-independent, so
+        // the simulated trace is deterministic either way.
+        loop {
+            let mut best: Option<(usize, SimTime)> = None;
+            let mut unresolved: Option<(usize, SimTime)> = None;
+            for (i, epoch) in self.in_flight.iter().enumerate() {
+                if !self.may_advance(i) {
+                    continue;
+                }
+                let entry = self.entry_time(i);
+                if matches!(epoch.work, EpochWork::Queued { .. }) {
+                    if unresolved.map_or(true, |(_, t)| entry < t) {
+                        unresolved = Some((i, entry));
+                    }
+                } else if best.map_or(true, |(_, t)| entry < t) {
+                    best = Some((i, entry));
+                }
             }
-            let entry = match epoch.stage.next() {
-                Some(next) => epoch.completes_at.max(self.vacated[next.index()]),
-                None => epoch.completes_at,
-            };
-            if best.map_or(true, |(_, t)| entry < t) {
-                best = Some((i, entry));
+            match (best, unresolved) {
+                (Some((i, entry)), Some((_, bound))) if entry < bound => {
+                    return self.advance(i, entry);
+                }
+                (_, Some((i, _))) => self.resolve_execution(i)?,
+                (Some((i, entry)), None) => return self.advance(i, entry),
+                (None, None) => return Ok(StepEvent::Quiescent),
             }
         }
-        match best {
-            Some((i, entry)) => self.advance(i, entry),
-            None => Ok(StepEvent::Quiescent),
+    }
+
+    /// Whether the `i`-th in-flight epoch's next transition respects the
+    /// slot budgets and admission order: the single-epoch stages must be
+    /// free of epochs ahead, entry into `Executing` requires a free
+    /// execution slot, and departure from `Executing` waits for every
+    /// older epoch to clear both `Executing` and `Settling` (epochs retire
+    /// in admission order even when their executions overlapped).
+    fn may_advance(&self, i: usize) -> bool {
+        let epoch = &self.in_flight[i];
+        let mut ahead = self.in_flight.iter().take(i);
+        match epoch.stage.next() {
+            Some(EpochStage::Executing) => {
+                let resident = ahead.filter(|a| a.stage == EpochStage::Executing).count();
+                resident < self.config.executing_slots.max(1)
+            }
+            Some(EpochStage::Settling) => {
+                !ahead.any(|a| a.stage == EpochStage::Executing || a.stage == EpochStage::Settling)
+            }
+            Some(next) => !ahead.any(|a| a.stage == next),
+            None => true,
+        }
+    }
+
+    /// The simulated instant the `i`-th epoch's next transition happens:
+    /// the later of its own stage completion (a lower bound while its pool
+    /// results are outstanding) and the moment the next stage's slot was
+    /// last vacated. Transitions are processed in simulated-time order, so
+    /// a stale vacate time never inflates an entry: any vacate later than
+    /// this entry belongs to a transition that has not been processed yet.
+    fn entry_time(&self, i: usize) -> SimTime {
+        let epoch = &self.in_flight[i];
+        match epoch.stage.next() {
+            Some(next) => epoch.completes_at.max(self.vacated[next.index()]),
+            None => epoch.completes_at,
         }
     }
 
@@ -760,50 +883,6 @@ impl Exchange {
         }
     }
 
-    /// Runs one full epoch *as a blocking batch call*: admits exactly one
-    /// clearing epoch (even over an empty book) and drains it to
-    /// settlement, returning its executed swaps in swap-id order.
-    ///
-    /// This is the historical one-epoch-at-a-time surface, kept for one
-    /// release as a thin shim over [`step`](Exchange::step) so existing
-    /// goldens pin byte-equivalence of the batch path; with the default
-    /// zero [`StageCosts`] it is byte-identical to the pre-pipeline
-    /// `run_epoch`. It defeats the pipeline's purpose — clearing of epoch
-    /// `k+1` cannot overlap execution of epoch `k` when every epoch is
-    /// drained before the next is admitted — so new code should submit
-    /// continuously and drive with `step` /
-    /// [`drive_until_quiescent`](Exchange::drive_until_quiescent).
-    ///
-    /// Mixing the shim with the staged driver is unsupported: if *other*
-    /// epochs are in flight when it is called, any of their swaps settling
-    /// during the drain are not returned by any call (their summaries,
-    /// counters, and ledger effects still land in
-    /// [`report`](Exchange::report) / [`ledger`](Exchange::ledger), but
-    /// the full [`RunReport`]s are dropped).
-    ///
-    /// # Errors
-    ///
-    /// As [`step`](Exchange::step).
-    #[deprecated(
-        since = "0.6.0",
-        note = "drive the staged pipeline instead: `step()` / `drive_until_quiescent()`"
-    )]
-    pub fn run_epoch(&mut self) -> Result<Vec<ExecutedSwap>, ExchangeError> {
-        // Force an admission even when no new offer arrived: the batch
-        // surface always cleared (and counted) exactly one epoch per call.
-        self.dirty_since.get_or_insert(self.now);
-        let target = self.service.epoch();
-        loop {
-            match self.step()? {
-                StepEvent::EpochSettled { epoch, executed, .. } if epoch == target => {
-                    return Ok(executed);
-                }
-                StepEvent::Quiescent => return Ok(Vec::new()),
-                _ => {}
-            }
-        }
-    }
-
     /// Admits a new epoch into the clearing stage at `entered`.
     fn admit(&mut self, entered: SimTime) -> Result<StepEvent, ExchangeError> {
         let costs = &self.config.stage_costs;
@@ -847,6 +926,12 @@ impl Exchange {
         // Attribute the frontier advance to the stage being left, then
         // vacate its slot for the epoch behind.
         let dt = if entry > self.now { (entry - self.now).ticks() } else { 0 };
+        // Executing-stage occupancy integral, over the pre-transition
+        // state: every epoch resident in the stage was resident for the
+        // whole advance (transitions are processed in time order).
+        let resident =
+            self.in_flight.iter().filter(|e| e.stage == EpochStage::Executing).count() as u64;
+        self.report.executing_resident_ticks += dt * resident;
         self.now = self.now.max(entry);
         self.report.wall_ticks += dt;
         self.report.stage_ticks.charge(leaving, dt);
@@ -910,20 +995,27 @@ impl Exchange {
             (EpochStage::Provisioning, EpochWork::Provisioned(provisioned)) => {
                 // Execution admission: each provisioned swap is stamped
                 // onto the timeline here — chains created, start rebased to
-                // `entry + Δ` — and all of the epoch's swaps run
-                // concurrently on their disjoint shards.
-                let instances: Vec<(SwapId, u64, SwapInstance)> = provisioned
-                    .into_iter()
-                    .map(|p| (p.cleared.id, p.cleared.epoch, p.admit(entry)))
-                    .collect();
-                let results = execute_sharded(instances, self.config.threads);
-                let delta = self.config.delta;
-                let mut wall = delta.ticks();
-                for (_, _, _, report, _) in &results {
-                    // The swap occupies rounds 0..=rounds, each Δ long.
-                    wall = wall.max(delta.ticks() * (report.metrics.rounds + 1));
+                // `entry + Δ` — and queued onto the shared worker pool
+                // immediately. The epoch's completion is provisionally its
+                // Δ lower bound (the shortest possible run); the true wall
+                // — the slowest swap's — is installed once the results
+                // resolve.
+                let pending = provisioned.len();
+                for p in provisioned {
+                    let admitted = p.admit_for_queue(entry);
+                    self.pool.submit((admitted.epoch, admitted.swap), move || admitted.execute());
                 }
-                self.enter(i, EpochStage::Executing, entry, wall, EpochWork::Executed(results));
+                let resident =
+                    1 + self.in_flight.iter().filter(|e| e.stage == EpochStage::Executing).count()
+                        as u64;
+                self.report.executing_peak = self.report.executing_peak.max(resident);
+                let work = EpochWork::Queued {
+                    entered: entry,
+                    pending,
+                    outcomes: Vec::new(),
+                    panicked: Vec::new(),
+                };
+                self.enter(i, EpochStage::Executing, entry, self.config.delta.ticks(), work);
                 Ok(StepEvent::StageEntered { epoch, stage: EpochStage::Executing, at: entry })
             }
             (EpochStage::Executing, EpochWork::Executed(results)) => {
@@ -956,14 +1048,88 @@ impl Exchange {
         epoch.work = work;
     }
 
+    /// Resolves the `i`-th epoch's execution: blocks on the pool until
+    /// every outstanding result of the epoch has arrived (results
+    /// belonging to *other* executing epochs are stashed into their
+    /// buffers as they surface — the channel is shared), merges the
+    /// outcomes in swap-id order, and installs the epoch's true execution
+    /// wall — the slowest swap's run, a pure function of the deterministic
+    /// per-swap reports, never of which worker ran what when.
+    ///
+    /// Panicked swaps fail here, and only here: each one's offers are
+    /// refunded (its parties' clearing reservations released), the
+    /// surviving outcomes stay installed so they settle normally on later
+    /// steps, and the first panicked swap id is reported as
+    /// [`ExchangeError::WorkerPanicked`].
+    fn resolve_execution(&mut self, i: usize) -> Result<(), ExchangeError> {
+        while matches!(&self.in_flight[i].work, EpochWork::Queued { pending, .. } if *pending > 0) {
+            let Completed { tag: (epoch, swap), result } = self.pool.recv();
+            let slot = self
+                .in_flight
+                .iter_mut()
+                .find(|e| e.epoch == epoch)
+                .expect("every queued epoch is in flight until resolved");
+            let EpochWork::Queued { pending, outcomes, panicked, .. } = &mut slot.work else {
+                unreachable!("epoch {epoch} received a result but is not queued")
+            };
+            *pending -= 1;
+            match result {
+                Ok(output) => outcomes.push(output),
+                Err(_) => panicked.push(swap),
+            }
+        }
+        let work = std::mem::replace(&mut self.in_flight[i].work, EpochWork::Taken);
+        let EpochWork::Queued { entered, mut outcomes, mut panicked, .. } = work else {
+            unreachable!("resolve_execution on a non-queued epoch")
+        };
+        // Arrival order is a host-scheduling artifact; everything
+        // observable is re-ordered by swap id.
+        outcomes.sort_by_key(|o| o.swap);
+        panicked.sort();
+        let delta = self.config.delta;
+        let mut wall = delta.ticks();
+        for o in &outcomes {
+            // The swap occupies rounds 0..=rounds, each Δ long. (A
+            // panicked swap contributes nothing: its run never finished,
+            // and its epoch does not wait on it.)
+            wall = wall.max(delta.ticks() * (o.report.metrics.rounds + 1));
+        }
+        self.in_flight[i].completes_at = entered + SimDuration::from_ticks(wall);
+        self.in_flight[i].work = EpochWork::Executed(outcomes);
+        if panicked.is_empty() {
+            return Ok(());
+        }
+        // Fail the panicked swaps — and only them. Their offers refund so
+        // the lifecycle resolves instead of wedging in `Matched`, and
+        // their parties' reservations release exactly as settlement would.
+        let mut released: BTreeSet<Address> = BTreeSet::new();
+        for &id in &panicked {
+            if let Some(offers) = self.service.offers_of_swap(id) {
+                for oid in offers {
+                    self.material.remove(oid);
+                    if let Some(offer) = self.service.offer(*oid) {
+                        released.insert(offer.key.address());
+                    }
+                }
+            }
+            self.service.refund_swap(id).expect("issued this epoch");
+            self.report.swaps_refunded += 1;
+            self.report.swaps_cleared += 1;
+        }
+        if !released.is_empty() && self.service.any_deferred_from(&released) {
+            self.dirty_since = Some(self.now);
+        }
+        Err(ExchangeError::WorkerPanicked(panicked[0]))
+    }
+
     /// Resolves a fully executed epoch: offer lifecycle, aggregate report,
     /// ledger absorption. Results arrive (and are reported) in swap-id
-    /// order whatever the shard layout was.
-    fn retire(&mut self, results: Vec<ShardResult>) -> Vec<ExecutedSwap> {
+    /// order whatever worker ran them.
+    fn retire(&mut self, results: Vec<SwapRunOutput>) -> Vec<ExecutedSwap> {
         let mut out = Vec::with_capacity(results.len());
         // Resolution releases these parties' clearing reservations.
-        let mut released: BTreeSet<swap_crypto::Address> = BTreeSet::new();
-        for (id, epoch, protocol, report, setup) in results {
+        let mut released: BTreeSet<Address> = BTreeSet::new();
+        for SwapRunOutput { swap: id, epoch, protocol, report, setup } in results {
             let spec = &setup.spec;
             let all_deal = report.all_deal();
             // The swap is over either way: drop its parties' key material.
@@ -1031,51 +1197,7 @@ impl Exchange {
     }
 }
 
-/// One executed swap as it comes back from a shard.
-type ShardResult = (SwapId, u64, ProtocolKind, RunReport, SwapSetup);
-
-/// Runs one instance to completion under lockstep timing.
-fn run_instance((id, epoch, instance): (SwapId, u64, SwapInstance)) -> ShardResult {
-    let delta = instance.setup.spec.delta;
-    let protocol = instance.protocol;
-    let (report, setup) = instance.engine(Lockstep::new(delta)).run_full();
-    (id, epoch, protocol, report, setup)
-}
-
-/// Executes instances across `threads` scoped workers and merges the
-/// results in swap-id order. Cleared cycles are party- and chain-disjoint,
-/// and each instance exclusively owns its chains, so shards share nothing;
-/// round-robin assignment keeps shard loads balanced without any
-/// cross-thread coordination.
-fn execute_sharded(
-    instances: Vec<(SwapId, u64, SwapInstance)>,
-    threads: usize,
-) -> Vec<ShardResult> {
-    let threads = threads.max(1).min(instances.len().max(1));
-    let mut results: Vec<ShardResult> = if threads <= 1 {
-        instances.into_iter().map(run_instance).collect()
-    } else {
-        let mut shards: Vec<Vec<(SwapId, u64, SwapInstance)>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (i, item) in instances.into_iter().enumerate() {
-            shards[i % threads].push(item);
-        }
-        thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    scope.spawn(move || shard.into_iter().map(run_instance).collect::<Vec<_>>())
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("swap worker panicked")).collect()
-        })
-    };
-    results.sort_by_key(|&(id, ..)| id);
-    results
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use swap_market::OfferStatus;
@@ -1102,7 +1224,7 @@ mod tests {
         for party in book(cycles, &mut rng) {
             exchange.submit(party);
         }
-        let executed = exchange.run_epoch().unwrap();
+        let executed = exchange.drive_until_quiescent().unwrap();
         assert_eq!(executed.len(), cycles);
         exchange.into_report()
     }
@@ -1131,8 +1253,8 @@ mod tests {
     fn report_invariant_under_thread_count() {
         let sequential = run_book(5, 1, 200);
         for threads in [2, 3, 8, 64] {
-            let sharded = run_book(5, threads, 200);
-            assert_eq!(sequential, sharded, "threads = {threads}");
+            let pooled = run_book(5, threads, 200);
+            assert_eq!(sequential, pooled, "threads = {threads}");
         }
     }
 
@@ -1147,7 +1269,7 @@ mod tests {
             AssetKind::new("orphan"),
             AssetKind::new("nobody-gives-this"),
         ));
-        let executed = exchange.run_epoch().unwrap();
+        let executed = exchange.drive_until_quiescent().unwrap();
         assert_eq!(executed.len(), 2);
         for id in &ids {
             assert_eq!(exchange.service().status(*id), Some(OfferStatus::Settled));
@@ -1173,7 +1295,7 @@ mod tests {
             exchange.submit(p.clone());
         }
         exchange.cancel(first).unwrap();
-        let executed = exchange.run_epoch().unwrap();
+        let executed = exchange.drive_until_quiescent().unwrap();
         assert!(executed.is_empty(), "the 3-cycle is broken by the cancellation");
         assert_eq!(exchange.report().offers_cancelled, 1);
         assert_eq!(exchange.service().status(first), Some(OfferStatus::Cancelled));
@@ -1186,7 +1308,7 @@ mod tests {
         for party in book(1, &mut rng) {
             exchange.submit(party);
         }
-        exchange.run_epoch().unwrap();
+        exchange.drive_until_quiescent().unwrap();
         let after_first = exchange.now();
         assert!(after_first > SimTime::ZERO);
         // A second ring arrives later; it clears in epoch 1 on the advanced
@@ -1194,35 +1316,12 @@ mod tests {
         for party in book(1, &mut SimRng::from_seed(501)) {
             exchange.submit(party);
         }
-        let executed = exchange.run_epoch().unwrap();
+        let executed = exchange.drive_until_quiescent().unwrap();
         assert_eq!(executed.len(), 1);
         assert_eq!(executed[0].epoch, 1);
         assert!(executed[0].report.all_deal());
         assert_eq!(exchange.report().epochs, 2);
         assert!(exchange.now() > after_first);
-    }
-
-    #[test]
-    fn staged_drive_equals_batch_shim_on_single_epoch() {
-        // The acceptance pin from the other side: driving the pipeline
-        // stage by stage over a single-epoch workload is byte-identical to
-        // the deprecated batch shim.
-        let drive = |staged: bool| {
-            let mut rng = SimRng::from_seed(600);
-            let mut exchange = Exchange::new(ExchangeConfig { threads: 2, ..Default::default() });
-            for party in book(3, &mut rng) {
-                exchange.submit(party);
-            }
-            let executed = if staged {
-                exchange.drive_until_quiescent().unwrap()
-            } else {
-                exchange.run_epoch().unwrap()
-            };
-            let per_swap: Vec<String> =
-                executed.iter().map(|s| format!("{}:{:?}", s.id, s.report)).collect();
-            (format!("{:?}", exchange.into_report()), per_swap)
-        };
-        assert_eq!(drive(true), drive(false));
     }
 
     #[test]

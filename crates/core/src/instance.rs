@@ -20,7 +20,7 @@
 //! to `now + Δ`) once the execution slot is actually free.
 
 use swap_crypto::{MssKeypair, Secret};
-use swap_market::ClearedSwap;
+use swap_market::{ClearedSwap, SwapId};
 use swap_sim::SimTime;
 
 use crate::engine::Engine;
@@ -86,6 +86,62 @@ impl ProvisionedSwap {
         let setup = SwapSetup::from_parts(spec, keypairs, secrets, now);
         SwapInstance { id: cleared.id.raw(), setup, config, protocol }
     }
+
+    /// [`admit`](ProvisionedSwap::admit)s the swap at `now` and tags the
+    /// instance with its market identity, yielding the unit an exchange
+    /// queues onto a worker pool ([`AdmittedSwap`]).
+    pub fn admit_for_queue(self, now: SimTime) -> AdmittedSwap {
+        let swap = self.cleared.id;
+        let epoch = self.cleared.epoch;
+        AdmittedSwap { swap, epoch, instance: self.admit(now) }
+    }
+}
+
+/// One admitted swap, tagged and queueable: the unit of work the exchange
+/// ships to a [`crate::pool::WorkerPool`] the moment
+/// [`ProvisionedSwap::admit`] stamps it onto the timeline. The instance
+/// exclusively owns its chains and key material, so admitted swaps of
+/// overlapping epochs share nothing and may execute on any worker in any
+/// order; [`execute`](AdmittedSwap::execute) carries the tags through to
+/// the [`SwapRunOutput`] so results can be merged back deterministically
+/// (ascending swap id) wherever they ran.
+#[derive(Debug)]
+pub struct AdmittedSwap {
+    /// The market-issued swap id.
+    pub swap: SwapId,
+    /// The clearing epoch that produced the swap.
+    pub epoch: u64,
+    /// The admitted, runnable instance.
+    pub instance: SwapInstance,
+}
+
+impl AdmittedSwap {
+    /// Runs the swap to completion under the paper's lockstep timing,
+    /// returning the tagged report and final setup (chains included).
+    pub fn execute(self) -> SwapRunOutput {
+        let AdmittedSwap { swap, epoch, instance } = self;
+        let delta = instance.setup.spec.delta;
+        let protocol = instance.protocol;
+        let (report, setup) = instance.engine(Lockstep::new(delta)).run_full();
+        SwapRunOutput { swap, epoch, protocol, report, setup }
+    }
+}
+
+/// Everything one executed swap sends back from a worker: the identity
+/// tags, the protocol that ran it, the full [`RunReport`], and the final
+/// [`SwapSetup`] whose chains the exchange absorbs into the global ledger.
+#[derive(Debug)]
+pub struct SwapRunOutput {
+    /// The market-issued swap id (results merge in ascending order of it).
+    pub swap: SwapId,
+    /// The clearing epoch that produced the swap.
+    pub epoch: u64,
+    /// The protocol that executed the swap.
+    pub protocol: ProtocolKind,
+    /// The complete protocol run report.
+    pub report: RunReport,
+    /// The final setup, chains included.
+    pub setup: SwapSetup,
 }
 
 /// A provisioned swap plus its run configuration and protocol choice,

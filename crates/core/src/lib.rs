@@ -23,9 +23,13 @@
 //!   time.
 //! * [`exchange`] — the pipeline above single swaps: offers stream into the
 //!   untrusted clearing service, epochs clear them into disjoint cycles,
-//!   and all in-flight swaps execute concurrently across sharded worker
-//!   threads with a deterministic swap-id-ordered merge
-//!   ([`exchange::Exchange`], [`exchange::ExchangeReport`]).
+//!   and up to [`exchange::ExchangeConfig::executing_slots`] epochs' swaps
+//!   execute concurrently on a persistent work-stealing worker pool with a
+//!   deterministic swap-id-ordered merge ([`exchange::Exchange`],
+//!   [`exchange::ExchangeReport`]).
+//! * [`pool`] — the execution tier under the exchange: a long-lived
+//!   work-stealing [`pool::WorkerPool`] with panic-isolated jobs and
+//!   results returned over a channel.
 //! * [`timing`] — pluggable [`timing::TimingModel`]s: the paper's
 //!   [`timing::Lockstep`] Δ-rounds and [`timing::PerChainLatency`]
 //!   (per-chain publish/confirm delays under a dominating Δ).
@@ -71,6 +75,7 @@ pub mod hashkey;
 pub mod instance;
 pub mod outcome;
 pub mod party;
+pub mod pool;
 pub mod protocol;
 pub mod recurrent;
 pub mod runner;
@@ -84,9 +89,10 @@ pub use exchange::{
     DriveError, EpochStage, Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport,
     ExecutedSwap, ProtocolPolicy, StageCosts, StageTicks, StepEvent, SwapSummary,
 };
-pub use instance::{ProvisionedSwap, SwapInstance};
+pub use instance::{AdmittedSwap, ProvisionedSwap, SwapInstance, SwapRunOutput};
 pub use outcome::Outcome;
 pub use party::{Action, ArcSnapshot, Behavior};
+pub use pool::{Completed, JobPanic, WorkerPool};
 pub use protocol::{HashkeyProtocol, HtlcProtocol, ProtocolKind, SwapProtocol};
 pub use runner::{RunConfig, RunMetrics, RunReport, SnapshotMode, SwapRunner};
 pub use setup::{SetupConfig, SwapSetup};

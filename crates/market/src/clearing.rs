@@ -227,6 +227,9 @@ impl std::error::Error for CancelError {}
 pub enum LifecycleError {
     /// The swap id was never issued, or its offers were already resolved.
     UnknownSwap(SwapId),
+    /// The offer id was never issued by this service (stale, foreign, or
+    /// out of range).
+    UnknownOffer(OfferId),
 }
 
 impl fmt::Display for LifecycleError {
@@ -234,6 +237,9 @@ impl fmt::Display for LifecycleError {
         match self {
             LifecycleError::UnknownSwap(id) => {
                 write!(f, "{id} is unknown or already resolved")
+            }
+            LifecycleError::UnknownOffer(id) => {
+                write!(f, "{id} was never issued by this service")
             }
         }
     }
@@ -321,6 +327,23 @@ impl ClearingService {
         id
     }
 
+    /// The dense `entries` index of `id`, checked: stale or foreign ids
+    /// (and ids whose raw value does not fit `usize` on narrow targets,
+    /// where a bare `as usize` cast would silently truncate) yield
+    /// [`LifecycleError::UnknownOffer`] instead of an indexing panic.
+    /// Every offer-id lookup in the service funnels through here.
+    fn entry_index(&self, id: OfferId) -> Result<usize, LifecycleError> {
+        usize::try_from(id.0)
+            .ok()
+            .filter(|&i| i < self.entries.len())
+            .ok_or(LifecycleError::UnknownOffer(id))
+    }
+
+    /// The entry for `id`, checked (see [`Self::entry_index`]).
+    fn entry(&self, id: OfferId) -> Result<&OfferEntry, LifecycleError> {
+        self.entry_index(id).map(|i| &self.entries[i])
+    }
+
     /// Withdraws an `Open` offer. A cancelled offer can never be matched by
     /// any later epoch.
     ///
@@ -330,10 +353,10 @@ impl ClearingService {
     /// [`CancelError::NotOpen`] once the offer has been matched, resolved,
     /// or already cancelled.
     pub fn cancel(&mut self, id: OfferId) -> Result<(), CancelError> {
-        let entry = self.entries.get_mut(id.0 as usize).ok_or(CancelError::UnknownOffer(id))?;
-        match entry.status {
+        let i = self.entry_index(id).map_err(|_| CancelError::UnknownOffer(id))?;
+        match self.entries[i].status {
             OfferStatus::Open => {
-                entry.status = OfferStatus::Cancelled;
+                self.entries[i].status = OfferStatus::Cancelled;
                 self.open.remove(&id);
                 self.deferred.remove(&id);
                 Ok(())
@@ -344,12 +367,12 @@ impl ClearingService {
 
     /// The offer with the given id.
     pub fn offer(&self, id: OfferId) -> Option<&Offer> {
-        self.entries.get(id.0 as usize).map(|e| &e.offer)
+        self.entry(id).ok().map(|e| &e.offer)
     }
 
     /// The lifecycle status of the offer with the given id.
     pub fn status(&self, id: OfferId) -> Option<OfferStatus> {
-        self.entries.get(id.0 as usize).map(|e| e.status)
+        self.entry(id).ok().map(|e| e.status)
     }
 
     /// Number of submitted offers (any status).
@@ -393,9 +416,16 @@ impl ClearingService {
     }
 
     fn resolve_swap(&mut self, swap: SwapId, terminal: OfferStatus) -> Result<(), LifecycleError> {
-        let offers = self.in_flight.remove(&swap).ok_or(LifecycleError::UnknownSwap(swap))?;
-        for id in offers {
-            self.entries[id.0 as usize].status = terminal;
+        let offers = self.in_flight.get(&swap).ok_or(LifecycleError::UnknownSwap(swap))?;
+        // Validate every id before committing anything: in-flight ids are
+        // internally issued and always valid, but a corrupted one must not
+        // leave the resolution half-applied.
+        let indices: Result<Vec<usize>, LifecycleError> =
+            offers.iter().map(|&id| self.entry_index(id)).collect();
+        let indices = indices?;
+        self.in_flight.remove(&swap);
+        for i in indices {
+            self.entries[i].status = terminal;
         }
         Ok(())
     }
@@ -409,7 +439,8 @@ impl ClearingService {
         self.in_flight
             .values()
             .flat_map(|offers| offers.iter())
-            .map(|oid| self.entries[oid.0 as usize].offer.key.address())
+            .filter_map(|&oid| self.entry(oid).ok())
+            .map(|e| e.offer.key.address())
             .collect()
     }
 
@@ -420,10 +451,11 @@ impl ClearingService {
     /// deserves another clearing pass — whereas ordinary unmatched
     /// leftovers (no counterparty) do not warrant one.
     pub fn any_deferred_from(&self, addresses: &BTreeSet<Address>) -> bool {
-        self.deferred.iter().any(|id| {
-            let entry = &self.entries[id.0 as usize];
-            matches!(entry.status, OfferStatus::Open)
-                && addresses.contains(&entry.offer.key.address())
+        self.deferred.iter().any(|&id| {
+            self.entry(id).is_ok_and(|entry| {
+                matches!(entry.status, OfferStatus::Open)
+                    && addresses.contains(&entry.offer.key.address())
+            })
         })
     }
 
@@ -471,7 +503,7 @@ impl ClearingService {
         let mut open_idx: Vec<usize> = Vec::with_capacity(self.open.len());
         let mut skipped: Vec<OfferId> = Vec::new();
         for &id in &self.open {
-            let i = id.0 as usize;
+            let i = self.entry_index(id).expect("open offers were issued by this service");
             if !reserved.is_empty() && reserved.contains(&self.entries[i].offer.key.address()) {
                 skipped.push(id);
             } else {
@@ -521,7 +553,8 @@ impl ClearingService {
         }
         for swap in &swaps {
             for &oid in &swap.offer_of_vertex {
-                self.entries[oid.0 as usize].status = OfferStatus::Matched { epoch, swap: swap.id };
+                let i = self.entry_index(oid).expect("cleared offers were issued by this service");
+                self.entries[i].status = OfferStatus::Matched { epoch, swap: swap.id };
                 self.open.remove(&oid);
             }
             self.in_flight.insert(swap.id, swap.offer_of_vertex.clone());
@@ -766,6 +799,23 @@ mod tests {
     }
 
     #[test]
+    fn foreign_offer_ids_are_rejected_not_panicking() {
+        // A stale or foreign id — including one far past the entry table,
+        // where the historical `id.0 as usize` indexing panicked — answers
+        // through every lookup surface without panicking.
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "btc", "eth"));
+        for bogus in [OfferId(1), OfferId(999), OfferId(u64::MAX)] {
+            assert_eq!(svc.offer(bogus).map(|o| o.gives.clone()), None, "{bogus}");
+            assert_eq!(svc.status(bogus), None, "{bogus}");
+            assert_eq!(svc.cancel(bogus), Err(CancelError::UnknownOffer(bogus)));
+        }
+        // The one real offer is untouched by the probing.
+        assert_eq!(svc.status(OfferId(0)), Some(OfferStatus::Open));
+        assert_eq!(svc.open_count(), 1);
+    }
+
+    #[test]
     fn self_satisfying_offer_not_a_swap() {
         // A party giving and wanting the same kind would form a self-loop;
         // cycles of length 1 are rejected.
@@ -988,7 +1038,7 @@ mod tests {
     #[test]
     fn same_epoch_double_commit_rejected() {
         // One clearing must never match two offers of the same party into
-        // two concurrent swaps (shared key material breaks the sharded
+        // two concurrent swaps (shared key material breaks the pooled
         // executor's party-disjointness). The second cycle is deferred and
         // clears after the first swap resolves.
         let mut svc = ClearingService::new();

@@ -1,23 +1,23 @@
 #!/usr/bin/env python3
-"""Guard the in-tree bench artifacts (repo-root BENCH_E16/E17/E18.json).
+"""Guard the in-tree bench artifacts (repo-root BENCH_E16–E19.json).
 
 CI regenerates target/BENCH_*.json on every run and copies them to the
 repo root; the committed repo-root copies are the tracked perf
 trajectory. This check reads the freshly copied repo-root files and
 fails when their *deterministic* fields (simulated wall ticks, per-stage
-attribution, storage bytes, per-swap reports — everything seed-derived)
-drift from what is committed at HEAD, meaning the committed artifacts
-are stale and must be refreshed with `cp target/BENCH_E1{6,7,8}.json .`
-and committed. Host-dependent timings (elapsed_ms, swaps_per_sec,
-host_parallelism) are ignored, so the check is reproducible across
-machines.
+attribution, executing-stage occupancy, storage bytes, per-swap reports
+— everything seed-derived) drift from what is committed at HEAD, meaning
+the committed artifacts are stale and must be refreshed with
+`cp target/BENCH_E1{6,7,8,9}.json .` and committed. Host-dependent
+timings (elapsed_ms, swaps_per_sec, host_parallelism) are ignored, so
+the check is reproducible across machines.
 """
 
 import json
 import subprocess
 import sys
 
-ARTIFACTS = ("BENCH_E16.json", "BENCH_E17.json", "BENCH_E18.json")
+ARTIFACTS = ("BENCH_E16.json", "BENCH_E17.json", "BENCH_E18.json", "BENCH_E19.json")
 HOST_DEPENDENT = {"elapsed_ms", "swaps_per_sec", "host_parallelism"}
 
 

@@ -8,11 +8,13 @@
 //!    identical [`ExchangeReport`] for 1, 2, and 8 worker threads. Sharding
 //!    changes wall-clock only.
 //!
-//! These goldens deliberately drive the deprecated `run_epoch` batch shim:
-//! they pin that the staged pipeline, reached through the shim, stays
-//! byte-identical to the historical blocking batch path on single-epoch
-//! workloads. Staged-driver coverage lives in `tests/pipeline_stages.rs`.
-#![allow(deprecated)]
+//! These goldens drive the staged pipeline to quiescence
+//! ([`Exchange::drive_until_quiescent`]): with the default zero stage
+//! costs a single-epoch workload through the staged driver is
+//! byte-identical to the historical blocking batch path, so the goldens
+//! pin the same bytes the retired `run_epoch` shim once did. Stage-level
+//! and multi-epoch coverage lives in `tests/pipeline_stages.rs`; worker
+//! pool and multi-slot execution coverage in `tests/exchange_pool.rs`.
 
 use atomic_swaps::core::exchange::{Exchange, ExchangeConfig, ExchangeParty, ProtocolPolicy};
 use atomic_swaps::core::instance::SwapInstance;
@@ -48,7 +50,7 @@ fn single_cleared_swap_via_exchange_equals_engine_direct() {
     for p in &parties {
         exchange.submit(p.clone());
     }
-    let mut executed = exchange.run_epoch().expect("epoch clears");
+    let mut executed = exchange.drive_until_quiescent().expect("epoch clears");
     assert_eq!(executed.len(), 1);
     let via_exchange = executed.remove(0);
 
@@ -87,7 +89,7 @@ fn exchange_report_invariant_under_worker_threads() {
         for p in ring_book(&[2, 3, 2, 4, 3, 2, 5, 2], 0xD1) {
             exchange.submit(p);
         }
-        let executed = exchange.run_epoch().expect("epoch clears");
+        let executed = exchange.drive_until_quiescent().expect("epoch clears");
         assert_eq!(executed.len(), 8, "threads={threads}");
         // Per-swap reports are also identical, not just the aggregate.
         let per_swap: Vec<String> =
@@ -122,7 +124,7 @@ fn pipeline_resolves_offer_lifecycle_end_to_end() {
     ));
     exchange.cancel(cancelled).expect("open offer cancels");
 
-    let executed = exchange.run_epoch().expect("epoch clears");
+    let executed = exchange.drive_until_quiescent().expect("epoch clears");
     assert_eq!(executed.len(), 2);
     assert!(executed.iter().all(|s| s.report.all_deal() && s.report.settled));
 
@@ -156,7 +158,7 @@ fn auto_selection_runs_cleared_cycles_on_htlcs_and_saves_storage() {
         for p in &parties {
             exchange.submit(p.clone());
         }
-        let executed = exchange.run_epoch().expect("epoch clears");
+        let executed = exchange.drive_until_quiescent().expect("epoch clears");
         assert_eq!(executed.len(), 1);
         assert!(executed[0].report.all_deal() && executed[0].report.settled);
         let mut htlc_contracts = 0usize;
@@ -208,7 +210,7 @@ fn protocol_choice_is_recorded_per_swap() {
         for p in ring_book(&[3, 5, 2], 0xCC) {
             exchange.submit(p);
         }
-        let executed = exchange.run_epoch().expect("epoch clears");
+        let executed = exchange.drive_until_quiescent().expect("epoch clears");
         assert_eq!(executed.len(), 3);
         let report = exchange.report();
         assert_eq!(report.swaps_settled, 3);
