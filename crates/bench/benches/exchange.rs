@@ -140,7 +140,8 @@ fn bench_driving_mode(c: &mut Criterion) {
     const WAVE_RINGS: usize = 4;
     let costs = StageCosts {
         clearing_base: 10,
-        clearing_per_offer: 1,
+        clearing_per_examined: 1,
+        clearing_per_cycle: 1,
         provisioning_base: 5,
         provisioning_per_party: 1,
         settling_base: 5,

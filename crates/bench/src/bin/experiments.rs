@@ -18,7 +18,9 @@
 //! multi-epoch pipelining (stage-overlapped vs batch driving of a rolling
 //! book, with per-stage wall-tick attribution), and E19 for the
 //! worker-pool execution tier (sustained rolling-book throughput as the
-//! multi-slot `Executing` budget sweeps 1/2/8/16 simulated workers).
+//! multi-slot `Executing` budget sweeps 1/2/8/16 simulated workers), and
+//! E20 for the incremental clearing index (indexed vs full-rescan clearing
+//! throughput on churn books of 10²–10⁵ offers, with a 10⁶ smoke).
 
 use std::collections::BTreeSet;
 
@@ -64,6 +66,7 @@ fn main() {
         ("e17", e17_protocol_selection),
         ("e18", e18_multi_epoch_pipelining),
         ("e19", e19_rolling_book_worker_pool),
+        ("e20", e20_incremental_clearing_index),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -1122,7 +1125,8 @@ fn e18_multi_epoch_pipelining() -> bool {
 
     let costs = StageCosts {
         clearing_base: 10,
-        clearing_per_offer: 1,
+        clearing_per_examined: 1,
+        clearing_per_cycle: 1,
         provisioning_base: 5,
         provisioning_per_party: 1,
         settling_base: 5,
@@ -1331,7 +1335,8 @@ fn e19_rolling_book_worker_pool() -> bool {
     // the `Executing` budget and the slot count is the bottleneck.
     let costs = StageCosts {
         clearing_base: 2,
-        clearing_per_offer: 0,
+        clearing_per_examined: 0,
+        clearing_per_cycle: 0,
         provisioning_base: 2,
         provisioning_per_party: 0,
         settling_base: 2,
@@ -1499,4 +1504,303 @@ fn e19_rolling_book_worker_pool() -> bool {
     }
     println!("    throughput monotone in slots, ≥2 epochs resident, report thread-invariant: {ok}");
     ok
+}
+
+/// E20 (incremental clearing index): clearing throughput as the book
+/// scales 10² → 10⁵ (plus a 10⁶ smoke). Each run buries a small hot churn
+/// set — mutual pairs for the two-cycle fast path plus one three-cycle
+/// for the general matcher — inside an inert tail of offers whose kinds
+/// have no counterparties, then times `clear()` alone over repeated
+/// submit/clear/settle rounds. `FullRescan` re-examines the whole open
+/// book every epoch, so its throughput collapses linearly in the tail;
+/// `Indexed` touches only the active kinds, so its per-epoch work is flat
+/// and measured `offers_examined` stays at the churn size. Both modes
+/// must emit byte-identical cycle sequences, and at 10⁵ the index must
+/// clear ≥ 10× the offers/sec of the rescan. A second part threads the
+/// measured work into the exchange pipeline: under per-examined stage
+/// costs the same book is *priced* differently by mode (fewer simulated
+/// clearing ticks for the index), while zero-cost reports stay
+/// byte-identical across modes × host threads. Results land in
+/// `target/BENCH_E20.json`.
+fn e20_incremental_clearing_index() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_core::exchange::{Exchange, ExchangeConfig, ExchangeParty, StageCosts};
+    use swap_crypto::{Digest32, MssPublicKey, Secret};
+    use swap_market::{AssetKind, ClearingMode, ClearingService, Offer};
+
+    const PAIRS: usize = 8;
+    const TRI: usize = 3;
+    const CHURN: usize = 2 * PAIRS + TRI;
+
+    println!("E20 Incremental clearing index: churn throughput vs book size\n");
+    let widths = [9, 12, 7, 10, 10, 7, 12, 11, 9, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            [
+                "book",
+                "mode",
+                "clears",
+                "presented",
+                "examined",
+                "cycles",
+                "offers/s",
+                "cycles/s",
+                "ms",
+                "ok",
+            ]
+            .map(String::from)
+            .as_ref(),
+            &widths
+        )
+    );
+
+    // Synthetic identity: a key minted straight from a root digest
+    // (`MssPublicKey::from_root`) — valid address, no 2^h keygen, so
+    // million-party books are buildable. Tail parties are shared mod 10⁴
+    // to keep the per-address index compact at the smoke size.
+    let synth = |tag: u64, gives: AssetKind, wants: AssetKind| -> Offer {
+        let mut root = [0u8; 32];
+        root[..8].copy_from_slice(&tag.to_le_bytes());
+        root[8] = 0xE2;
+        Offer {
+            key: MssPublicKey::from_root(Digest32(root), 20),
+            hashlock: Secret::from_bytes(preimage_tag(tag)).hashlock(),
+            gives,
+            wants,
+        }
+    };
+
+    struct Row {
+        book: usize,
+        mode: ClearingMode,
+        clears: u64,
+        presented: u64,
+        examined: u64,
+        cycles: u64,
+        elapsed_ms: f64,
+        offers_per_sec: f64,
+        cycles_per_sec: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ok = true;
+    let speedup_at = |rows: &[Row], book: usize| -> f64 {
+        let rate = |mode: ClearingMode| {
+            rows.iter().find(|r| r.book == book && r.mode == mode).map_or(0.0, |r| r.offers_per_sec)
+        };
+        rate(ClearingMode::Indexed) / rate(ClearingMode::FullRescan).max(1e-12)
+    };
+
+    // One measured run: an inert tail of `book - CHURN` offers, then
+    // `rounds` of submit-churn / clear / settle. Only `clear()` is timed.
+    // Returns the cycle-sequence fingerprint for the cross-mode pin.
+    let run = |book: usize, rounds: u64, mode: ClearingMode| -> (Row, Vec<String>) {
+        let mut svc = ClearingService::new().with_mode(mode);
+        let mut tag = 0u64;
+        let mut fresh = |gives: AssetKind, wants: AssetKind| {
+            tag += 1;
+            synth(tag, gives, wants)
+        };
+        // Tail kinds are given but never wanted (and vice versa), so no
+        // cycle can ever include them: the tail is open yet inert.
+        for i in 0..book.saturating_sub(CHURN) {
+            let shared = 1_000_000_000 + (i % 10_000) as u64;
+            svc.submit(synth(shared, AssetKind::new("tail-gives"), AssetKind::new("tail-wants")));
+        }
+        let mut fingerprint = Vec::new();
+        let (mut presented, mut examined, mut cycles) = (0u64, 0u64, 0u64);
+        let mut elapsed = std::time::Duration::ZERO;
+        for _ in 0..rounds {
+            for p in 0..PAIRS {
+                let (a, b) =
+                    (AssetKind::new(format!("hot{p}a")), AssetKind::new(format!("hot{p}b")));
+                svc.submit(fresh(a.clone(), b.clone()));
+                svc.submit(fresh(b, a));
+            }
+            for t in 0..TRI {
+                let gives = AssetKind::new(format!("tri{t}"));
+                let wants = AssetKind::new(format!("tri{}", (t + 1) % TRI));
+                svc.submit(fresh(gives, wants));
+            }
+            presented += svc.open_count() as u64;
+            let clock = Instant::now();
+            let swaps = svc.clear(Delta::from_ticks(10), SimTime::ZERO).expect("clears");
+            elapsed += clock.elapsed();
+            let stats = svc.last_clear_stats().expect("cleared once");
+            examined += stats.offers_examined;
+            cycles += stats.cycles_emitted;
+            for swap in &swaps {
+                fingerprint.push(format!("{:?}{:?}", swap.id, swap.offer_of_vertex));
+                svc.settle_swap(swap.id).expect("fresh swap settles");
+            }
+        }
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let row = Row {
+            book,
+            mode,
+            clears: rounds,
+            presented,
+            examined,
+            cycles,
+            elapsed_ms: secs * 1e3,
+            offers_per_sec: presented as f64 / secs,
+            cycles_per_sec: cycles as f64 / secs,
+        };
+        (row, fingerprint)
+    };
+
+    let print_row = |row: &Row, row_ok: bool| {
+        println!(
+            "    {}",
+            fmt_row(
+                &[
+                    row.book.to_string(),
+                    row.mode.to_string(),
+                    row.clears.to_string(),
+                    row.presented.to_string(),
+                    row.examined.to_string(),
+                    row.cycles.to_string(),
+                    format!("{:.0}", row.offers_per_sec),
+                    format!("{:.0}", row.cycles_per_sec),
+                    format!("{:.2}", row.elapsed_ms),
+                    if row_ok { "✓".into() } else { "✗".into() },
+                ],
+                &widths
+            )
+        );
+    };
+
+    let mut modes_agree = true;
+    for (book, rounds) in
+        [(100usize, 12u64), (1_000, 12), (10_000, 12), (100_000, 12), (1_000_000, 2)]
+    {
+        let (indexed, fp_indexed) = run(book, rounds, ClearingMode::Indexed);
+        let (full, fp_full) = run(book, rounds, ClearingMode::FullRescan);
+        let agree = fp_indexed == fp_full;
+        modes_agree &= agree;
+        // The index's measured work is the churn set, independent of the
+        // tail; the rescan's grows with the book.
+        let flat = indexed.examined < full.examined || book <= CHURN;
+        let row_ok = agree && flat && indexed.cycles == full.cycles;
+        ok &= row_ok;
+        print_row(&indexed, row_ok);
+        print_row(&full, row_ok);
+        rows.push(indexed);
+        rows.push(full);
+    }
+    let speedup = speedup_at(&rows, 100_000);
+    let gate = speedup >= 10.0;
+    ok &= gate;
+    println!(
+        "    indexed vs full-rescan offers/s at 10^5: {speedup:.0}x (target >= 10x): {}",
+        if gate { "✓" } else { "✗" }
+    );
+    println!("    cycle sequences byte-identical across modes at every size: {modes_agree}");
+
+    // Part two: the measured work priced into the pipeline. The same
+    // dusted book costs the exchange `clearing_base + examined + cycles`
+    // simulated ticks, so the mode choice is visible in the stage
+    // attribution — while zero costs keep reports byte-identical across
+    // modes and host pool widths.
+    let dusted = |rng: &mut SimRng| -> Vec<ExchangeParty> {
+        let mut parties = vec![
+            ExchangeParty::generate(rng, 4, AssetKind::new("btc"), AssetKind::new("eth")),
+            ExchangeParty::generate(rng, 4, AssetKind::new("eth"), AssetKind::new("btc")),
+        ];
+        for _ in 0..60 {
+            parties.push(ExchangeParty::generate(
+                rng,
+                4,
+                AssetKind::new("dust-gives"),
+                AssetKind::new("dust-wants"),
+            ));
+        }
+        parties
+    };
+    let drive = |mode: ClearingMode, threads: usize, costs: StageCosts| {
+        let mut exchange = Exchange::new(ExchangeConfig {
+            threads,
+            clearing_mode: mode,
+            stage_costs: costs,
+            ..Default::default()
+        });
+        let mut rng = SimRng::from_seed(0xE20);
+        for p in dusted(&mut rng) {
+            exchange.submit(p);
+        }
+        exchange.drive_until_quiescent().expect("the pair settles");
+        exchange.into_report()
+    };
+    let measured = StageCosts {
+        clearing_base: 1,
+        clearing_per_examined: 1,
+        clearing_per_cycle: 1,
+        ..Default::default()
+    };
+    let indexed_ticks = drive(ClearingMode::Indexed, 2, measured).stage_ticks.clearing;
+    let full_ticks = drive(ClearingMode::FullRescan, 2, measured).stage_ticks.clearing;
+    let priced = indexed_ticks < full_ticks;
+    ok &= priced;
+    println!(
+        "    measured clearing ticks on the dusted book: indexed {indexed_ticks} < full-rescan {full_ticks}: {}",
+        if priced { "✓" } else { "✗" }
+    );
+    let mut invariant = true;
+    let mut baseline: Option<String> = None;
+    for mode in [ClearingMode::Indexed, ClearingMode::FullRescan] {
+        for threads in [1usize, 2, 8] {
+            let fp = format!("{:?}", drive(mode, threads, StageCosts::default()));
+            invariant &= baseline.get_or_insert_with(|| fp.clone()) == &fp;
+        }
+    }
+    ok &= invariant;
+    println!("    zero-cost reports byte-identical across modes x 1/2/8 threads: {invariant}");
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e20")
+            .field_str("name", "incremental clearing index: churn throughput vs book size")
+            .field_usize("churn_offers_per_round", CHURN)
+            .field_f64("speedup_at_1e5", speedup)
+            .field_bool("modes_agree", modes_agree)
+            .field_u64("indexed_clearing_ticks", indexed_ticks)
+            .field_u64("full_rescan_clearing_ticks", full_ticks)
+            .field_bool("zero_cost_reports_invariant", invariant)
+            .field_usize(
+                "host_parallelism",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("book", row.book)
+                            .field_str("mode", &row.mode.to_string())
+                            .field_u64("clears", row.clears)
+                            .field_u64("offers_presented", row.presented)
+                            .field_u64("offers_examined", row.examined)
+                            .field_u64("cycles", row.cycles)
+                            .field_f64("elapsed_ms", row.elapsed_ms)
+                            .field_f64("offers_per_sec", row.offers_per_sec)
+                            .field_f64("cycles_per_sec", row.cycles_per_sec);
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E20", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E20.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    index flat in book size, modes byte-identical, >=10x at 10^5: {ok}");
+    ok
+}
+
+/// A distinct 32-byte hashlock preimage per synthetic-offer tag.
+fn preimage_tag(tag: u64) -> [u8; 32] {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&tag.to_be_bytes());
+    bytes[8] = 0x20;
+    bytes
 }

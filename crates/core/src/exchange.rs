@@ -81,8 +81,8 @@ use swap_contract::AnyContract;
 use swap_crypto::{Address, MssKeypair, Secret};
 use swap_digraph::VertexId;
 use swap_market::{
-    verify_cleared_swap, AssetKind, CancelError, ClearError, ClearedSwap, ClearingService,
-    LeaderStrategy, Offer, OfferId, SwapId, VerifyError,
+    verify_cleared_swap, AssetKind, CancelError, ClearError, ClearedSwap, ClearingMode,
+    ClearingService, LeaderStrategy, Offer, OfferId, SwapId, VerifyError,
 };
 use swap_sim::{Delta, SimDuration, SimRng, SimTime};
 
@@ -118,11 +118,20 @@ pub struct ExchangeConfig {
     pub leader_strategy: LeaderStrategy,
     /// How the exchange picks the protocol executing each cleared cycle.
     pub protocol: ProtocolPolicy,
+    /// How the clearing service matches the book
+    /// ([`ClearingMode::Indexed`] by default — the incremental index;
+    /// `FullRescan` is the reference matcher). Both modes publish
+    /// byte-identical swaps; under *measured* stage costs
+    /// ([`StageCosts::clearing_per_examined`]) they attribute different
+    /// clearing ticks, because they do different amounts of work.
+    pub clearing_mode: ClearingMode,
     /// Simulated cost of the non-execution pipeline stages. Zero by
     /// default: stage latencies are negligible next to protocol rounds at
     /// small book sizes, and zero costs keep single-epoch workloads
     /// byte-identical to the historical batch path. Experiments model them
-    /// explicitly to measure the pipelining win (see E18/E19).
+    /// explicitly to measure the pipelining win (see E18/E19) and, since
+    /// the clearing coefficients are driven by *measured* per-clear work,
+    /// the clearing index's win (see E20).
     pub stage_costs: StageCosts,
 }
 
@@ -150,6 +159,7 @@ impl Default for ExchangeConfig {
             run: RunConfig::default(),
             leader_strategy: LeaderStrategy::MinimumExact,
             protocol: ProtocolPolicy::Auto,
+            clearing_mode: ClearingMode::default(),
             stage_costs: StageCosts::default(),
         }
     }
@@ -227,7 +237,13 @@ impl fmt::Display for EpochStage {
 /// duration is the slowest in-flight swap's run, exactly as before). Each
 /// stage costs `base + per_item × items`:
 ///
-/// * clearing: per *open offer* the epoch scans,
+/// * clearing: per offer the matcher *actually examined* and per cycle it
+///   emitted — **measured** from the clearing service's
+///   [`swap_market::ClearStats`] for the epoch, not from a synthetic book
+///   size. Under [`ClearingMode::FullRescan`] every open offer is
+///   examined; under [`ClearingMode::Indexed`] only the matchable region
+///   is, so the same coefficients price the two modes differently —
+///   exactly the reality the attribution is meant to reflect,
 /// * provisioning: per *party* across the epoch's cleared cycles,
 /// * settling: per *swap* the epoch resolves.
 ///
@@ -236,8 +252,12 @@ impl fmt::Display for EpochStage {
 pub struct StageCosts {
     /// Fixed ticks per clearing stage.
     pub clearing_base: u64,
-    /// Ticks per open offer the clearing scans.
-    pub clearing_per_offer: u64,
+    /// Ticks per offer the epoch's matcher examined (measured:
+    /// [`swap_market::ClearStats::offers_examined`]).
+    pub clearing_per_examined: u64,
+    /// Ticks per cycle the epoch's clearing emitted (measured:
+    /// [`swap_market::ClearStats::cycles_emitted`]).
+    pub clearing_per_cycle: u64,
     /// Fixed ticks per provisioning stage.
     pub provisioning_base: u64,
     /// Ticks per party across the epoch's cleared swaps.
@@ -598,7 +618,9 @@ impl Exchange {
     /// worker pool ([`ExchangeConfig::threads`] threads) is spawned here
     /// and lives as long as the exchange.
     pub fn new(config: ExchangeConfig) -> Exchange {
-        let service = ClearingService::new().with_leader_strategy(config.leader_strategy);
+        let service = ClearingService::new()
+            .with_leader_strategy(config.leader_strategy)
+            .with_mode(config.clearing_mode);
         let pool = WorkerPool::new(config.threads);
         Exchange {
             config,
@@ -885,17 +907,22 @@ impl Exchange {
 
     /// Admits a new epoch into the clearing stage at `entered`.
     fn admit(&mut self, entered: SimTime) -> Result<StepEvent, ExchangeError> {
+        // Plan first, price from the plan's *measured* work (offers the
+        // matcher examined, cycles it emitted), then publish at the priced
+        // completion instant: the cost must be known before `commit`
+        // because every published start is "at least Δ in the future" of
+        // the publication instant.
+        let plan = self.service.plan();
+        let stats = *plan.stats();
         let costs = &self.config.stage_costs;
-        let cost =
-            costs.clearing_base + costs.clearing_per_offer * self.service.open_count() as u64;
+        let cost = costs.clearing_base
+            + costs.clearing_per_examined * stats.offers_examined
+            + costs.clearing_per_cycle * stats.cycles_emitted;
         let completes = entered + SimDuration::from_ticks(cost);
-        // Clearing scans the book as of admission and publishes at
-        // completion; every published start is "at least Δ in the future"
-        // of the publication instant.
-        let cleared = match self.service.clear(self.config.delta, completes) {
+        let cleared = match self.service.commit(plan, self.config.delta, completes) {
             Ok(cleared) => cleared,
             Err(e) => {
-                // `clear` is transactional — the book is untouched — but a
+                // `commit` is transactional — the book is untouched — but a
                 // book that fails to clear would fail identically on every
                 // retry, and retrying admission first on each `step` would
                 // starve the in-flight epochs. Report the error once and
@@ -1357,7 +1384,8 @@ mod tests {
     fn stage_costs_are_attributed_and_sum_to_wall() {
         let costs = StageCosts {
             clearing_base: 4,
-            clearing_per_offer: 1,
+            clearing_per_examined: 1,
+            clearing_per_cycle: 1,
             provisioning_base: 3,
             provisioning_per_party: 1,
             settling_base: 2,
@@ -1372,12 +1400,63 @@ mod tests {
         let executed = exchange.drive_until_quiescent().unwrap();
         assert_eq!(executed.len(), 2);
         let report = exchange.report();
-        // 6 open offers scanned, 6 parties provisioned, 2 swaps settled.
-        assert_eq!(report.stage_ticks.clearing, 4 + 6);
+        // Measured clearing work under the indexed matcher: the two
+        // 3-cycles span 6 kinds with one giver and one wanter each (6 zip
+        // steps examined) and emit 2 cycles. 6 parties provisioned, 2
+        // swaps settled.
+        assert_eq!(report.stage_ticks.clearing, 4 + 6 + 2);
         assert_eq!(report.stage_ticks.provisioning, 3 + 6);
         assert_eq!(report.stage_ticks.settling, 2 + 2);
         assert!(report.stage_ticks.executing > 0);
         assert_eq!(report.stage_ticks.total(), report.wall_ticks);
         assert_eq!(report.wall_ticks, exchange.now().ticks());
+    }
+
+    #[test]
+    fn measured_clearing_cost_separates_the_modes() {
+        // A mutual pair plus a large inert tail: the indexed matcher
+        // examines only the two active-kind zip steps, the full rescan
+        // pays for every open offer — with per-examined pricing the same
+        // book attributes different clearing ticks per mode, while the
+        // published swaps (and everything downstream) stay identical.
+        let run = |mode: ClearingMode| {
+            let mut rng = SimRng::from_seed(801);
+            let mut exchange = Exchange::new(ExchangeConfig {
+                clearing_mode: mode,
+                stage_costs: StageCosts { clearing_per_examined: 1, ..Default::default() },
+                ..Default::default()
+            });
+            exchange.submit(ExchangeParty::generate(
+                &mut rng,
+                4,
+                AssetKind::new("btc"),
+                AssetKind::new("eth"),
+            ));
+            exchange.submit(ExchangeParty::generate(
+                &mut rng,
+                4,
+                AssetKind::new("eth"),
+                AssetKind::new("btc"),
+            ));
+            for i in 0..10 {
+                exchange.submit(ExchangeParty::generate(
+                    &mut rng,
+                    4,
+                    AssetKind::new(format!("dust{i}a")),
+                    AssetKind::new(format!("dust{i}b")),
+                ));
+            }
+            let executed = exchange.drive_until_quiescent().unwrap();
+            assert_eq!(executed.len(), 1, "{mode}");
+            exchange.report().stage_ticks.clearing
+        };
+        let indexed = run(ClearingMode::Indexed);
+        let full = run(ClearingMode::FullRescan);
+        // Indexed: one pass over the btc/eth zips per clear; FullRescan:
+        // the whole 12-offer book on the first clear alone.
+        assert!(
+            indexed < full,
+            "indexed clearing ticks {indexed} must undercut full rescan {full}"
+        );
     }
 }

@@ -131,6 +131,16 @@ impl MssPublicKey {
         sig.proof.index() == sig.leaf_index as usize && sig.proof.verify(&leaf, &self.root)
     }
 
+    /// Mints a public key directly from a Merkle root, without deriving
+    /// the underlying one-time keys. The resulting identity has a valid
+    /// [`address`](Self::address) but **cannot sign** — no keypair knows
+    /// its leaves. Intended for simulation-scale order books (10⁵–10⁶
+    /// distinct parties), where running the O(2ʰ) keygen per party is
+    /// infeasible and only addresses/spec assembly are exercised.
+    pub const fn from_root(root: Digest32, height: u32) -> Self {
+        MssPublicKey { root, height }
+    }
+
     /// The on-chain address of this identity: a tagged hash of the root.
     pub fn address(&self) -> crate::sigchain::Address {
         crate::sigchain::Address::from_digest(tagged_hash(ADDRESS_TAG, self.root.as_bytes()))

@@ -26,6 +26,27 @@
 //! matches — a matched offer can never be re-matched by a later epoch, and
 //! a cancelled offer can never be matched at all. Unmatched offers stay
 //! `Open` and roll into the next epoch's book.
+//!
+//! # The incremental clearing index
+//!
+//! Under the default [`ClearingMode::Indexed`], the service maintains
+//! price-time FIFO buckets — per-`(gives, wants)` trade buckets plus
+//! per-kind giver/wanter sets, all ordered by offer id (= submission
+//! order) — on every `submit`/`cancel`/match/`settle_swap`/`refund_swap`
+//! delta. A clearing epoch then touches only the *matchable* region of the
+//! book: the kinds with both supply and demand (`active` kinds), with a
+//! pair-match fast path that drains mutual two-party trades straight from
+//! opposing bucket heads before the general cycle walk. Open offers whose
+//! party is reserved by an in-flight swap are *parked* out of the index
+//! and re-inserted when the swap resolves, so the reservation scan is
+//! incremental too. An epoch over a million-offer book with a small
+//! matchable churn region costs O(churn), not O(book).
+//!
+//! [`ClearingMode::FullRescan`] keeps the original rescan-everything
+//! matcher as an executable reference: both modes produce byte-identical
+//! [`ClearedSwap`] sequences for the same offer stream (pinned by property
+//! tests), they differ only in how much work
+//! ([`ClearStats::offers_examined`]) reaching that answer costs.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -247,11 +268,107 @@ impl fmt::Display for LifecycleError {
 
 impl std::error::Error for LifecycleError {}
 
-/// One offer plus its lifecycle state.
+/// How [`ClearingService`] finds trade cycles in the open book.
+///
+/// Both modes produce **byte-identical** [`ClearedSwap`] sequences for the
+/// same offer/cancel/resolve stream (pinned by property tests); they
+/// differ only in the work spent getting there, reported through
+/// [`ClearStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ClearingMode {
+    /// Match from the incrementally-maintained price-time index: only the
+    /// kinds with both supply and demand are examined, mutual two-cycles
+    /// drain from opposing bucket heads first, and reserved parties' offers
+    /// are parked out of the index rather than re-filtered per epoch. An
+    /// epoch costs O(matchable region), not O(open book).
+    #[default]
+    Indexed,
+    /// The reference matcher: rescan the entire open book every epoch.
+    /// O(open book) per clear; kept as the executable specification the
+    /// indexed mode is equivalence-tested against.
+    FullRescan,
+}
+
+impl fmt::Display for ClearingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClearingMode::Indexed => write!(f, "indexed"),
+            ClearingMode::FullRescan => write!(f, "full-rescan"),
+        }
+    }
+}
+
+/// Measured work of one clearing epoch, attached to the [`ClearPlan`] and
+/// retained as [`ClearingService::last_clear_stats`]. An execution layer
+/// can derive *measured* stage costs from these instead of a synthetic
+/// per-open-offer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClearStats {
+    /// The mode that produced the plan.
+    pub mode: ClearingMode,
+    /// Open offers in the book when the plan was drawn (parked included).
+    pub open_offers: u64,
+    /// Offers the matcher actually examined: every open offer under
+    /// [`ClearingMode::FullRescan`]; only the zip/pair steps over active
+    /// kinds under [`ClearingMode::Indexed`]. This is the work proxy that
+    /// separates the modes on large, mostly-unmatchable books.
+    pub offers_examined: u64,
+    /// Cycles selected for publication (after party-disjointness).
+    pub cycles_emitted: u64,
+    /// Offers matched into those cycles.
+    pub offers_matched: u64,
+    /// Offers the mutual-two-cycle fast path matched before general cycle
+    /// search (counted pre-disjointness; nonzero only under
+    /// [`ClearingMode::Indexed`] with [`LeaderStrategy::PreferSingleLeader`]
+    /// when the biased decomposition wins the tie rule).
+    pub pair_matched: u64,
+}
+
+/// An uncommitted clearing epoch: the cycles a [`ClearingService::plan`]
+/// call selected plus the measured [`ClearStats`] of finding them.
+///
+/// The split exists so an execution layer can price the epoch (from the
+/// stats) *before* publishing it — the publication instant feeds into every
+/// spec's start time. Apply with [`ClearingService::commit`]; the book must
+/// not change in between.
+#[derive(Debug, Clone)]
+pub struct ClearPlan {
+    /// Party-disjoint cycles to publish, in emission order.
+    selected: Vec<Vec<OfferId>>,
+    /// Offers this clearing saw but skipped: reservation parks plus the
+    /// members of cycles rejected by party-disjointness. These become the
+    /// new deferred set on commit.
+    skipped: Vec<OfferId>,
+    stats: ClearStats,
+    /// Staleness stamps: the epoch and offer count the plan was drawn at.
+    epoch: u64,
+    offers_seen: usize,
+}
+
+impl ClearPlan {
+    /// The measured work of drawing this plan.
+    pub fn stats(&self) -> &ClearStats {
+        &self.stats
+    }
+
+    /// True if the plan publishes no swaps.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+}
+
+/// One offer plus its lifecycle state and cached identity.
 #[derive(Debug, Clone)]
 struct OfferEntry {
     offer: Offer,
     status: OfferStatus,
+    /// The offer's public id. Distinct from the entry's position in
+    /// `entries` whenever the service was built with
+    /// [`ClearingService::with_first_offer_id`].
+    id: OfferId,
+    /// The party address, derived once at submission (hashing the key per
+    /// lookup is measurable at book scale).
+    address: Address,
 }
 
 /// The (untrusted) market-clearing service.
@@ -291,6 +408,10 @@ struct OfferEntry {
 pub struct ClearingService {
     entries: Vec<OfferEntry>,
     leader_strategy: LeaderStrategy,
+    mode: ClearingMode,
+    /// Raw id of the first offer this service issues; entry `i` holds
+    /// offer `first_id + i`.
+    first_id: u64,
     /// The next epoch number `clear` will run as.
     epoch: u64,
     /// The next swap id to issue.
@@ -305,6 +426,33 @@ pub struct ClearingService {
     /// [`ClearingService::any_deferred_from`]). Cleared when the offer is
     /// matched, cancelled, or seen unreserved by a later clearing.
     deferred: BTreeSet<OfferId>,
+    /// Addresses locked by in-flight swaps, maintained incrementally:
+    /// inserted when a clearing commits a match, removed when the swap
+    /// settles or refunds.
+    reserved: BTreeSet<Address>,
+    /// Open offers per party address (the park/unpark fan-out).
+    by_address: BTreeMap<Address, BTreeSet<OfferId>>,
+    /// Open offers *excluded* from the matching index because their party
+    /// address is reserved. Invariant: `parked` is exactly the open offers
+    /// whose address is in `reserved`.
+    parked: BTreeSet<OfferId>,
+    // ---- the matching index (open, unparked offers only) ----
+    /// Price-time buckets: offers by exact `(gives, wants)` trade,
+    /// id-ordered (= submission order, the FIFO "time" axis).
+    by_trade: BTreeMap<(AssetKind, AssetKind), BTreeSet<OfferId>>,
+    /// Offers giving each kind. Entries are never empty.
+    givers: BTreeMap<AssetKind, BTreeSet<OfferId>>,
+    /// Offers wanting each kind. Entries are never empty.
+    wanters: BTreeMap<AssetKind, BTreeSet<OfferId>>,
+    /// Kinds with both supply and demand — the only kinds a clearing epoch
+    /// visits.
+    active: BTreeSet<AssetKind>,
+    /// Unordered kind pairs `{a, b}` (stored `a < b`) with offers in both
+    /// the `(a, b)` and `(b, a)` buckets: the mutual-two-cycle fast path's
+    /// work list.
+    mutual: BTreeSet<(AssetKind, AssetKind)>,
+    /// Stats of the most recent committed clearing.
+    last_stats: Option<ClearStats>,
 }
 
 impl ClearingService {
@@ -319,22 +467,55 @@ impl ClearingService {
         self
     }
 
+    /// Selects how clearing epochs find trade cycles (default
+    /// [`ClearingMode::Indexed`]).
+    pub fn with_mode(mut self, mode: ClearingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Offsets the id space: the first submitted offer gets raw id `base`
+    /// instead of `0`. Lets several services (shards) issue disjoint offer
+    /// ids, and decouples offer ids from entry positions.
+    ///
+    /// # Panics
+    ///
+    /// If offers were already submitted.
+    pub fn with_first_offer_id(mut self, base: u64) -> Self {
+        assert!(self.entries.is_empty(), "id base must be set before the first submit");
+        self.first_id = base;
+        self
+    }
+
+    /// The mode clearing epochs run under.
+    pub fn mode(&self) -> ClearingMode {
+        self.mode
+    }
+
     /// Accepts an offer, returning its id. The offer starts `Open`.
     pub fn submit(&mut self, offer: Offer) -> OfferId {
-        self.entries.push(OfferEntry { offer, status: OfferStatus::Open });
-        let id = OfferId(self.entries.len() as u64 - 1);
+        let id = OfferId(self.first_id + self.entries.len() as u64);
+        let address = offer.key.address();
+        self.entries.push(OfferEntry { offer, status: OfferStatus::Open, id, address });
         self.open.insert(id);
+        self.by_address.entry(address).or_default().insert(id);
+        if self.reserved.contains(&address) {
+            self.parked.insert(id);
+        } else {
+            self.index_insert(id);
+        }
         id
     }
 
     /// The dense `entries` index of `id`, checked: stale or foreign ids
-    /// (and ids whose raw value does not fit `usize` on narrow targets,
-    /// where a bare `as usize` cast would silently truncate) yield
-    /// [`LifecycleError::UnknownOffer`] instead of an indexing panic.
-    /// Every offer-id lookup in the service funnels through here.
+    /// (below the id base, past the entry table, or whose offset does not
+    /// fit `usize` on narrow targets, where a bare cast would silently
+    /// truncate) yield [`LifecycleError::UnknownOffer`] instead of an
+    /// indexing panic. Every offer-id lookup in the service funnels
+    /// through here.
     fn entry_index(&self, id: OfferId) -> Result<usize, LifecycleError> {
-        usize::try_from(id.0)
-            .ok()
+        id.0.checked_sub(self.first_id)
+            .and_then(|off| usize::try_from(off).ok())
             .filter(|&i| i < self.entries.len())
             .ok_or(LifecycleError::UnknownOffer(id))
     }
@@ -359,6 +540,8 @@ impl ClearingService {
                 self.entries[i].status = OfferStatus::Cancelled;
                 self.open.remove(&id);
                 self.deferred.remove(&id);
+                let address = self.entries[i].address;
+                self.book_remove(id, &address);
                 Ok(())
             }
             status => Err(CancelError::NotOpen(id, status)),
@@ -426,22 +609,24 @@ impl ClearingService {
         self.in_flight.remove(&swap);
         for i in indices {
             self.entries[i].status = terminal;
+            // Release the party's reservation and wake its parked offers
+            // back into the matching index.
+            let address = self.entries[i].address;
+            self.reserved.remove(&address);
+            self.unpark_address(&address);
         }
         Ok(())
     }
 
-    /// The addresses locked by in-flight (matched-but-unresolved) swaps.
+    /// The addresses locked by in-flight (matched-but-unresolved) swaps,
+    /// maintained incrementally (inserted at match, removed at
+    /// settle/refund) and returned by reference — no per-call rebuild.
     /// Clearing never matches an `Open` offer whose party address is in
     /// this set: a party already driving an in-flight protocol run cannot
     /// commit its key material to a second concurrent swap. Its open
     /// offers simply roll over until the in-flight swap settles or refunds.
-    pub fn reserved_addresses(&self) -> BTreeSet<Address> {
-        self.in_flight
-            .values()
-            .flat_map(|offers| offers.iter())
-            .filter_map(|&oid| self.entry(oid).ok())
-            .map(|e| e.offer.key.address())
-            .collect()
+    pub fn reserved_addresses(&self) -> &BTreeSet<Address> {
+        &self.reserved
     }
 
     /// True if any currently `Open` offer of one of `addresses` was
@@ -453,17 +638,294 @@ impl ClearingService {
     pub fn any_deferred_from(&self, addresses: &BTreeSet<Address>) -> bool {
         self.deferred.iter().any(|&id| {
             self.entry(id).is_ok_and(|entry| {
-                matches!(entry.status, OfferStatus::Open)
-                    && addresses.contains(&entry.offer.key.address())
+                matches!(entry.status, OfferStatus::Open) && addresses.contains(&entry.address)
             })
         })
+    }
+
+    /// The measured work of the most recent committed clearing epoch.
+    pub fn last_clear_stats(&self) -> Option<ClearStats> {
+        self.last_stats
+    }
+
+    // ---- index maintenance ----
+
+    /// Inserts an open, unreserved offer into the matching index.
+    fn index_insert(&mut self, id: OfferId) {
+        let i = self.entry_index(id).expect("indexed offers were issued by this service");
+        let gives = self.entries[i].offer.gives.clone();
+        let wants = self.entries[i].offer.wants.clone();
+        self.by_trade.entry((gives.clone(), wants.clone())).or_default().insert(id);
+        if gives != wants && self.by_trade.contains_key(&(wants.clone(), gives.clone())) {
+            self.mutual.insert(Self::canon_pair(&gives, &wants));
+        }
+        self.givers.entry(gives.clone()).or_default().insert(id);
+        if self.wanters.contains_key(&gives) {
+            self.active.insert(gives.clone());
+        }
+        self.wanters.entry(wants.clone()).or_default().insert(id);
+        if self.givers.contains_key(&wants) {
+            self.active.insert(wants);
+        }
+    }
+
+    /// Removes an offer from the matching index, pruning emptied buckets
+    /// (so `contains_key` on `givers`/`wanters`/`by_trade` means
+    /// non-empty).
+    fn index_remove(&mut self, id: OfferId) {
+        let i = self.entry_index(id).expect("indexed offers were issued by this service");
+        let gives = self.entries[i].offer.gives.clone();
+        let wants = self.entries[i].offer.wants.clone();
+        if let Some(bucket) = self.by_trade.get_mut(&(gives.clone(), wants.clone())) {
+            bucket.remove(&id);
+            if bucket.is_empty() {
+                self.by_trade.remove(&(gives.clone(), wants.clone()));
+                if gives != wants {
+                    self.mutual.remove(&Self::canon_pair(&gives, &wants));
+                }
+            }
+        }
+        if let Some(set) = self.givers.get_mut(&gives) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.givers.remove(&gives);
+                self.active.remove(&gives);
+            }
+        }
+        if let Some(set) = self.wanters.get_mut(&wants) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.wanters.remove(&wants);
+                self.active.remove(&wants);
+            }
+        }
+    }
+
+    fn canon_pair(a: &AssetKind, b: &AssetKind) -> (AssetKind, AssetKind) {
+        if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        }
+    }
+
+    /// Removes an offer leaving the open book (cancelled or matched) from
+    /// the address fan-out and from wherever it lives — parked set or
+    /// matching index.
+    fn book_remove(&mut self, id: OfferId, address: &Address) {
+        if let Some(set) = self.by_address.get_mut(address) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_address.remove(address);
+            }
+        }
+        if !self.parked.remove(&id) {
+            self.index_remove(id);
+        }
+    }
+
+    /// Moves every open offer of `address` out of the matching index into
+    /// the parked set (the address just became reserved).
+    fn park_address(&mut self, address: &Address) {
+        let ids: Vec<OfferId> =
+            self.by_address.get(address).into_iter().flatten().copied().collect();
+        for id in ids {
+            if self.parked.insert(id) {
+                self.index_remove(id);
+            }
+        }
+    }
+
+    /// Moves every parked offer of `address` back into the matching index
+    /// (the address's reservation was just released). Id-ordered sets make
+    /// re-insertion restore the exact FIFO position.
+    fn unpark_address(&mut self, address: &Address) {
+        let ids: Vec<OfferId> =
+            self.by_address.get(address).into_iter().flatten().copied().collect();
+        for id in ids {
+            if self.parked.remove(&id) {
+                self.index_insert(id);
+            }
+        }
+    }
+
+    // ---- planning ----
+
+    /// Draws (without committing) one clearing epoch's plan: the
+    /// party-disjoint cycles the current mode's matcher selects from the
+    /// open book, plus the measured [`ClearStats`] of finding them. Apply
+    /// with [`commit`](Self::commit); the book must not change in between.
+    pub fn plan(&self) -> ClearPlan {
+        match self.mode {
+            ClearingMode::FullRescan => self.plan_full_rescan(),
+            ClearingMode::Indexed => self.plan_indexed(),
+        }
+    }
+
+    fn plan_full_rescan(&self) -> ClearPlan {
+        // Dense view of the open book in submission order, minus the
+        // reservation set.
+        let mut open_idx: Vec<usize> = Vec::with_capacity(self.open.len());
+        let mut skipped: Vec<OfferId> = Vec::new();
+        for &id in &self.open {
+            let i = self.entry_index(id).expect("open offers were issued by this service");
+            if !self.reserved.is_empty() && self.reserved.contains(&self.entries[i].address) {
+                skipped.push(id);
+            } else {
+                open_idx.push(i);
+            }
+        }
+        let cycles = match self.leader_strategy {
+            LeaderStrategy::PreferSingleLeader => self.biased_cycles(&open_idx),
+            _ => self.fifo_cycles(&open_idx),
+        };
+        // Cycles of entry indices → cycles of real offer ids (the two
+        // coincide only when the id base is 0).
+        let cycles: Vec<Vec<OfferId>> = cycles
+            .into_iter()
+            .map(|cycle| cycle.into_iter().map(|i| self.entries[i].id).collect())
+            .collect();
+        let selected = self.select_disjoint(cycles, &mut skipped);
+        self.finish_plan(ClearingMode::FullRescan, self.open.len() as u64, selected, skipped, 0)
+    }
+
+    fn plan_indexed(&self) -> ClearPlan {
+        let mut examined = 0u64;
+        let (cycles, pair_matched) = match self.leader_strategy {
+            LeaderStrategy::PreferSingleLeader => self.indexed_biased(&mut examined),
+            _ => (self.indexed_fifo(None, &mut examined), 0),
+        };
+        // Everything a full rescan would have skipped for reservation is,
+        // by the park invariant, exactly the parked set.
+        let mut skipped: Vec<OfferId> = self.parked.iter().copied().collect();
+        let selected = self.select_disjoint(cycles, &mut skipped);
+        self.finish_plan(ClearingMode::Indexed, examined, selected, skipped, pair_matched)
+    }
+
+    fn finish_plan(
+        &self,
+        mode: ClearingMode,
+        offers_examined: u64,
+        selected: Vec<Vec<OfferId>>,
+        skipped: Vec<OfferId>,
+        pair_matched: u64,
+    ) -> ClearPlan {
+        let stats = ClearStats {
+            mode,
+            open_offers: self.open.len() as u64,
+            offers_examined,
+            cycles_emitted: selected.len() as u64,
+            offers_matched: selected.iter().map(|c| c.len() as u64).sum(),
+            pair_matched,
+        };
+        ClearPlan { selected, skipped, stats, epoch: self.epoch, offers_seen: self.entries.len() }
+    }
+
+    /// One party, one concurrent swap: accept cycles in order, rejecting
+    /// any whose party address this epoch already committed — or that
+    /// binds the same address to two of its own vertices (one keypair
+    /// cannot drive two protocol roles at once). Rejected cycles' offers
+    /// are *deferred* exactly like reservation skips: they stay open,
+    /// and the blocking swap's resolution wakes the book for them.
+    fn select_disjoint(
+        &self,
+        cycles: Vec<Vec<OfferId>>,
+        skipped: &mut Vec<OfferId>,
+    ) -> Vec<Vec<OfferId>> {
+        let mut epoch_addresses: BTreeSet<Address> = BTreeSet::new();
+        let mut selected: Vec<Vec<OfferId>> = Vec::with_capacity(cycles.len());
+        for cycle in cycles {
+            let addrs: Vec<Address> = cycle
+                .iter()
+                .map(|&id| {
+                    let i =
+                        self.entry_index(id).expect("matched offers were issued by this service");
+                    self.entries[i].address
+                })
+                .collect();
+            let disjoint = addrs.iter().all(|a| !epoch_addresses.contains(a))
+                && addrs.iter().collect::<BTreeSet<_>>().len() == addrs.len();
+            if disjoint {
+                epoch_addresses.extend(addrs);
+                selected.push(cycle);
+            } else {
+                skipped.extend(cycle.iter().copied());
+            }
+        }
+        selected
+    }
+
+    // ---- committing ----
+
+    /// Publishes a plan drawn by [`plan`](Self::plan): assembles one
+    /// [`ClearedSwap`] per selected cycle, consumes the matched offers,
+    /// reserves their parties (parking any further open offers they have),
+    /// replaces the deferred set with the plan's skips, and advances the
+    /// epoch.
+    ///
+    /// The start time of every published spec is `now + Δ` ("at least Δ in
+    /// the future").
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec-assembly failures (which indicate malformed offers,
+    /// e.g. duplicate keys). On error no offer changes status and the epoch
+    /// number does not advance.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the book did not change between `plan` and
+    /// `commit` (same epoch, same offer count); committing a stale plan in
+    /// release builds is unspecified behavior at the bookkeeping level.
+    pub fn commit(
+        &mut self,
+        plan: ClearPlan,
+        delta: Delta,
+        now: SimTime,
+    ) -> Result<Vec<ClearedSwap>, ClearError> {
+        debug_assert_eq!(plan.epoch, self.epoch, "plan committed against a different epoch");
+        debug_assert_eq!(plan.offers_seen, self.entries.len(), "book changed since plan was drawn");
+        // Assemble every spec before mutating any lifecycle state, so a
+        // build failure leaves the book untouched.
+        let epoch = self.epoch;
+        let mut swaps = Vec::with_capacity(plan.selected.len());
+        for (k, cycle) in plan.selected.iter().enumerate() {
+            let id = SwapId(self.next_swap + k as u64);
+            swaps.push(self.assemble(id, epoch, cycle, delta, now)?);
+        }
+        // Commit: this clearing considered every open offer, so the
+        // deferred set becomes exactly what it skipped (reservation parks
+        // and rejected cycles).
+        self.deferred = plan.skipped.into_iter().collect();
+        for swap in &swaps {
+            let mut addresses = Vec::with_capacity(swap.offer_of_vertex.len());
+            for &oid in &swap.offer_of_vertex {
+                let i = self.entry_index(oid).expect("cleared offers were issued by this service");
+                self.entries[i].status = OfferStatus::Matched { epoch, swap: swap.id };
+                self.open.remove(&oid);
+                let address = self.entries[i].address;
+                self.book_remove(oid, &address);
+                addresses.push(address);
+            }
+            for address in addresses {
+                self.reserved.insert(address);
+                self.park_address(&address);
+            }
+            self.in_flight.insert(swap.id, swap.offer_of_vertex.clone());
+        }
+        self.next_swap += swaps.len() as u64;
+        self.epoch += 1;
+        self.last_stats = Some(plan.stats);
+        Ok(swaps)
     }
 
     /// Runs one clearing epoch: matches the `Open` offers into disjoint
     /// trade cycles and publishes one [`ClearedSwap`] per cycle. Every
     /// matched offer transitions to [`OfferStatus::Matched`] and is
     /// *consumed* — later epochs can never re-match it. Unmatched offers
-    /// stay `Open` for the next epoch.
+    /// stay `Open` for the next epoch. Equivalent to
+    /// [`plan`](Self::plan) + [`commit`](Self::commit); the split exists
+    /// for callers that must price the epoch before publishing it.
     ///
     /// Clearing runs against the *reservation set* of in-flight parties
     /// ([`reserved_addresses`](Self::reserved_addresses)): an open offer
@@ -486,9 +948,9 @@ impl ClearingService {
     /// whenever it matches at least as many offers as plain FIFO: shorter
     /// cycles carry strictly smaller §4.6 timeout ladders, so ties between
     /// decompositions resolve toward the cheapest single-leader cycles.
-    ///
-    /// The start time of every published spec is `now + Δ` ("at least Δ in
-    /// the future").
+    /// Under [`ClearingMode::Indexed`] (the default) the same answer is
+    /// computed from the incremental index — see the module docs — with
+    /// the mutual pairing served by the bucket-head fast path.
     ///
     /// # Errors
     ///
@@ -496,73 +958,109 @@ impl ClearingService {
     /// e.g. duplicate keys). On error no offer changes status and the epoch
     /// number does not advance.
     pub fn clear(&mut self, delta: Delta, now: SimTime) -> Result<Vec<ClearedSwap>, ClearError> {
-        // Dense view of the open book in submission order, minus the
-        // reservation set: an epoch costs O(open book), however many
-        // resolved entries history holds.
-        let reserved = self.reserved_addresses();
-        let mut open_idx: Vec<usize> = Vec::with_capacity(self.open.len());
-        let mut skipped: Vec<OfferId> = Vec::new();
-        for &id in &self.open {
-            let i = self.entry_index(id).expect("open offers were issued by this service");
-            if !reserved.is_empty() && reserved.contains(&self.entries[i].offer.key.address()) {
-                skipped.push(id);
-            } else {
-                open_idx.push(i);
-            }
-        }
-        let cycles = match self.leader_strategy {
-            LeaderStrategy::PreferSingleLeader => self.biased_cycles(&open_idx),
-            _ => self.fifo_cycles(&open_idx),
-        };
-        // One party, one concurrent swap: accept cycles in order, rejecting
-        // any whose party address this epoch already committed — or that
-        // binds the same address to two of its own vertices (one keypair
-        // cannot drive two protocol roles at once). Rejected cycles' offers
-        // are *deferred* exactly like reservation skips: they stay open,
-        // and the blocking swap's resolution wakes the book for them.
-        let mut epoch_addresses: BTreeSet<Address> = BTreeSet::new();
-        let mut selected: Vec<Vec<usize>> = Vec::with_capacity(cycles.len());
-        for cycle in cycles {
-            let addrs: Vec<Address> =
-                cycle.iter().map(|&i| self.entries[i].offer.key.address()).collect();
-            let disjoint = addrs.iter().all(|a| !epoch_addresses.contains(a))
-                && addrs.iter().collect::<BTreeSet<_>>().len() == addrs.len();
-            if disjoint {
-                epoch_addresses.extend(addrs);
-                selected.push(cycle);
-            } else {
-                skipped.extend(cycle.iter().map(|&i| OfferId(i as u64)));
-            }
-        }
-        // Assemble every spec before mutating any lifecycle state, so a
-        // build failure leaves the book untouched.
-        let epoch = self.epoch;
-        let mut swaps = Vec::with_capacity(selected.len());
-        for (k, cycle) in selected.iter().enumerate() {
-            let id = SwapId(self.next_swap + k as u64);
-            swaps.push(self.assemble(id, epoch, cycle, delta, now)?);
-        }
-        // Commit: the offers this clearing actually considered leave the
-        // deferred set, then the skipped ones (reservation skips and
-        // rejected cycles) enter it, and the matched offers are consumed.
-        for &i in &open_idx {
-            self.deferred.remove(&OfferId(i as u64));
-        }
-        for id in skipped {
-            self.deferred.insert(id);
-        }
-        for swap in &swaps {
-            for &oid in &swap.offer_of_vertex {
-                let i = self.entry_index(oid).expect("cleared offers were issued by this service");
-                self.entries[i].status = OfferStatus::Matched { epoch, swap: swap.id };
-                self.open.remove(&oid);
-            }
-            self.in_flight.insert(swap.id, swap.offer_of_vertex.clone());
-        }
-        self.next_swap += swaps.len() as u64;
-        self.epoch += 1;
-        Ok(swaps)
+        let plan = self.plan();
+        self.commit(plan, delta, now)
     }
+
+    // ---- indexed matchers ----
+
+    /// Greedy FIFO matching from the index: for every *active* kind, zip
+    /// the id-ordered givers against the id-ordered wanters (the i-th
+    /// demand for a kind pairs with the i-th supply — exactly what the
+    /// full-rescan queue matcher computes), then walk the resulting
+    /// partial permutation's cycles from their smallest members upward.
+    /// Offers in `exclude` are invisible. Each zip step counts one
+    /// examined offer.
+    fn indexed_fifo(
+        &self,
+        exclude: Option<&BTreeSet<OfferId>>,
+        examined: &mut u64,
+    ) -> Vec<Vec<OfferId>> {
+        let excluded = |id: &OfferId| exclude.is_some_and(|set| set.contains(id));
+        let mut succ: BTreeMap<OfferId, OfferId> = BTreeMap::new();
+        let mut has_supplier: BTreeSet<OfferId> = BTreeSet::new();
+        for kind in &self.active {
+            let (Some(givers), Some(wanters)) = (self.givers.get(kind), self.wanters.get(kind))
+            else {
+                continue;
+            };
+            let mut give = givers.iter().filter(|id| !excluded(id));
+            let mut want = wanters.iter().filter(|id| !excluded(id));
+            while let (Some(&giver), Some(&wanter)) = (give.next(), want.next()) {
+                *examined += 1;
+                succ.insert(giver, wanter);
+                has_supplier.insert(wanter);
+            }
+        }
+        // An offer participates only if it both gives to someone and
+        // receives from someone; walk permutation cycles among those, from
+        // ascending ids (the full-rescan matcher's discovery order).
+        let mut visited: BTreeSet<OfferId> = BTreeSet::new();
+        let mut cycles: Vec<Vec<OfferId>> = Vec::new();
+        for (&start, &first) in &succ {
+            if visited.contains(&start) || !has_supplier.contains(&start) {
+                continue;
+            }
+            let mut cycle = vec![start];
+            visited.insert(start);
+            let mut cur = first;
+            while !visited.contains(&cur) {
+                visited.insert(cur);
+                cycle.push(cur);
+                match succ.get(&cur) {
+                    Some(&next) => cur = next,
+                    None => break,
+                }
+            }
+            if cur == start && cycle.len() >= 2 {
+                cycles.push(cycle);
+            }
+        }
+        cycles
+    }
+
+    /// The [`LeaderStrategy::PreferSingleLeader`] decomposition from the
+    /// index: drain mutual two-cycles straight from opposing
+    /// `(a, b)`/`(b, a)` bucket heads (the snippet-2 "merge
+    /// exactly-matching counterparties" fast path), emit them by their
+    /// earliest member, run plain FIFO on the remainder — and keep the
+    /// biased decomposition only when it matches at least as many offers
+    /// as plain FIFO would. Returns the cycles plus the number of offers
+    /// the fast path matched.
+    fn indexed_biased(&self, examined: &mut u64) -> (Vec<Vec<OfferId>>, u64) {
+        let mut pairs: Vec<(OfferId, OfferId)> = Vec::new();
+        for (a, b) in &self.mutual {
+            let (Some(fwd), Some(rev)) = (
+                self.by_trade.get(&(a.clone(), b.clone())),
+                self.by_trade.get(&(b.clone(), a.clone())),
+            ) else {
+                continue;
+            };
+            for (&x, &y) in fwd.iter().zip(rev.iter()) {
+                *examined += 1;
+                pairs.push(if x < y { (x, y) } else { (y, x) });
+            }
+        }
+        // The rescan matcher discovers pairs in submission order of their
+        // earliest member, interleaved across trade pairs.
+        pairs.sort_unstable();
+        let paired: BTreeSet<OfferId> = pairs.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let mut biased: Vec<Vec<OfferId>> = pairs.iter().map(|&(x, y)| vec![x, y]).collect();
+        biased.extend(self.indexed_fifo(Some(&paired), examined));
+        let plain = self.indexed_fifo(None, examined);
+        let matched = |cycles: &[Vec<OfferId>]| cycles.iter().map(Vec::len).sum::<usize>();
+        // Only bias between *tied* decompositions: pairing off a two-cycle
+        // that plain FIFO would have woven into a larger cycle must never
+        // cost the book liquidity.
+        if matched(&biased) >= matched(&plain) {
+            let pair_matched = 2 * pairs.len() as u64;
+            (biased, pair_matched)
+        } else {
+            (plain, 0)
+        }
+    }
+
+    // ---- reference (full-rescan) matchers ----
 
     /// Greedy FIFO matching over the given entry indices (submission
     /// order): pairs each demand with the earliest unmatched supply of the
@@ -618,14 +1116,14 @@ impl ClearingService {
         cycles
     }
 
-    /// The [`LeaderStrategy::PreferSingleLeader`] decomposition: pair off
-    /// mutual two-party trades first (earliest counter-offer wins), then
-    /// run plain FIFO on the remainder — and keep the biased decomposition
-    /// only when it matches at least as many offers as plain FIFO would.
-    /// Two-party cycles have the smallest possible diameter, hence the
-    /// smallest Lemma 4.13 timeout ladders, so when decompositions tie this
-    /// picks the one that is strictly cheapest under the §4.6 single-leader
-    /// protocol.
+    /// The [`LeaderStrategy::PreferSingleLeader`] decomposition over a
+    /// dense rescan: pair off mutual two-party trades first (earliest
+    /// counter-offer wins), then run plain FIFO on the remainder — and
+    /// keep the biased decomposition only when it matches at least as many
+    /// offers as plain FIFO would. Two-party cycles have the smallest
+    /// possible diameter, hence the smallest Lemma 4.13 timeout ladders,
+    /// so when decompositions tie this picks the one that is strictly
+    /// cheapest under the §4.6 single-leader protocol.
     fn biased_cycles(&self, idx: &[usize]) -> Vec<Vec<usize>> {
         let m = idx.len();
         // by_trade[(gives, wants)] = dense positions offering that trade.
@@ -673,41 +1171,37 @@ impl ClearingService {
         }
     }
 
-    /// Builds the digraph and spec for one cleared cycle of offer indices.
+    /// Builds the digraph and spec for one cleared cycle of offer ids.
     fn assemble(
         &self,
         id: SwapId,
         epoch: u64,
-        cycle: &[usize],
+        cycle: &[OfferId],
         delta: Delta,
         now: SimTime,
     ) -> Result<ClearedSwap, ClearError> {
         let mut digraph = Digraph::new();
-        for &i in cycle {
-            digraph.add_vertex(format!("offer{i}"));
+        for &oid in cycle {
+            digraph.add_vertex(format!("{oid}"));
         }
         let k = cycle.len();
         let mut arc_kinds = Vec::with_capacity(k);
-        for (pos, &offer_idx) in cycle.iter().enumerate() {
+        for (pos, &oid) in cycle.iter().enumerate() {
             let head = VertexId::new(pos as u32);
             let tail = VertexId::new(((pos + 1) % k) as u32);
             digraph.add_arc(head, tail).expect("cycle arcs valid");
-            arc_kinds.push(self.entries[offer_idx].offer.gives.clone());
+            let i = self.entry_index(oid).expect("cleared offers were issued by this service");
+            arc_kinds.push(self.entries[i].offer.gives.clone());
         }
         let mut builder = SpecBuilder::new(digraph);
         builder.delta(delta).start(now + delta.times(1)).leader_strategy(self.leader_strategy);
-        for (pos, &i) in cycle.iter().enumerate() {
+        for (pos, &oid) in cycle.iter().enumerate() {
+            let i = self.entry_index(oid).expect("cleared offers were issued by this service");
             let offer = &self.entries[i].offer;
             builder.identity(VertexId::new(pos as u32), offer.key, offer.hashlock);
         }
         let spec = builder.build()?;
-        Ok(ClearedSwap {
-            id,
-            epoch,
-            spec,
-            offer_of_vertex: cycle.iter().map(|&i| OfferId(i as u64)).collect(),
-            arc_kinds,
-        })
+        Ok(ClearedSwap { id, epoch, spec, offer_of_vertex: cycle.to_vec(), arc_kinds })
     }
 }
 
@@ -813,6 +1307,143 @@ mod tests {
         // The one real offer is untouched by the probing.
         assert_eq!(svc.status(OfferId(0)), Some(OfferStatus::Open));
         assert_eq!(svc.open_count(), 1);
+    }
+
+    #[test]
+    fn offer_ids_decoupled_from_entry_indices() {
+        // Regression for the entry-index/OfferId conflation: with an id
+        // base, every id the service reports must be a real issued id —
+        // the historical `OfferId(entry_index as u64)` in the clear path
+        // would fabricate unissued low ids for skipped/deferred cycles.
+        for mode in [ClearingMode::Indexed, ClearingMode::FullRescan] {
+            let mut svc = ClearingService::new().with_first_offer_id(1_000).with_mode(mode);
+            let a1 = svc.submit(offer(1, "x", "y"));
+            assert_eq!(a1.raw(), 1_000);
+            let a2 = svc.submit(offer(1, "p", "q")); // same party as a1
+            let b = svc.submit(offer(2, "y", "x"));
+            let c = svc.submit(offer(3, "q", "p"));
+            let swaps = clear(&mut svc);
+            assert_eq!(swaps.len(), 1, "{mode}: one concurrent swap per party");
+            assert!(swaps[0].offer_of_vertex.contains(&a1), "{mode}");
+            assert!(swaps[0].offer_of_vertex.contains(&b), "{mode}");
+            assert!(swaps[0].offer_of_vertex.iter().all(|id| id.raw() >= 1_000), "{mode}");
+            // The rejected (a2, c) cycle deferred under its *real* ids: the
+            // in-flight party's resolution must wake exactly those offers.
+            assert!(svc.any_deferred_from(svc.reserved_addresses()), "{mode}");
+            svc.settle_swap(swaps[0].id).unwrap();
+            let next = clear(&mut svc);
+            assert_eq!(next.len(), 1, "{mode}");
+            assert!(next[0].offer_of_vertex.contains(&a2), "{mode}");
+            assert!(next[0].offer_of_vertex.contains(&c), "{mode}");
+            // Sub-base ids (the old entry indices) are foreign here.
+            assert_eq!(svc.status(OfferId(0)), None, "{mode}");
+            assert_eq!(svc.cancel(OfferId(3)), Err(CancelError::UnknownOffer(OfferId(3))));
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_a_mixed_book() {
+        // A deterministic end-to-end agreement check (the property tests
+        // cover random streams): multi-epoch, reservations, cancels,
+        // same-party re-entry — both modes must produce byte-identical
+        // swap sequences and final lifecycle states.
+        let drive = |mode: ClearingMode| {
+            let mut log: Vec<String> = Vec::new();
+            let mut svc = ClearingService::new().with_mode(mode);
+            svc.submit(offer(1, "a", "b"));
+            svc.submit(offer(2, "b", "c"));
+            svc.submit(offer(3, "c", "a"));
+            svc.submit(offer(4, "p", "q"));
+            let cancelled = svc.submit(offer(5, "q", "p"));
+            svc.cancel(cancelled).unwrap();
+            svc.submit(offer(6, "q", "p"));
+            let first = clear(&mut svc);
+            // Same parties return mid-flight plus fresh counterparties.
+            svc.submit(offer(1, "m", "n"));
+            svc.submit(offer(7, "n", "m"));
+            let second = clear(&mut svc);
+            for swap in first.iter().chain(&second) {
+                svc.settle_swap(swap.id).unwrap();
+            }
+            let third = clear(&mut svc);
+            for swaps in [first, second, third] {
+                log.extend(swaps.iter().map(|s| format!("{s:?}")));
+            }
+            for raw in 0..svc.offer_count() as u64 {
+                log.push(format!("{:?}", svc.status(OfferId(raw))));
+            }
+            log.push(format!("open={} epoch={}", svc.open_count(), svc.epoch()));
+            log
+        };
+        assert_eq!(drive(ClearingMode::Indexed), drive(ClearingMode::FullRescan));
+    }
+
+    #[test]
+    fn pair_fast_path_drains_mutual_two_cycles() {
+        let mut svc =
+            ClearingService::new().with_leader_strategy(LeaderStrategy::PreferSingleLeader);
+        svc.submit(offer(1, "a", "b"));
+        svc.submit(offer(2, "b", "a"));
+        svc.submit(offer(3, "b", "a"));
+        svc.submit(offer(4, "a", "b"));
+        svc.submit(offer(5, "zzz", "a")); // no counterparty; never examined
+        let swaps = clear(&mut svc);
+        assert_eq!(swaps.len(), 2);
+        let stats = svc.last_clear_stats().unwrap();
+        assert_eq!(stats.mode, ClearingMode::Indexed);
+        assert_eq!(stats.pair_matched, 4, "both two-cycles came off the bucket heads");
+        assert_eq!(stats.cycles_emitted, 2);
+        assert_eq!(stats.offers_matched, 4);
+        assert_eq!(stats.open_offers, 5);
+        assert!(
+            stats.offers_examined < stats.open_offers * 2,
+            "the straggler's dead kinds cost nothing"
+        );
+    }
+
+    #[test]
+    fn indexed_examines_only_active_kinds() {
+        let build = |mode: ClearingMode| {
+            let mut svc = ClearingService::new().with_mode(mode);
+            svc.submit(offer(1, "btc", "eth"));
+            svc.submit(offer(2, "eth", "btc"));
+            for seed in 3..13 {
+                // An inert tail: kinds nobody else gives or wants.
+                svc.submit(offer(seed, &format!("dead{seed}a"), &format!("dead{seed}b")));
+            }
+            svc
+        };
+        let mut svc = build(ClearingMode::Indexed);
+        let swaps = clear(&mut svc);
+        assert_eq!(swaps.len(), 1);
+        let stats = svc.last_clear_stats().unwrap();
+        assert_eq!(stats.open_offers, 12);
+        assert_eq!(stats.offers_examined, 2, "two zip steps: kinds btc and eth");
+
+        // The reference mode pays for the whole book to reach the same
+        // answer.
+        let mut full = build(ClearingMode::FullRescan);
+        let full_swaps = clear(&mut full);
+        assert_eq!(full_swaps.len(), 1);
+        assert_eq!(full.last_clear_stats().unwrap().offers_examined, 12);
+        assert_eq!(format!("{:?}", swaps), format!("{:?}", full_swaps));
+    }
+
+    #[test]
+    fn plan_prices_the_epoch_before_commit() {
+        let mut svc = ClearingService::new();
+        svc.submit(offer(1, "x", "y"));
+        svc.submit(offer(2, "y", "x"));
+        let plan = svc.plan();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.stats().cycles_emitted, 1);
+        assert_eq!(plan.stats().offers_matched, 2);
+        // The plan's cost is known before any swap is published; commit
+        // then produces exactly what a one-shot clear would.
+        let swaps = svc.commit(plan, Delta::from_ticks(10), SimTime::ZERO).unwrap();
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(svc.last_clear_stats().unwrap().offers_matched, 2);
     }
 
     #[test]
@@ -941,6 +1572,8 @@ mod tests {
         assert_eq!(svc.status(b), Some(OfferStatus::Settled));
         assert_eq!(svc.status(p), Some(OfferStatus::Refunded));
         assert_eq!(svc.status(q), Some(OfferStatus::Refunded));
+        // Both resolutions released their reservations.
+        assert!(svc.reserved_addresses().is_empty());
         // Resolution is one-shot.
         assert_eq!(svc.settle_swap(first), Err(LifecycleError::UnknownSwap(first)));
         assert_eq!(svc.refund_swap(second), Err(LifecycleError::UnknownSwap(second)));
@@ -991,13 +1624,15 @@ mod tests {
         // 2. The decompositions do NOT tie, so the bias must fall back.
         let book = [("a", "b"), ("b", "c"), ("c", "a"), ("b", "a")];
         for strategy in [LeaderStrategy::MinimumExact, LeaderStrategy::PreferSingleLeader] {
-            let mut svc = ClearingService::new().with_leader_strategy(strategy);
-            for (i, (g, w)) in book.iter().enumerate() {
-                svc.submit(offer(i as u8 + 1, g, w));
+            for mode in [ClearingMode::Indexed, ClearingMode::FullRescan] {
+                let mut svc = ClearingService::new().with_leader_strategy(strategy).with_mode(mode);
+                for (i, (g, w)) in book.iter().enumerate() {
+                    svc.submit(offer(i as u8 + 1, g, w));
+                }
+                let swaps = clear(&mut svc);
+                assert_eq!(swaps.len(), 1, "{strategy:?}/{mode}");
+                assert_eq!(swaps[0].spec.digraph.vertex_count(), 3, "{strategy:?}/{mode}");
             }
-            let swaps = clear(&mut svc);
-            assert_eq!(swaps.len(), 1, "{strategy:?}");
-            assert_eq!(swaps[0].spec.digraph.vertex_count(), 3, "{strategy:?}");
         }
     }
 
@@ -1016,7 +1651,7 @@ mod tests {
         let c = svc.submit(offer(1, "p", "q"));
         let d = svc.submit(offer(3, "q", "p"));
         // Before any clearing saw it, c is not (yet) deferred.
-        assert!(!svc.any_deferred_from(&svc.reserved_addresses()));
+        assert!(!svc.any_deferred_from(svc.reserved_addresses()));
         assert!(clear(&mut svc).is_empty(), "reserved party must not re-match in flight");
         assert_eq!(svc.status(a), Some(OfferStatus::Matched { epoch: 0, swap: in_flight }));
         assert_eq!(svc.status(b), Some(OfferStatus::Matched { epoch: 0, swap: in_flight }));
@@ -1024,7 +1659,7 @@ mod tests {
         assert_eq!(svc.status(d), Some(OfferStatus::Open));
         // The clearing skipped c under the reservation: it is deferred (d,
         // merely unmatched for lack of a counterparty, is not).
-        assert!(svc.any_deferred_from(&svc.reserved_addresses()));
+        assert!(svc.any_deferred_from(svc.reserved_addresses()));
 
         // Settlement releases the reservation; the rolled-over offers clear.
         svc.settle_swap(in_flight).unwrap();
@@ -1054,7 +1689,7 @@ mod tests {
         assert_eq!(svc.status(c), Some(OfferStatus::Open));
         // The rejected cycle is deferred on the in-flight party, so the
         // swap's resolution is what re-opens the book for it.
-        assert!(svc.any_deferred_from(&svc.reserved_addresses()));
+        assert!(svc.any_deferred_from(svc.reserved_addresses()));
         svc.settle_swap(swaps[0].id).unwrap();
         let next = clear(&mut svc);
         assert_eq!(next.len(), 1);

@@ -44,7 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: 2,
         stage_costs: StageCosts {
             clearing_base: 10,
-            clearing_per_offer: 1,
+            clearing_per_examined: 1,
+            clearing_per_cycle: 1,
             provisioning_base: 5,
             provisioning_per_party: 1,
             settling_base: 5,

@@ -1,0 +1,125 @@
+//! Clearing-mode invariance at the exchange tier.
+//!
+//! `ClearingMode::Indexed` (the incremental index) and
+//! `ClearingMode::FullRescan` (the reference matcher) must publish
+//! byte-identical `ExchangeReport`s — pinned via `Debug` — under both
+//! leader strategies and across 1/2/8 pool workers. The book rolls: a
+//! second wave re-enters the *same parties* with mirrored trades while
+//! their first swaps are still executing, so every wave-two offer parks
+//! under a live reservation and must wake after settlement. That
+//! exercises the index's parked set, deferral bookkeeping, and
+//! settlement-triggered re-admission end to end — exactly the paths
+//! where an incremental matcher could drift from the full rescan.
+
+use atomic_swaps::core::exchange::{
+    EpochStage, Exchange, ExchangeConfig, ExchangeParty, StepEvent,
+};
+use atomic_swaps::market::{AssetKind, ClearingMode, LeaderStrategy, OfferStatus};
+use atomic_swaps::sim::SimRng;
+
+/// Disjoint rings of the given sizes: party `p` of ring `c` gives
+/// `r{c}k{p}` and wants `r{c}k{p+1}`.
+fn ring_book(sizes: &[usize], rng: &mut SimRng) -> Vec<ExchangeParty> {
+    let mut parties = Vec::new();
+    for (c, &len) in sizes.iter().enumerate() {
+        for p in 0..len {
+            parties.push(ExchangeParty::generate(
+                rng,
+                4,
+                AssetKind::new(format!("r{c}k{p}")),
+                AssetKind::new(format!("r{c}k{}", (p + 1) % len)),
+            ));
+        }
+    }
+    parties
+}
+
+/// The same parties trading back: each keeps its identity and hashlock
+/// but gives what it wanted and wants what it gave, so wave two forms
+/// the reverse rings — matchable only once the parties' first swaps
+/// resolve and release their reservations.
+fn mirrored(parties: &[ExchangeParty]) -> Vec<ExchangeParty> {
+    parties
+        .iter()
+        .map(|p| {
+            let mut back = p.clone();
+            std::mem::swap(&mut back.gives, &mut back.wants);
+            back
+        })
+        .collect()
+}
+
+/// Drives the rolling book to quiescence and returns the full report
+/// plus every offer's terminal status, both pinned via `Debug`.
+fn drive(mode: ClearingMode, strategy: LeaderStrategy, threads: usize) -> String {
+    let mut exchange = Exchange::new(ExchangeConfig {
+        threads,
+        executing_slots: 2,
+        clearing_mode: mode,
+        leader_strategy: strategy,
+        ..Default::default()
+    });
+    let mut rng = SimRng::from_seed(0xC1EA);
+    let wave_one = ring_book(&[2, 3, 4], &mut rng);
+    let wave_two = mirrored(&wave_one);
+
+    let mut ids = Vec::new();
+    for p in wave_one {
+        ids.push(exchange.submit(p));
+    }
+    // Admission + clearing completion: wave one moves into execution.
+    for _ in 0..2 {
+        exchange.step().expect("pipeline steps");
+    }
+    assert!(
+        exchange.stages().iter().any(|(_, s)| *s != EpochStage::Settling),
+        "wave one is still in flight when wave two lands"
+    );
+    // Every wave-two party is reserved by its in-flight swap, so these
+    // offers park; the epoch that admits them clears nothing.
+    for p in wave_two {
+        ids.push(exchange.submit(p));
+    }
+    assert!(
+        !exchange.service().reserved_addresses().is_empty(),
+        "wave two submits under live reservations"
+    );
+    loop {
+        if let StepEvent::Quiescent = exchange.step().expect("pipeline steps") {
+            break;
+        }
+    }
+
+    // The parked wave woke after settlement and cleared: every offer of
+    // both waves settles, or the deferral path is broken.
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(
+            exchange.service().status(*id),
+            Some(OfferStatus::Settled),
+            "offer {i} under {mode} / {strategy:?} / {threads} workers"
+        );
+    }
+    let statuses: Vec<_> = ids.iter().map(|id| exchange.service().status(*id)).collect();
+    let report = exchange.into_report();
+    assert_eq!(report.swaps_settled, 6, "both waves' rings settle");
+    assert_eq!(report.stage_ticks.total(), report.wall_ticks);
+    format!("{report:?}\n{statuses:?}")
+}
+
+/// The acceptance pin: reports are byte-invariant across clearing modes
+/// and 1/2/8 pool workers, under both leader strategies.
+#[test]
+fn reports_byte_invariant_across_modes_strategies_and_workers() {
+    for strategy in [LeaderStrategy::MinimumExact, LeaderStrategy::PreferSingleLeader] {
+        let baseline = drive(ClearingMode::Indexed, strategy, 1);
+        for mode in [ClearingMode::Indexed, ClearingMode::FullRescan] {
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    baseline,
+                    drive(mode, strategy, threads),
+                    "{mode} / {strategy:?} / {threads} workers"
+                );
+            }
+        }
+    }
+}

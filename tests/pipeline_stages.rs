@@ -31,7 +31,8 @@ fn wave(wave: usize, rings: usize, rng: &mut SimRng) -> Vec<ExchangeParty> {
 fn costs() -> StageCosts {
     StageCosts {
         clearing_base: 10,
-        clearing_per_offer: 1,
+        clearing_per_examined: 1,
+        clearing_per_cycle: 1,
         provisioning_base: 5,
         provisioning_per_party: 1,
         settling_base: 5,
