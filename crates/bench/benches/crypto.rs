@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use swap_crypto::sha256::sha256;
-use swap_crypto::{lamport, MssKeypair, Secret, SigChain};
+use swap_crypto::{lamport, sha256_pair, MssKeypair, Secret, SigChain};
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -14,6 +14,22 @@ fn bench_sha256(c: &mut Criterion) {
             b.iter(|| sha256(std::hint::black_box(data)))
         });
     }
+    // The Merkle inner-node fast path: hashing two digests in a single
+    // compression (padding block precomputed) vs the streaming path over
+    // the concatenation.
+    let (left, right) = (sha256(b"left"), sha256(b"right"));
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("pair", |b| {
+        b.iter(|| sha256_pair(std::hint::black_box(&left), std::hint::black_box(&right)))
+    });
+    group.bench_function("pair_streaming_baseline", |b| {
+        b.iter(|| {
+            let mut buf = [0u8; 64];
+            buf[..32].copy_from_slice(std::hint::black_box(&left).as_bytes());
+            buf[32..].copy_from_slice(std::hint::black_box(&right).as_bytes());
+            sha256(&buf)
+        })
+    });
     group.finish();
 }
 
@@ -96,6 +112,36 @@ fn bench_sigchain(c: &mut Criterion) {
         let keys: Vec<_> = kps.iter().rev().map(|kp| kp.public_key()).collect();
         group.bench_with_input(BenchmarkId::new("verify", links), &links, |b, _| {
             b.iter(|| std::hint::black_box(&chain).verify(&secret, &keys).expect("valid chain"))
+        });
+    }
+    // Extending a length-N chain copies O(1) links, not O(N) signature
+    // bytes: every inherited link is shared by reference. Asserted here —
+    // on a build where `extend` deep-copied, the Arc identity check fails
+    // before any timing runs.
+    for links in [1usize, 8, 64] {
+        let mut kps: Vec<MssKeypair> =
+            (0..links).map(|i| MssKeypair::from_seed_with_height([i as u8 + 1; 32], 4)).collect();
+        let mut chain = SigChain::sign_secret(&mut kps[0], &secret).expect("keys");
+        for kp in kps.iter_mut().skip(1) {
+            chain = chain.extend(kp).expect("keys");
+        }
+        let mut signer = MssKeypair::from_seed_with_height([99; 32], 4);
+        let extended = chain.extend(&mut signer).expect("keys");
+        assert_eq!(extended.len(), links + 1);
+        assert!(
+            chain
+                .links()
+                .iter()
+                .zip(extended.links())
+                .all(|(inherited, copied)| std::sync::Arc::ptr_eq(inherited, copied)),
+            "extend must share inherited links by reference, not clone them"
+        );
+        group.bench_with_input(BenchmarkId::new("extend", links), &links, |b, _| {
+            b.iter_batched(
+                || MssKeypair::from_seed_with_height([98; 32], 4),
+                |mut kp| std::hint::black_box(&chain).extend(&mut kp).expect("keys"),
+                criterion::BatchSize::SmallInput,
+            )
         });
     }
     group.finish();

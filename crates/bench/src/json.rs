@@ -195,6 +195,11 @@ pub fn exchange_report_fields(o: &mut JsonObject, r: &ExchangeReport) {
             .field_u64("swaps_cleared", r.swaps_cleared)
             .field_u64("swaps_settled", r.swaps_settled)
             .field_u64("swaps_refunded", r.swaps_refunded)
+            .field_u64("swaps_exhausted", r.swaps_exhausted)
+            .field_u64("identities_registered", r.identities_registered)
+            .field_u64("identities_minted", r.identities_minted)
+            .field_u64("mints_overlapping_execution", r.mints_overlapping_execution)
+            .field_u64("leaves_leased", r.leaves_leased)
             .field_u64("wall_ticks", r.wall_ticks)
             .field_object("stage_ticks", |s| {
                 s.field_u64("clearing", r.stage_ticks.clearing)

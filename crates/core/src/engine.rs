@@ -92,10 +92,12 @@ pub struct Engine<T: TimingModel> {
     contract_of_arc: Vec<Option<ContractId>>,
     triggered_at: Vec<Option<SimTime>>,
     /// All bulletin entries, tagged with the round they were announced in.
-    bulletin: Vec<(u64, BulletinEntry)>,
+    /// Entries are `Arc`-shared with `visible_bulletin`: promotion is a
+    /// refcount bump, not a copy of the entry's multi-KB base signature.
+    bulletin: Vec<(u64, Arc<BulletinEntry>)>,
     /// Entries already promoted to visibility (announced before the current
     /// boundary), plus the promotion cursor into `bulletin`.
-    visible_bulletin: Vec<BulletinEntry>,
+    visible_bulletin: Vec<Arc<BulletinEntry>>,
     bulletin_cursor: usize,
     /// Per-arc contract snapshots as observers currently see them.
     visible: Vec<Option<ArcSnapshot>>,
@@ -221,7 +223,7 @@ impl<T: TimingModel> Engine<T> {
         while self.bulletin_cursor < self.bulletin.len()
             && self.bulletin[self.bulletin_cursor].0 < round
         {
-            self.visible_bulletin.push(self.bulletin[self.bulletin_cursor].1.clone());
+            self.visible_bulletin.push(Arc::clone(&self.bulletin[self.bulletin_cursor].1));
             self.bulletin_cursor += 1;
         }
         self.pending_wakes = self.shared_spec.digraph.vertex_count();
@@ -450,7 +452,8 @@ impl<T: TimingModel> Engine<T> {
             }
             Action::Announce { leader_index, secret, base_sig } => {
                 self.metrics.announce_bytes += 32 + base_sig.byte_len() as u64;
-                self.bulletin.push((round, BulletinEntry { leader_index, secret, base_sig }));
+                self.bulletin
+                    .push((round, Arc::new(BulletinEntry { leader_index, secret, base_sig })));
                 self.trace.record(
                     exec_time,
                     actor_name,

@@ -33,10 +33,19 @@
 //!    swaps* ([`ClearingService::reserved_addresses`]).
 //! 2. **Provisioning.** Every cleared slot is re-verified against the
 //!    party's original offer ([`swap_market::verify_cleared_swap`] — the
-//!    service is untrusted), then each cycle's key material is captured
-//!    into a [`ProvisionedSwap`] and its protocol chosen (under
-//!    [`ProtocolPolicy::Auto`], §4.6 single-leader HTLCs when feasible,
-//!    the general §4.5 hashkey protocol otherwise).
+//!    service is untrusted), then each cycle *leases* its signing material
+//!    from the identity registry ([`crate::identity::IdentityStore`]):
+//!    every party's master keypair — minted once, at first submit — hands
+//!    the swap a disjoint window of unused one-time leaves, so the `2^h`
+//!    keygen is amortized across swaps and no `(address, leaf)` pair ever
+//!    signs twice. An identity with too few leaves left fails only its own
+//!    swap ([`ExchangeError::KeysExhausted`], its offers refunded, a
+//!    checked path); siblings provision into [`ProvisionedSwap`]s and the
+//!    protocol is chosen per cycle (under [`ProtocolPolicy::Auto`], §4.6
+//!    single-leader HTLCs when feasible, the general §4.5 hashkey protocol
+//!    otherwise). Identities can also be minted *by* the exchange, on the
+//!    worker pool, overlapping execution
+//!    ([`Exchange::submit_seeded`]).
 //! 3. **Executing.** The moment an execution slot frees up, each of the
 //!    epoch's provisioned swaps is stamped onto the timeline
 //!    ([`ProvisionedSwap::admit`] rebases its start to `now + Δ`) and
@@ -86,6 +95,7 @@ use swap_market::{
 };
 use swap_sim::{Delta, SimDuration, SimRng, SimTime};
 
+use crate::identity::IdentityStore;
 use crate::instance::{ProvisionedSwap, SwapRunOutput};
 use crate::pool::{Completed, WorkerPool};
 use crate::protocol::ProtocolKind;
@@ -348,6 +358,23 @@ pub struct ExchangeParty {
     pub wants: AssetKind,
 }
 
+/// Seed-level material for a party whose identity the *exchange* mints:
+/// [`Exchange::submit_seeded`] queues the `2^h` one-time keygen onto the
+/// worker pool instead of paying it on the caller's thread.
+#[derive(Debug, Clone)]
+pub struct PartySeed {
+    /// Seed for the party's deterministic MSS keypair.
+    pub seed: [u8; 32],
+    /// Merkle tree height: the identity can sign `2^h` times, total.
+    pub key_height: u32,
+    /// The party's secret (hashlock preimage, §4.2).
+    pub secret: Secret,
+    /// The asset kind the party relinquishes.
+    pub gives: AssetKind,
+    /// The asset kind the party demands.
+    pub wants: AssetKind,
+}
+
 impl ExchangeParty {
     /// Generates a party with deterministic key material drawn from `rng`.
     pub fn generate(
@@ -394,6 +421,19 @@ pub enum ExchangeError {
     /// of one epoch panicked, the lowest swap id is reported; all of them
     /// are refunded.)
     WorkerPanicked(SwapId),
+    /// A swap was refunded at provisioning because a party's identity had
+    /// fewer unused one-time leaves than the swap's signing budget. The
+    /// refund is checked — no leaves were consumed, sibling swaps
+    /// provision and settle normally, and further `step` calls keep
+    /// driving the pipeline. (If several swaps of one epoch hit
+    /// exhaustion, the lowest swap id is reported; all of them are
+    /// refunded.)
+    KeysExhausted {
+        /// The refunded swap.
+        swap: SwapId,
+        /// The address whose identity ran out of one-time leaves.
+        address: Address,
+    },
 }
 
 impl fmt::Display for ExchangeError {
@@ -405,6 +445,13 @@ impl fmt::Display for ExchangeError {
             }
             ExchangeError::WorkerPanicked(swap) => {
                 write!(f, "{swap}'s engine panicked on a pool worker; its offers were refunded")
+            }
+            ExchangeError::KeysExhausted { swap, address } => {
+                write!(
+                    f,
+                    "{swap} needs more one-time keys than identity {address} has left; \
+                     its offers were refunded"
+                )
             }
         }
     }
@@ -499,6 +546,21 @@ pub struct ExchangeReport {
     pub swaps_settled: u64,
     /// Swaps whose offers were refunded.
     pub swaps_refunded: u64,
+    /// Swaps refunded at provisioning because a party's identity ran out
+    /// of one-time leaves (a subset of `swaps_refunded`).
+    pub swaps_exhausted: u64,
+    /// First-touch identities registered in the identity store (each owns
+    /// one master MSS keypair, leased leaf-by-leaf to its swaps).
+    pub identities_registered: u64,
+    /// Identity minting jobs the exchange ran on the worker pool
+    /// ([`Exchange::submit_seeded`]).
+    pub identities_minted: u64,
+    /// Of those, jobs queued while at least one epoch occupied
+    /// [`EpochStage::Executing`] — keygen that overlapped swap execution
+    /// instead of blocking the pipeline's thread.
+    pub mints_overlapping_execution: u64,
+    /// One-time leaves leased to provisioned swaps so far.
+    pub leaves_leased: u64,
     /// Total simulated wall ticks the pipeline frontier advanced. Within an
     /// epoch, concurrent in-flight swaps share one execution wall (the
     /// slowest swap's); across epochs, overlapped stages share the
@@ -523,6 +585,25 @@ pub struct ExchangeReport {
     pub storage: swap_chain::StorageReport,
     /// One line per executed swap, ordered by swap id.
     pub swaps: Vec<SwapSummary>,
+}
+
+/// Tag of one job queued on the shared worker pool.
+#[derive(Debug, Clone, Copy)]
+enum JobTag {
+    /// A provisioned swap's engine run, tagged `(epoch, swap)`.
+    Swap(u64, SwapId),
+    /// A first-touch identity minting job ([`Exchange::submit_seeded`]),
+    /// tagged by mint ticket.
+    Mint(u64),
+}
+
+/// Result of one pool job.
+#[derive(Debug)]
+enum JobOutput {
+    /// A finished swap run.
+    Swap(Box<SwapRunOutput>),
+    /// A minted identity keypair.
+    Mint(MssKeypair),
 }
 
 /// Stage-to-stage payload of one in-flight epoch.
@@ -592,9 +673,14 @@ struct InFlightEpoch {
 pub struct Exchange {
     config: ExchangeConfig,
     service: ClearingService,
-    /// Key material per submitted offer, needed to drive the offer's party
-    /// through the protocol once it is matched.
-    material: BTreeMap<OfferId, (MssKeypair, Secret)>,
+    /// Hashlock material per submitted offer: the owning identity's
+    /// address (the signing keys live in `identities`) plus the offer's
+    /// secret, needed to drive the offer's party through the protocol once
+    /// it is matched.
+    material: BTreeMap<OfferId, (Address, Secret)>,
+    /// The identity registry: one master MSS keypair per address, minted
+    /// at first submit and leased leaf-by-leaf to successive swaps.
+    identities: IdentityStore,
     /// The pipeline frontier: the simulated instant of the latest completed
     /// stage transition.
     now: SimTime,
@@ -607,7 +693,13 @@ pub struct Exchange {
     dirty_since: Option<SimTime>,
     /// The long-lived execution tier: every admitted swap of every
     /// executing epoch is queued here, tagged `(epoch, swap)`.
-    pool: WorkerPool<(u64, SwapId), SwapRunOutput>,
+    pool: WorkerPool<JobTag, JobOutput>,
+    /// Minted identities received from the pool, keyed by mint ticket,
+    /// parked until [`Exchange::submit_seeded`] collects them in
+    /// submission order.
+    minted: BTreeMap<u64, MssKeypair>,
+    /// Next mint-job ticket.
+    mint_ticket: u64,
     /// The merged global ledger: every executed swap's chains, absorbed.
     ledger: ChainSet<AnyContract>,
     report: ExchangeReport,
@@ -626,11 +718,14 @@ impl Exchange {
             config,
             service,
             material: BTreeMap::new(),
+            identities: IdentityStore::new(),
             now: SimTime::ZERO,
             in_flight: VecDeque::new(),
             vacated: [SimTime::ZERO; 4],
             dirty_since: None,
             pool,
+            minted: BTreeMap::new(),
+            mint_ticket: 0,
             ledger: ChainSet::new(),
             report: ExchangeReport::default(),
         }
@@ -639,14 +734,96 @@ impl Exchange {
     /// Submits a party's offer to the book, returning its id. Accepted at
     /// any time: an offer submitted while epochs are in flight is picked up
     /// by the *next* clearing delta — it does not wait for settlement.
+    ///
+    /// The party's address is registered in the identity store on first
+    /// touch; a party resubmitting under the same address keeps its
+    /// existing identity (and its consumed-leaf state), so re-submission
+    /// can never rewind the one-time-key counter into leaf reuse.
     pub fn submit(&mut self, party: ExchangeParty) -> OfferId {
-        let id = self.service.submit(party.offer());
-        self.material.insert(id, (party.keypair, party.secret));
+        let offer = party.offer();
+        let (address, first) = self.identities.register(party.keypair);
+        if first {
+            self.report.identities_registered += 1;
+        }
+        let id = self.service.submit(offer);
+        self.material.insert(id, (address, party.secret));
         self.report.offers_submitted += 1;
         // The *latest* unseen change: the next clearing scans the book as
         // of admission, so it cannot start before this submission exists.
         self.dirty_since = Some(self.now);
         id
+    }
+
+    /// Submits a batch of parties whose identities the *exchange* mints,
+    /// on the worker pool.
+    ///
+    /// Minting a height-`h` identity derives `2^h` Lamport one-time keys —
+    /// by far the most expensive operation in the pipeline. Queueing the
+    /// keygen jobs here lets them run on idle pool workers *while
+    /// previously admitted epochs execute*: in a rolling book, the next
+    /// wave's keygen hides entirely under the current wave's swap runs
+    /// ([`ExchangeReport::mints_overlapping_execution`] counts the jobs
+    /// queued while an epoch occupied [`EpochStage::Executing`]). Offers
+    /// are submitted in `seeds` order once every mint has landed, so the
+    /// book — and everything downstream — is deterministic whatever the
+    /// pool's thread count.
+    ///
+    /// Returns each offer's id and its identity's address; pass the
+    /// address to [`resubmit`](Self::resubmit) to trade again with zero
+    /// keygen.
+    pub fn submit_seeded(&mut self, seeds: Vec<PartySeed>) -> Vec<(OfferId, Address)> {
+        let executing = self.in_flight.iter().any(|e| e.stage == EpochStage::Executing);
+        let mut tickets = Vec::with_capacity(seeds.len());
+        for spec in &seeds {
+            let ticket = self.mint_ticket;
+            self.mint_ticket += 1;
+            let (seed, height) = (spec.seed, spec.key_height);
+            self.pool.submit(JobTag::Mint(ticket), move || {
+                JobOutput::Mint(MssKeypair::from_seed_with_height(seed, height))
+            });
+            tickets.push(ticket);
+        }
+        self.report.identities_minted += seeds.len() as u64;
+        if executing {
+            self.report.mints_overlapping_execution += seeds.len() as u64;
+        }
+        seeds
+            .into_iter()
+            .zip(tickets)
+            .map(|(spec, ticket)| {
+                while !self.minted.contains_key(&ticket) {
+                    let completed = self.pool.recv();
+                    self.absorb(completed);
+                }
+                let keypair = self.minted.remove(&ticket).expect("just observed");
+                let address = keypair.public_key().address();
+                let party = ExchangeParty {
+                    keypair,
+                    secret: spec.secret,
+                    gives: spec.gives,
+                    wants: spec.wants,
+                };
+                (self.submit(party), address)
+            })
+            .collect()
+    }
+
+    /// Submits a fresh offer for an already-registered identity: the same
+    /// signing key, a new secret, new terms — and zero keygen. Returns
+    /// `None` if the address has no registered identity.
+    pub fn resubmit(
+        &mut self,
+        address: Address,
+        secret: Secret,
+        gives: AssetKind,
+        wants: AssetKind,
+    ) -> Option<OfferId> {
+        let key = self.identities.public_key(&address)?;
+        let id = self.service.submit(Offer { key, hashlock: secret.hashlock(), gives, wants });
+        self.material.insert(id, (address, secret));
+        self.report.offers_submitted += 1;
+        self.dirty_since = Some(self.now);
+        Some(id)
     }
 
     /// Withdraws an open offer (see [`ClearingService::cancel`]). Accepted
@@ -681,6 +858,12 @@ impl Exchange {
     /// The merged global ledger across every executed swap.
     pub fn ledger(&self) -> &ChainSet<AnyContract> {
         &self.ledger
+    }
+
+    /// The identity registry: one master keypair per address, with
+    /// consumed-leaf accounting.
+    pub fn identities(&self) -> &IdentityStore {
+        &self.identities
     }
 
     /// The aggregate report so far.
@@ -987,28 +1170,68 @@ impl Exchange {
                     self.in_flight.remove(i);
                     return Err(error);
                 }
-                let parties: u64 =
-                    cleared.iter().map(|s| s.spec.digraph.vertex_count() as u64).sum();
-                let provisioned: Vec<ProvisionedSwap> = cleared
-                    .into_iter()
-                    .map(|swap| {
-                        let keypairs = swap
-                            .offer_of_vertex
-                            .iter()
-                            .map(|oid| self.material[oid].0.clone())
-                            .collect();
-                        let secrets =
-                            swap.offer_of_vertex.iter().map(|oid| self.material[oid].1).collect();
-                        let swap =
-                            ProvisionedSwap::new(swap, keypairs, secrets, self.config.run.clone());
-                        match self.config.protocol {
-                            ProtocolPolicy::Auto => swap,
-                            ProtocolPolicy::ForceHashkey => {
-                                swap.with_protocol(ProtocolKind::Hashkey)
+                // Provision each cycle by *leasing* one-time leaf windows
+                // from the identity registry: `leaders + 1` signatures per
+                // party covers every signing the §4.5/§4.6 engines can
+                // perform (one base chain or premature announce, plus one
+                // extension per leader). An identity with too few unused
+                // leaves fails only its own swap, checked: that swap is
+                // refunded here (no leaves consumed) and its siblings
+                // provision normally.
+                let mut provisioned = Vec::with_capacity(cleared.len());
+                let mut exhausted: Vec<(SwapId, Address)> = Vec::new();
+                let mut released: BTreeSet<Address> = BTreeSet::new();
+                let mut parties = 0u64;
+                for swap in cleared {
+                    let budget = swap.spec.leaders.len() as u64 + 1;
+                    // Cumulative need per address (one slot per party per
+                    // swap in practice; stay safe about duplicates).
+                    let mut need: BTreeMap<Address, u64> = BTreeMap::new();
+                    for oid in &swap.offer_of_vertex {
+                        *need.entry(self.material[oid].0).or_insert(0) += budget;
+                    }
+                    let short = need.iter().find_map(|(address, n)| {
+                        (self.identities.remaining(address).unwrap_or(0) < *n).then_some(*address)
+                    });
+                    if let Some(address) = short {
+                        self.service.refund_swap(swap.id).expect("issued this epoch");
+                        for oid in &swap.offer_of_vertex {
+                            self.material.remove(oid);
+                            if let Some(offer) = self.service.offer(*oid) {
+                                released.insert(offer.key.address());
                             }
                         }
-                    })
-                    .collect();
+                        self.report.swaps_refunded += 1;
+                        self.report.swaps_cleared += 1;
+                        self.report.swaps_exhausted += 1;
+                        exhausted.push((swap.id, address));
+                        continue;
+                    }
+                    parties += swap.spec.digraph.vertex_count() as u64;
+                    let mut keypairs = Vec::with_capacity(swap.offer_of_vertex.len());
+                    for oid in &swap.offer_of_vertex {
+                        let address = self.material[oid].0;
+                        let lease = self
+                            .identities
+                            .lease(&address, budget)
+                            .expect("availability checked before leasing");
+                        keypairs.push(lease);
+                    }
+                    let secrets =
+                        swap.offer_of_vertex.iter().map(|oid| self.material[oid].1).collect();
+                    let swap =
+                        ProvisionedSwap::new(swap, keypairs, secrets, self.config.run.clone());
+                    provisioned.push(match self.config.protocol {
+                        ProtocolPolicy::Auto => swap,
+                        ProtocolPolicy::ForceHashkey => swap.with_protocol(ProtocolKind::Hashkey),
+                    });
+                }
+                self.report.leaves_leased = self.identities.leaves_leased();
+                // A refunded party's deferred counterparties get the next
+                // clearing's attention, exactly as settlement would grant.
+                if !released.is_empty() && self.service.any_deferred_from(&released) {
+                    self.dirty_since = Some(self.now);
+                }
                 let cost = costs.provisioning_base + costs.provisioning_per_party * parties;
                 self.enter(
                     i,
@@ -1017,6 +1240,10 @@ impl Exchange {
                     cost,
                     EpochWork::Provisioned(provisioned),
                 );
+                exhausted.sort_by_key(|&(swap, _)| swap);
+                if let Some(&(swap, address)) = exhausted.first() {
+                    return Err(ExchangeError::KeysExhausted { swap, address });
+                }
                 Ok(StepEvent::StageEntered { epoch, stage: EpochStage::Provisioning, at: entry })
             }
             (EpochStage::Provisioning, EpochWork::Provisioned(provisioned)) => {
@@ -1030,7 +1257,8 @@ impl Exchange {
                 let pending = provisioned.len();
                 for p in provisioned {
                     let admitted = p.admit_for_queue(entry);
-                    self.pool.submit((admitted.epoch, admitted.swap), move || admitted.execute());
+                    let tag = JobTag::Swap(admitted.epoch, admitted.swap);
+                    self.pool.submit(tag, move || JobOutput::Swap(Box::new(admitted.execute())));
                 }
                 let resident =
                     1 + self.in_flight.iter().filter(|e| e.stage == EpochStage::Executing).count()
@@ -1090,20 +1318,8 @@ impl Exchange {
     /// [`ExchangeError::WorkerPanicked`].
     fn resolve_execution(&mut self, i: usize) -> Result<(), ExchangeError> {
         while matches!(&self.in_flight[i].work, EpochWork::Queued { pending, .. } if *pending > 0) {
-            let Completed { tag: (epoch, swap), result } = self.pool.recv();
-            let slot = self
-                .in_flight
-                .iter_mut()
-                .find(|e| e.epoch == epoch)
-                .expect("every queued epoch is in flight until resolved");
-            let EpochWork::Queued { pending, outcomes, panicked, .. } = &mut slot.work else {
-                unreachable!("epoch {epoch} received a result but is not queued")
-            };
-            *pending -= 1;
-            match result {
-                Ok(output) => outcomes.push(output),
-                Err(_) => panicked.push(swap),
-            }
+            let completed = self.pool.recv();
+            self.absorb(completed);
         }
         let work = std::mem::replace(&mut self.in_flight[i].work, EpochWork::Taken);
         let EpochWork::Queued { entered, mut outcomes, mut panicked, .. } = work else {
@@ -1147,6 +1363,42 @@ impl Exchange {
             self.dirty_since = Some(self.now);
         }
         Err(ExchangeError::WorkerPanicked(panicked[0]))
+    }
+
+    /// Routes one pool result to its owner: swap results into the owning
+    /// epoch's [`EpochWork::Queued`] buffer, minted identities into the
+    /// mint stash. The result channel is shared, so both
+    /// [`resolve_execution`](Self::resolve_execution) and
+    /// [`submit_seeded`](Self::submit_seeded) drain through here —
+    /// whichever blocks first absorbs whatever surfaces.
+    fn absorb(&mut self, completed: Completed<JobTag, JobOutput>) {
+        match completed.tag {
+            JobTag::Mint(ticket) => {
+                let output = completed.result.expect("identity minting does not panic");
+                let JobOutput::Mint(keypair) = output else {
+                    unreachable!("mint ticket {ticket} returned a swap result")
+                };
+                self.minted.insert(ticket, keypair);
+            }
+            JobTag::Swap(epoch, swap) => {
+                let slot = self
+                    .in_flight
+                    .iter_mut()
+                    .find(|e| e.epoch == epoch)
+                    .expect("every queued epoch is in flight until resolved");
+                let EpochWork::Queued { pending, outcomes, panicked, .. } = &mut slot.work else {
+                    unreachable!("epoch {epoch} received a result but is not queued")
+                };
+                *pending -= 1;
+                match completed.result {
+                    Ok(JobOutput::Swap(output)) => outcomes.push(*output),
+                    Ok(JobOutput::Mint(_)) => {
+                        unreachable!("swap job for {swap} returned a minted identity")
+                    }
+                    Err(_) => panicked.push(swap),
+                }
+            }
+        }
     }
 
     /// Resolves a fully executed epoch: offer lifecycle, aggregate report,

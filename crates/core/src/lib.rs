@@ -21,6 +21,10 @@
 //!   [`instance::SwapInstance`] owns one swap's spec, key material, chains,
 //!   and run configuration, and becomes an [`engine::Engine`] at execution
 //!   time.
+//! * [`identity`] — the per-address identity registry
+//!   ([`identity::IdentityStore`]): one master MSS keypair per address,
+//!   minted at first submit and leased leaf-by-leaf to successive swaps,
+//!   with checked exhaustion.
 //! * [`exchange`] — the pipeline above single swaps: offers stream into the
 //!   untrusted clearing service, epochs clear them into disjoint cycles,
 //!   and up to [`exchange::ExchangeConfig::executing_slots`] epochs' swaps
@@ -72,6 +76,7 @@
 pub mod engine;
 pub mod exchange;
 pub mod hashkey;
+pub mod identity;
 pub mod instance;
 pub mod outcome;
 pub mod party;
@@ -87,8 +92,9 @@ pub mod waitsfor;
 pub use engine::Engine;
 pub use exchange::{
     DriveError, EpochStage, Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport,
-    ExecutedSwap, ProtocolPolicy, StageCosts, StageTicks, StepEvent, SwapSummary,
+    ExecutedSwap, PartySeed, ProtocolPolicy, StageCosts, StageTicks, StepEvent, SwapSummary,
 };
+pub use identity::{IdentityStore, LeaseError};
 pub use instance::{AdmittedSwap, ProvisionedSwap, SwapInstance, SwapRunOutput};
 pub use outcome::Outcome;
 pub use party::{Action, ArcSnapshot, Behavior};

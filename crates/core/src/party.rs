@@ -9,6 +9,7 @@
 //! bounds assume.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use swap_contract::{SwapSpec, UnlockRecord};
 use swap_crypto::{MssKeypair, Secret, SigChain};
@@ -104,8 +105,10 @@ pub struct View<'a> {
     pub now: SimTime,
     /// Per-arc contract snapshots (`None` = not yet published/visible).
     pub contracts: &'a [Option<ArcSnapshot>],
-    /// Visible bulletin entries.
-    pub bulletin: &'a [BulletinEntry],
+    /// Visible bulletin entries, shared with the engine's master list
+    /// (`Arc` — promoting an entry to visibility must not copy its
+    /// multi-KB base signature per observer).
+    pub bulletin: &'a [Arc<BulletinEntry>],
 }
 
 /// An action a party submits this round. Actions execute during the round
@@ -744,8 +747,11 @@ mod tests {
         let carol = spec.digraph.vertex_by_name("carol").unwrap();
         let mut alice_kp = keypair_for(alice);
         let base = SigChain::sign_secret(&mut alice_kp, &leader_secret(alice)).unwrap();
-        let bulletin =
-            vec![BulletinEntry { leader_index: 0, secret: leader_secret(alice), base_sig: base }];
+        let bulletin = vec![Arc::new(BulletinEntry {
+            leader_index: 0,
+            secret: leader_secret(alice),
+            base_sig: base,
+        })];
         let mut contracts: Vec<Option<ArcSnapshot>> = vec![None, None, None];
         for arc in spec.digraph.arcs() {
             contracts[arc.id.index()] = Some(ArcSnapshot::Swap(published_snapshot(&spec)));

@@ -21,35 +21,75 @@ const OPAD: u8 = 0x5c;
 /// );
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest32 {
-    // Keys longer than the block size are hashed first.
-    let mut key_block = [0u8; BLOCK];
-    if key.len() > BLOCK {
-        let kh = crate::sha256::sha256(key);
-        key_block[..32].copy_from_slice(kh.as_bytes());
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-    let mut inner = Sha256::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
+    HmacEngine::new(key).mac_parts(&[message])
+}
 
-    let mut outer = Sha256::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
-    outer.update(&opad);
-    outer.update(inner_digest.as_bytes());
-    outer.finalize()
+/// A keyed HMAC-SHA256 engine with the padded-key blocks pre-compressed.
+///
+/// Plain [`hmac_sha256`] spends two of its four compressions (for short
+/// messages) absorbing `key ⊕ ipad` and `key ⊕ opad` — the same two blocks
+/// every time the key repeats. MSS key generation computes hundreds of
+/// thousands of HMACs under *one* key (the tree seed), so the engine
+/// captures both midstates once at construction and each subsequent MAC
+/// costs only the message-side compressions: two total for the
+/// `label || be64(index)` derivations, down from four, with no per-call
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct HmacEngine {
+    inner: [u32; 8],
+    outer: [u32; 8],
+}
+
+impl HmacEngine {
+    /// Prepares the engine for `key` (keys longer than the block size are
+    /// hashed first, per RFC 2104).
+    pub fn new(key: &[u8]) -> HmacEngine {
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let kh = crate::sha256::sha256(key);
+            key_block[..32].copy_from_slice(kh.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut pad = [0u8; BLOCK];
+        for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+            *p = k ^ IPAD;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&pad);
+        for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+            *p = k ^ OPAD;
+        }
+        let mut outer = Sha256::new();
+        outer.update(&pad);
+        HmacEngine { inner: inner.midstate(), outer: outer.midstate() }
+    }
+
+    /// `HMAC(key, parts[0] || parts[1] || …)` from the captured midstates.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> Digest32 {
+        let mut inner = Sha256::from_midstate(self.inner, BLOCK as u64);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::from_midstate(self.outer, BLOCK as u64);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// The labeled, indexed subkey `HMAC(key, label || be64(index))` —
+    /// [`derive_key`] without re-absorbing the key pads.
+    pub fn derive(&self, label: &str, index: u64) -> Digest32 {
+        self.mac_parts(&[label.as_bytes(), &index.to_be_bytes()])
+    }
 }
 
 /// Derives a labeled, indexed subkey: `HMAC(key, label || be64(index))`.
 /// This is the single derivation primitive behind every deterministic key
-/// tree in the workspace.
+/// tree in the workspace; hot paths that derive many subkeys from one key
+/// should hold an [`HmacEngine`] and call [`HmacEngine::derive`] instead.
 pub fn derive_key(key: &[u8], label: &str, index: u64) -> Digest32 {
-    let mut msg = Vec::with_capacity(label.len() + 8);
-    msg.extend_from_slice(label.as_bytes());
-    msg.extend_from_slice(&index.to_be_bytes());
-    hmac_sha256(key, &msg)
+    HmacEngine::new(key).derive(label, index)
 }
 
 #[cfg(test)]
@@ -117,6 +157,19 @@ mod tests {
         assert_eq!(
             mac.to_hex(),
             "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn engine_reuse_matches_fresh_macs() {
+        let engine = HmacEngine::new(b"master seed");
+        for i in 0..10u64 {
+            assert_eq!(engine.derive("ots", i), derive_key(b"master seed", "ots", i));
+        }
+        let msg = b"what do ya want for nothing?";
+        assert_eq!(
+            HmacEngine::new(b"Jefe").mac_parts(&[&msg[..7], &msg[7..]]),
+            hmac_sha256(b"Jefe", msg)
         );
     }
 

@@ -11,17 +11,32 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::hmac::derive_key;
-use crate::sha256::{sha256, Digest32, Sha256};
+use crate::hmac::HmacEngine;
+use crate::sha256::{sha256_32, Digest32, Sha256};
 
 /// Bits per message digest, i.e. value pairs per key.
 pub const BITS: usize = 256;
 
-/// A Lamport one-time secret key, derived deterministically from a seed.
+/// A Lamport one-time secret key.
+///
+/// The 2·256 secret values are **not stored**: the key holds only the
+/// seed's [`HmacEngine`] and the key index, and re-derives
+/// `values[i][b] = HMAC(seed, "lamport/v{b}" || be64(index·256 + i))` at
+/// sign time. That makes keygen public-hash-only (no secret-side
+/// materialization or allocation) and shrinks a resident keypair from
+/// ~16 KiB of secrets to two hash midstates.
 #[derive(Clone)]
 pub struct LamportSecretKey {
-    /// `values[i][b]` is revealed when message bit `i` equals `b`.
-    values: Box<[[Digest32; 2]; BITS]>,
+    engine: HmacEngine,
+    index: u64,
+}
+
+impl LamportSecretKey {
+    /// Secret value for message bit `i` equal to `bit` — derived on demand.
+    fn value(&self, i: usize, bit: usize) -> Digest32 {
+        let label = if bit == 0 { "lamport/v0" } else { "lamport/v1" };
+        self.engine.derive(label, self.index * BITS as u64 + i as u64)
+    }
 }
 
 impl std::fmt::Debug for LamportSecretKey {
@@ -30,22 +45,19 @@ impl std::fmt::Debug for LamportSecretKey {
     }
 }
 
-/// A Lamport one-time public key: the hash of each secret value.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A Lamport one-time public key, pre-compressed to the single digest in
+/// which one-time keys appear as Merkle leaves (the fold of the 2·256
+/// per-value hashes; the individual hashes are never stored — a verifier
+/// reconstructs them from the signature itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LamportPublicKey {
-    hashes: Vec<[Digest32; 2]>,
+    digest: Digest32,
 }
 
 impl LamportPublicKey {
-    /// Compresses the 2·256 hash blocks into a single digest — the form in
-    /// which one-time keys appear as Merkle leaves.
+    /// The compressed public key digest.
     pub fn digest(&self) -> Digest32 {
-        let mut h = Sha256::new();
-        for pair in &self.hashes {
-            h.update(pair[0].as_bytes());
-            h.update(pair[1].as_bytes());
-        }
-        h.finalize()
+        self.digest
     }
 }
 
@@ -93,7 +105,7 @@ impl LamportSignature {
         let mut h = Sha256::new();
         for i in 0..BITS {
             let bit = bit_of(message, i);
-            let revealed_hash = sha256(self.revealed[i].as_bytes());
+            let revealed_hash = sha256_32(self.revealed[i].as_bytes());
             let (h0, h1) = if bit == 0 {
                 (revealed_hash, self.complement[i])
             } else {
@@ -109,31 +121,55 @@ impl LamportSignature {
 /// Generates a key pair deterministically from `seed` and a key index.
 ///
 /// Distinct `(seed, index)` pairs yield independent keys, which is how the
-/// Merkle scheme derives its leaf keys.
+/// Merkle scheme derives its leaf keys. Callers generating many keys from
+/// one seed should build the [`HmacEngine`] once and use [`keygen_with`].
 pub fn keygen(seed: &[u8; 32], index: u64) -> (LamportSecretKey, LamportPublicKey) {
-    let mut values = Box::new([[Digest32::ZERO; 2]; BITS]);
-    let mut hashes = Vec::with_capacity(BITS);
-    for i in 0..BITS {
-        let v0 = derive_key(seed, "lamport/v0", index * BITS as u64 + i as u64);
-        let v1 = derive_key(seed, "lamport/v1", index * BITS as u64 + i as u64);
-        values[i] = [v0, v1];
-        hashes.push([sha256(v0.as_bytes()), sha256(v1.as_bytes())]);
+    keygen_with(&HmacEngine::new(seed), index)
+}
+
+/// [`keygen`] with the seed's HMAC engine pre-built, so the padded-key
+/// compressions amortize over every leaf of a Merkle tree.
+pub fn keygen_with(engine: &HmacEngine, index: u64) -> (LamportSecretKey, LamportPublicKey) {
+    let pk = public_key_with(engine, index);
+    (LamportSecretKey { engine: engine.clone(), index }, pk)
+}
+
+/// The secret half alone, with no public-side hashing at all — used by the
+/// Merkle scheme at sign time, where the leaf's public digest already sits
+/// in the published tree.
+pub fn secret_key_with(engine: &HmacEngine, index: u64) -> LamportSecretKey {
+    LamportSecretKey { engine: engine.clone(), index }
+}
+
+/// Computes only the compressed public key digest for `(seed, index)` —
+/// the Merkle-leaf content — streaming the 2·256 per-value hashes straight
+/// into the fold without materializing either side of the key.
+pub fn public_key_with(engine: &HmacEngine, index: u64) -> LamportPublicKey {
+    let base = index * BITS as u64;
+    let mut h = Sha256::new();
+    for i in 0..BITS as u64 {
+        let v0 = engine.derive("lamport/v0", base + i);
+        let v1 = engine.derive("lamport/v1", base + i);
+        h.update(sha256_32(v0.as_bytes()).as_bytes());
+        h.update(sha256_32(v1.as_bytes()).as_bytes());
     }
-    (LamportSecretKey { values }, LamportPublicKey { hashes })
+    LamportPublicKey { digest: h.finalize() }
 }
 
 /// Signs a 256-bit message digest, consuming the one-time key.
 ///
 /// Taking the key by value enforces one-time use at the type level: a
 /// `LamportSecretKey` cannot be signed with twice without cloning, and
-/// cloning to re-sign is a deliberate (and greppable) act.
+/// cloning to re-sign is a deliberate (and greppable) act. The secret
+/// values are derived here, on demand — signing is the first (and only)
+/// time they exist in memory.
 pub fn sign(key: LamportSecretKey, message: &Digest32) -> LamportSignature {
     let mut revealed = Vec::with_capacity(BITS);
     let mut complement = Vec::with_capacity(BITS);
     for i in 0..BITS {
         let bit = bit_of(message, i);
-        revealed.push(key.values[i][bit]);
-        complement.push(sha256(key.values[i][1 - bit].as_bytes()));
+        revealed.push(key.value(i, bit));
+        complement.push(sha256_32(key.value(i, 1 - bit).as_bytes()));
     }
     LamportSignature { revealed, complement }
 }
@@ -253,6 +289,48 @@ mod tests {
     fn secret_key_debug_redacted() {
         let (sk, _) = keygen(&[1u8; 32], 0);
         assert_eq!(format!("{sk:?}"), "LamportSecretKey(<redacted>)");
+    }
+
+    #[test]
+    fn lazy_derivation_matches_materialized_reference() {
+        // Pin the lazy scheme against an eager re-derivation of every
+        // secret value with the original `derive_key` calls: the public
+        // key digest and a signature must be byte-identical to what the
+        // materializing implementation produced.
+        use crate::hmac::derive_key;
+        let seed = [3u8; 32];
+        let index = 5u64;
+        let (sk, pk) = keygen(&seed, index);
+        let mut fold = Sha256::new();
+        let mut eager = Vec::with_capacity(BITS);
+        for i in 0..BITS {
+            let v0 = derive_key(&seed, "lamport/v0", index * BITS as u64 + i as u64);
+            let v1 = derive_key(&seed, "lamport/v1", index * BITS as u64 + i as u64);
+            fold.update(sha256(v0.as_bytes()).as_bytes());
+            fold.update(sha256(v1.as_bytes()).as_bytes());
+            eager.push([v0, v1]);
+        }
+        assert_eq!(pk.digest(), fold.finalize());
+        let m = msg(b"pinned");
+        let sig = sign(sk, &m);
+        for (i, pair) in eager.iter().enumerate() {
+            let bit = bit_of(&m, i);
+            assert_eq!(sig.revealed[i], pair[bit], "revealed value {i}");
+            assert_eq!(sig.complement[i], sha256(pair[1 - bit].as_bytes()), "complement {i}");
+        }
+        assert!(verify(&sig, &m, &pk.digest()));
+    }
+
+    #[test]
+    fn shared_engine_keygen_matches_seed_keygen() {
+        let seed = [11u8; 32];
+        let engine = HmacEngine::new(&seed);
+        for index in 0..4u64 {
+            let (_, a) = keygen(&seed, index);
+            let (_, b) = keygen_with(&engine, index);
+            assert_eq!(a.digest(), b.digest());
+            assert_eq!(public_key_with(&engine, index).digest(), a.digest());
+        }
     }
 
     #[test]

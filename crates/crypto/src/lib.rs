@@ -43,7 +43,8 @@ pub mod secret;
 pub mod sha256;
 pub mod sigchain;
 
-pub use mss::{MssKeypair, MssPublicKey, MssSignature};
+pub use hmac::HmacEngine;
+pub use mss::{KeysExhaustedError, MssKeypair, MssPublicKey, MssSignature};
 pub use secret::{Hashlock, Secret};
-pub use sha256::{sha256, Digest32};
+pub use sha256::{sha256, sha256_32, sha256_pair, Digest32};
 pub use sigchain::{Address, SigChain, SigChainError};

@@ -7,8 +7,11 @@
 //! primitive of the paper (§2.2) — hash-based end to end, matching the
 //! hashlock trust assumptions.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
+use crate::hmac::HmacEngine;
 use crate::lamport::{self, LamportSignature};
 use crate::merkle::{leaf_hash, MerkleProof, MerkleTree};
 use crate::sha256::{tagged_hash, Digest32, Sha256};
@@ -19,13 +22,21 @@ const ADDRESS_TAG: &str = "swap/address/v1";
 /// single swap while keeping keygen fast in tests.
 pub const DEFAULT_HEIGHT: u32 = 6;
 
-/// A party's signing identity: seed, derived one-time keys, and a use
-/// counter enforcing one-time discipline.
+/// A party's signing identity: the seed's HMAC engine, the Merkle tree
+/// over one-time public key digests, and a leaf window enforcing one-time
+/// discipline.
+///
+/// The tree is behind an `Arc`: [`lease`](MssKeypair::lease) carves a
+/// half-open window of unused leaves into a cheap second handle that
+/// shares the tree, which is how an identity registry hands each swap its
+/// own slice of one identity without ever copying the `2^h`-leaf tree or
+/// letting two swaps sign with the same leaf.
 #[derive(Debug, Clone)]
 pub struct MssKeypair {
-    seed: [u8; 32],
-    tree: MerkleTree,
+    engine: HmacEngine,
+    tree: Arc<MerkleTree>,
     next_leaf: u64,
+    limit: u64,
     height: u32,
 }
 
@@ -75,14 +86,12 @@ impl MssKeypair {
     pub fn from_seed_with_height(seed: [u8; 32], height: u32) -> Self {
         assert!(height <= 16, "MSS height {height} too large");
         let leaf_count = 1u64 << height;
+        let engine = HmacEngine::new(&seed);
         let leaves: Vec<Digest32> = (0..leaf_count)
-            .map(|i| {
-                let (_, pk) = lamport::keygen(&seed, i);
-                leaf_hash(pk.digest().as_bytes())
-            })
+            .map(|i| leaf_hash(lamport::public_key_with(&engine, i).digest().as_bytes()))
             .collect();
-        let tree = MerkleTree::from_leaves(leaves).expect("leaf_count >= 1");
-        MssKeypair { seed, tree, next_leaf: 0, height }
+        let tree = Arc::new(MerkleTree::from_leaves(leaves).expect("leaf_count >= 1"));
+        MssKeypair { engine, tree, next_leaf: 0, limit: leaf_count, height }
     }
 
     /// The public key.
@@ -90,23 +99,68 @@ impl MssKeypair {
         MssPublicKey { root: *self.tree.root(), height: self.height }
     }
 
-    /// How many signatures remain.
+    /// How many signatures remain in this handle's leaf window.
     pub fn remaining(&self) -> u64 {
-        (1u64 << self.height) - self.next_leaf
+        self.limit - self.next_leaf
+    }
+
+    /// The next leaf index this handle would sign with.
+    pub fn next_leaf(&self) -> u64 {
+        self.next_leaf
+    }
+
+    /// One past the last leaf index this handle may sign with (`2^h` for a
+    /// freshly minted keypair, smaller for a [`lease`](MssKeypair::lease)).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// The tree height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Splits off a handle over the next `count` unused leaves and advances
+    /// this handle past them. The lease shares the Merkle tree (an `Arc`
+    /// bump, not a copy) and the derivation engine; its `sign` runs out —
+    /// with the usual checked [`KeysExhaustedError`] — after exactly
+    /// `count` signatures. Windows never overlap, so leases handed to
+    /// concurrently executing swaps keep the global one-leaf-one-signature
+    /// invariant by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeysExhaustedError`] if fewer than `count` leaves remain;
+    /// this handle is left unchanged.
+    pub fn lease(&mut self, count: u64) -> Result<MssKeypair, KeysExhaustedError> {
+        if self.remaining() < count {
+            return Err(KeysExhaustedError { height: self.height });
+        }
+        let lease = MssKeypair {
+            engine: self.engine.clone(),
+            tree: Arc::clone(&self.tree),
+            next_leaf: self.next_leaf,
+            limit: self.next_leaf + count,
+            height: self.height,
+        };
+        self.next_leaf += count;
+        Ok(lease)
     }
 
     /// Signs a 256-bit message digest with the next unused one-time key.
     ///
     /// # Errors
     ///
-    /// Returns [`KeysExhaustedError`] once all `2^h` keys are spent.
+    /// Returns [`KeysExhaustedError`] once the handle's leaf window — all
+    /// `2^h` keys for a minted keypair, the leased slice for a lease — is
+    /// spent.
     pub fn sign(&mut self, message: &Digest32) -> Result<MssSignature, KeysExhaustedError> {
-        if self.next_leaf >= (1u64 << self.height) {
+        if self.next_leaf >= self.limit {
             return Err(KeysExhaustedError { height: self.height });
         }
         let index = self.next_leaf;
         self.next_leaf += 1;
-        let (sk, _) = lamport::keygen(&self.seed, index);
+        let sk = lamport::secret_key_with(&self.engine, index);
         let ots = lamport::sign(sk, message);
         let proof = self.tree.prove(index as usize).expect("index < leaf count");
         Ok(MssSignature { leaf_index: index, ots, proof })
@@ -295,5 +349,53 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn oversized_height_rejected() {
         let _ = MssKeypair::from_seed_with_height([0u8; 32], 17);
+    }
+
+    #[test]
+    fn leases_carve_disjoint_windows() {
+        let mut kp = pair();
+        let pk = kp.public_key();
+        let mut a = kp.lease(3).unwrap();
+        let mut b = kp.lease(2).unwrap();
+        assert_eq!((a.next_leaf(), a.limit()), (0, 3));
+        assert_eq!((b.next_leaf(), b.limit()), (3, 5));
+        assert_eq!(kp.remaining(), 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, use_a) in [true, false, true, false, true].into_iter().enumerate() {
+            let m = sha256(&(i as u64).to_be_bytes());
+            let handle = if use_a { &mut a } else { &mut b };
+            let sig = handle.sign(&m).unwrap();
+            assert!(pk.verify(&m, &sig), "lease sig {i}");
+            assert!(seen.insert(sig.leaf_index()), "leaf reuse at {i}");
+        }
+        // Both leases are now spent; exhaustion is the checked error.
+        assert_eq!(a.sign(&sha256(b"x")).unwrap_err(), KeysExhaustedError { height: 3 });
+        assert_eq!(b.sign(&sha256(b"x")).unwrap_err(), KeysExhaustedError { height: 3 });
+        // The parent still owns its remaining window.
+        let sig = kp.sign(&sha256(b"tail")).unwrap();
+        assert_eq!(sig.leaf_index(), 5);
+    }
+
+    #[test]
+    fn oversized_lease_rejected_and_parent_unchanged() {
+        let mut kp = MssKeypair::from_seed_with_height([6u8; 32], 1);
+        assert_eq!(kp.lease(3).unwrap_err(), KeysExhaustedError { height: 1 });
+        assert_eq!(kp.remaining(), 2);
+        assert!(kp.lease(2).is_ok());
+        assert_eq!(kp.remaining(), 0);
+        assert_eq!(kp.lease(1).unwrap_err(), KeysExhaustedError { height: 1 });
+    }
+
+    #[test]
+    fn leased_signatures_match_sequential_signing() {
+        // A lease signs with exactly the leaves the parent would have used.
+        let m = sha256(b"same message");
+        let mut sequential = pair();
+        let s0 = sequential.sign(&m).unwrap();
+        let s1 = sequential.sign(&m).unwrap();
+        let mut parent = pair();
+        let mut lease = parent.lease(2).unwrap();
+        assert_eq!(lease.sign(&m).unwrap(), s0);
+        assert_eq!(lease.sign(&m).unwrap(), s1);
     }
 }

@@ -2,8 +2,11 @@
 //!
 //! The sanctioned dependency list has no hashing crate, and the whole swap
 //! protocol rests on hashlocks, so the primitive lives here with the NIST
-//! example vectors as tests. The implementation favors clarity over speed;
-//! it still hashes a few hundred MiB/s, far more than any simulation needs.
+//! example vectors as tests. The compression function is unrolled with
+//! rotating register roles, and the two fixed input shapes that dominate
+//! MSS key generation get dedicated single- and double-compression entry
+//! points ([`sha256_32`], [`sha256_pair`]) that skip buffering and — for
+//! the pair case — reuse a compile-time-expanded padding-block schedule.
 
 use std::fmt;
 
@@ -98,9 +101,130 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
+
+/// One SHA-256 round with explicit register roles. The caller rotates the
+/// role assignment instead of the registers themselves (the classic
+/// unrolling trick), so each round is two adds into fixed locals rather
+/// than an eight-way shuffle.
+macro_rules! round {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $kw:expr) => {{
+        let t1 = $h
+            .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+            .wrapping_add(($e & $f) ^ (!$e & $g))
+            .wrapping_add($kw);
+        let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+            .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+        $d = $d.wrapping_add(t1);
+        $h = t1.wrapping_add(t2);
+    }};
+}
+
+/// Expands the first 16 schedule words into the full 64. `const` so fixed
+/// blocks (like the padding block of every 64-byte message) can have their
+/// schedule computed at compile time.
+const fn expand_schedule(mut w: [u32; 64]) -> [u32; 64] {
+    let mut i = 16;
+    while i < 64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        i += 1;
+    }
+    w
+}
+
+/// The fully expanded schedule of the padding block every exactly-64-byte
+/// message ends with (`0x80`, zeros, bit length 512) — [`sha256_pair`]
+/// skips the expansion entirely for its second compression.
+const PAD64_SCHEDULE: [u32; 64] = expand_schedule({
+    let mut w = [0u32; 64];
+    w[0] = 0x8000_0000;
+    w[15] = 512;
+    w
+});
+
+/// The 64 rounds over an already expanded schedule, unrolled 8-at-a-time
+/// with rotating register roles.
+fn compress_words(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    let mut i = 0;
+    while i < 64 {
+        round!(a, b, c, d, e, f, g, h, K[i].wrapping_add(w[i]));
+        round!(h, a, b, c, d, e, f, g, K[i + 1].wrapping_add(w[i + 1]));
+        round!(g, h, a, b, c, d, e, f, K[i + 2].wrapping_add(w[i + 2]));
+        round!(f, g, h, a, b, c, d, e, K[i + 3].wrapping_add(w[i + 3]));
+        round!(e, f, g, h, a, b, c, d, K[i + 4].wrapping_add(w[i + 4]));
+        round!(d, e, f, g, h, a, b, c, K[i + 5].wrapping_add(w[i + 5]));
+        round!(c, d, e, f, g, h, a, b, K[i + 6].wrapping_add(w[i + 6]));
+        round!(b, c, d, e, f, g, h, a, K[i + 7].wrapping_add(w[i + 7]));
+        i += 8;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Expands `block`'s message schedule and runs the 64 rounds.
+pub(crate) fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    let mut i = 0;
+    while i < 16 {
+        w[i] = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+        i += 1;
+    }
+    let w = expand_schedule(w);
+    compress_words(state, &w);
+}
+
+#[inline]
+fn state_to_digest(state: &[u32; 8]) -> Digest32 {
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest32(out)
+}
+
+/// `SHA-256(left || right)` for two 32-byte digests in exactly two
+/// compressions: one over the data block, one over the compile-time
+/// `PAD64_SCHEDULE` padding block. This is the shape of the Lamport
+/// public-key fold and of binary-tree node combination, the two inner
+/// loops of MSS key generation.
+pub fn sha256_pair(left: &Digest32, right: &Digest32) -> Digest32 {
+    let mut state = H0;
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(left.as_bytes());
+    block[32..].copy_from_slice(right.as_bytes());
+    compress_block(&mut state, &block);
+    compress_words(&mut state, &PAD64_SCHEDULE);
+    state_to_digest(&state)
+}
+
+/// `SHA-256(data)` for a 32-byte input in a single compression (message,
+/// `0x80`, and the 256-bit length all fit one block). This is the per-value
+/// hash of Lamport public-key derivation.
+pub fn sha256_32(data: &[u8; 32]) -> Digest32 {
+    let mut state = H0;
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(data);
+    block[32] = 0x80;
+    block[62] = 0x01; // bit length 256, big-endian
+    compress_block(&mut state, &block);
+    state_to_digest(&state)
+}
 
 /// Incremental SHA-256 hasher.
 ///
@@ -133,6 +257,21 @@ impl Sha256 {
         Sha256 { state: H0, buffer: [0u8; 64], buffered: 0, total_len: 0 }
     }
 
+    /// Resumes hashing from a captured midstate. `total_len` must be the
+    /// number of message bytes already compressed into `state` (a multiple
+    /// of 64). This is what lets [`crate::hmac::HmacEngine`] pay for its
+    /// padded-key blocks once per key instead of once per MAC.
+    pub(crate) fn from_midstate(state: [u32; 8], total_len: u64) -> Sha256 {
+        debug_assert_eq!(total_len % 64, 0);
+        Sha256 { state, buffer: [0u8; 64], buffered: 0, total_len }
+    }
+
+    /// The current compression state; only meaningful at a block boundary.
+    pub(crate) fn midstate(&self) -> [u32; 8] {
+        debug_assert_eq!(self.buffered, 0, "midstate capture requires a block boundary");
+        self.state
+    }
+
     /// Absorbs `data`.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len =
@@ -146,7 +285,7 @@ impl Sha256 {
             input = &input[take..];
             if self.buffered == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                compress_block(&mut self.state, &block);
                 self.buffered = 0;
             }
         }
@@ -154,7 +293,7 @@ impl Sha256 {
             let (block, rest) = input.split_at(64);
             let mut b = [0u8; 64];
             b.copy_from_slice(block);
-            self.compress(&b);
+            compress_block(&mut self.state, &b);
             input = rest;
         }
         if !input.is_empty() {
@@ -166,69 +305,18 @@ impl Sha256 {
     /// Finishes and returns the digest.
     pub fn finalize(mut self) -> Digest32 {
         let bit_len = self.total_len * 8;
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.raw_update_padding(&[0x80]);
-        while self.buffered != 56 {
-            self.raw_update_padding(&[0]);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length — built as
+        // whole blocks rather than byte-at-a-time.
+        let mut block = [0u8; 64];
+        block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+        block[self.buffered] = 0x80;
+        if self.buffered >= 56 {
+            compress_block(&mut self.state, &block);
+            block = [0u8; 64];
         }
-        self.raw_update_padding(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buffered, 0);
-        let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        Digest32(out)
-    }
-
-    /// Like `update` but without advancing `total_len` (padding bytes do not
-    /// count toward the message length).
-    fn raw_update_padding(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.buffer[self.buffered] = byte;
-            self.buffered += 1;
-            if self.buffered == 64 {
-                let block = self.buffer;
-                self.compress(&block);
-                self.buffered = 0;
-            }
-        }
-    }
-
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        compress_block(&mut self.state, &block);
+        state_to_digest(&self.state)
     }
 }
 
@@ -359,6 +447,33 @@ mod tests {
     fn zero_digest() {
         assert_eq!(Digest32::ZERO.as_bytes(), &[0u8; 32]);
         assert_ne!(sha256(b""), Digest32::ZERO);
+    }
+
+    #[test]
+    fn pair_matches_streaming_concat() {
+        let l = sha256(b"left");
+        let r = sha256(b"right");
+        assert_eq!(sha256_pair(&l, &r), sha256_concat(&[l.as_bytes(), r.as_bytes()]));
+        assert_eq!(sha256_pair(&Digest32::ZERO, &Digest32::ZERO), sha256(&[0u8; 64]));
+    }
+
+    #[test]
+    fn sha256_32_matches_general_path() {
+        for seed in 0..8u8 {
+            let data = [seed.wrapping_mul(37); 32];
+            assert_eq!(sha256_32(&data), sha256(&data), "seed {seed}");
+        }
+        assert_eq!(sha256_32(sha256(b"x").as_bytes()), sha256(sha256(b"x").as_bytes()));
+    }
+
+    #[test]
+    fn midstate_resume_matches_oneshot() {
+        let msg: Vec<u8> = (0..192u8).collect();
+        let mut h = Sha256::new();
+        h.update(&msg[..128]);
+        let mut resumed = Sha256::from_midstate(h.midstate(), 128);
+        resumed.update(&msg[128..]);
+        assert_eq!(resumed.finalize(), sha256(&msg));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! `links[k]` belongs to `u₀`.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -119,7 +120,9 @@ impl From<KeysExhaustedError> for SigChainError {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SigChain {
-    links: Vec<MssSignature>,
+    /// Links behind `Arc` so extension shares them with the source chain
+    /// instead of deep-copying ~16 KiB of signature per inherited link.
+    links: Vec<Arc<MssSignature>>,
 }
 
 impl SigChain {
@@ -131,12 +134,14 @@ impl SigChain {
     pub fn sign_secret(leader: &mut MssKeypair, secret: &Secret) -> Result<Self, SigChainError> {
         let msg = leader_message(secret);
         let link = leader.sign(&msg)?;
-        Ok(SigChain { links: vec![link] })
+        Ok(SigChain { links: vec![Arc::new(link)] })
     }
 
     /// Extends the chain one hop outward: party `v` computes
     /// `sig(σ_prev, v)`, matching the paper's `unlock(s, v + p, sig(σ, v))`
-    /// step.
+    /// step. The inherited links are shared with `self` (reference-count
+    /// bumps), so extension copies O(1) signature bytes regardless of chain
+    /// length.
     ///
     /// # Errors
     ///
@@ -144,9 +149,16 @@ impl SigChain {
     pub fn extend(&self, signer: &mut MssKeypair) -> Result<Self, SigChainError> {
         let msg = wrap_message(self.links.last().expect("chains are non-empty"));
         let link = signer.sign(&msg)?;
-        let mut links = self.links.clone();
-        links.push(link);
+        let mut links = Vec::with_capacity(self.links.len() + 1);
+        links.extend(self.links.iter().cloned());
+        links.push(Arc::new(link));
         Ok(SigChain { links })
+    }
+
+    /// The links, innermost (leader) first. Exposed so callers can assert
+    /// structural sharing (`Arc::ptr_eq`) and meter real payload sizes.
+    pub fn links(&self) -> &[Arc<MssSignature>] {
+        &self.links
     }
 
     /// Verifies the chain against `secret` and the path's public keys.
@@ -191,7 +203,7 @@ impl SigChain {
 
     /// Total wire size in bytes.
     pub fn byte_len(&self) -> usize {
-        self.links.iter().map(MssSignature::byte_len).sum()
+        self.links.iter().map(|l| l.byte_len()).sum()
     }
 }
 
@@ -316,6 +328,23 @@ mod tests {
         let two = one.extend(&mut mid).unwrap();
         assert!(two.byte_len() > one.byte_len());
         assert_eq!(two.byte_len(), one.byte_len() * 2);
+    }
+
+    #[test]
+    fn extension_shares_inherited_links() {
+        // Extending must bump refcounts on the inherited links, never
+        // deep-copy them.
+        let mut leader = kp(1);
+        let mut mid = kp(2);
+        let mut outer = kp(3);
+        let s = Secret::from_bytes([9u8; 32]);
+        let base = SigChain::sign_secret(&mut leader, &s).unwrap();
+        let two = base.extend(&mut mid).unwrap();
+        let three = two.extend(&mut outer).unwrap();
+        assert!(Arc::ptr_eq(&base.links()[0], &two.links()[0]));
+        for (i, link) in two.links().iter().enumerate() {
+            assert!(Arc::ptr_eq(link, &three.links()[i]), "link {i} deep-copied");
+        }
     }
 
     #[test]
