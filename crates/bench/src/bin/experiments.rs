@@ -23,7 +23,9 @@
 //! throughput on churn books of 10²–10⁵ offers, with a 10⁶ smoke), and E21
 //! for the identity registry + crypto hot path (rolling-book swaps/sec:
 //! fresh per-wave keygen vs pool-minted identities vs the amortized
-//! registry, with keygen-overlap attribution).
+//! registry, with keygen-overlap attribution), and E22 for the journaled
+//! transaction hot path (undo-log vs clone-the-world rollback tx/sec as
+//! the asset registry scales 10²–10⁵).
 
 use std::collections::BTreeSet;
 
@@ -71,6 +73,7 @@ fn main() {
         ("e19", e19_rolling_book_worker_pool),
         ("e20", e20_incremental_clearing_index),
         ("e21", e21_identity_registry_throughput),
+        ("e22", e22_journaled_tx_hot_path),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -2108,5 +2111,300 @@ fn e21_identity_registry_throughput() -> bool {
         }
     }
     println!("    registry ≥ 5× fresh keygen, overlap attributed, traces thread-invariant: {ok}");
+    ok
+}
+
+/// E22 (journaled transaction hot path): host tx/sec on one chain as the
+/// asset registry scales 10² → 10⁵, under a fixed churn workload of
+/// succeeding escrow toggles, failing calls (the rollback path), and
+/// fresh contract publishes. `Snapshot` mode clones the whole registry
+/// before every contract transaction, so its throughput collapses
+/// linearly in registry size; `Journal` records an undo log of the ops a
+/// transaction actually performs, so its per-tx cost is O(delta) and its
+/// tx/sec stays flat across four decades. Gates: both modes replay the
+/// same 240-op workload to byte-identical chain fingerprints (head block
+/// hash, counters, storage) at every size; `Journal` tx/sec spreads ≤
+/// 1.5× across sizes; and at 10⁴ assets `Journal` sustains ≥ 5× the
+/// `Snapshot` rate. Rates are host-dependent; the fingerprint pin and
+/// both gates are not. Results land in `target/BENCH_E22.json`.
+fn e22_journaled_tx_hot_path() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_chain::{
+        AssetDescriptor, AssetId, Blockchain, ContractId, ContractLogic, ExecCtx, Owner,
+        RollbackMode,
+    };
+    use swap_crypto::{Address, Digest32};
+
+    /// A non-terminating escrow contract: `Toggle` moves its asset
+    /// between the home party and escrow (always succeeds), `Fail`
+    /// rejects before touching anything (the pure rollback path).
+    #[derive(Debug, Clone)]
+    struct Churn {
+        asset: AssetId,
+        home: Address,
+        held: bool,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum ChurnCall {
+        Toggle,
+        Fail,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct ChurnError;
+    impl std::fmt::Display for ChurnError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "churn rejected")
+        }
+    }
+    impl std::error::Error for ChurnError {}
+
+    impl ContractLogic for Churn {
+        type Call = ChurnCall;
+        type Event = ();
+        type Error = ChurnError;
+
+        fn on_publish(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Vec<()>, ChurnError> {
+            ctx.assets
+                .transfer_from(self.asset, Owner::Party(ctx.caller), Owner::Escrow(ctx.this))
+                .map_err(|_| ChurnError)?;
+            self.held = true;
+            Ok(vec![])
+        }
+
+        fn apply(&mut self, call: ChurnCall, ctx: &mut ExecCtx<'_>) -> Result<Vec<()>, ChurnError> {
+            match call {
+                ChurnCall::Toggle => {
+                    let (from, to) = if self.held {
+                        (Owner::Escrow(ctx.this), Owner::Party(self.home))
+                    } else {
+                        (Owner::Party(self.home), Owner::Escrow(ctx.this))
+                    };
+                    ctx.assets.transfer_from(self.asset, from, to).map_err(|_| ChurnError)?;
+                    self.held = !self.held;
+                    Ok(vec![])
+                }
+                ChurnCall::Fail => Err(ChurnError),
+            }
+        }
+
+        fn storage_bytes(&self) -> usize {
+            8 + 32 + 1
+        }
+
+        fn is_terminated(&self) -> bool {
+            false
+        }
+    }
+
+    println!("E22 Journaled tx hot path: tx/sec vs registry size\n");
+    let widths = [9, 10, 7, 10, 9, 9, 10, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            ["assets", "mode", "ops", "tx/s", "executed", "rolled", "ms", "ok"]
+                .map(String::from)
+                .as_ref(),
+            &widths
+        )
+    );
+
+    let home = Address::from_digest(Digest32([0xE2; 32]));
+
+    // A chain whose registry holds `assets` pre-minted assets, with one
+    // churn contract already published on the first of them.
+    let rigged = |mode: RollbackMode, assets: usize| -> (Blockchain<Churn>, ContractId) {
+        let mut chain = Blockchain::new("e22", SimTime::ZERO);
+        chain.set_rollback_mode(mode);
+        let mut first = None;
+        for _ in 0..assets {
+            let id = chain.mint_asset(AssetDescriptor::unique("t"), home, SimTime::ZERO);
+            first.get_or_insert(id);
+        }
+        let asset = first.expect("at least one asset");
+        let id = chain
+            .publish_contract(Churn { asset, home, held: false }, home, SimTime::from_ticks(1))
+            .expect("publishes");
+        (chain, id)
+    };
+
+    // The fixed churn workload: per 8 ops, six succeeding toggles, one
+    // failing call (a rollback), one fresh publish (mint + escrow).
+    let churn = |chain: &mut Blockchain<Churn>, id: ContractId, ops: u64| {
+        let mut tick = 10u64;
+        for i in 0..ops {
+            tick += 1;
+            let now = SimTime::from_ticks(tick);
+            match i % 8 {
+                3 => {
+                    chain
+                        .call_contract(id, home, ChurnCall::Fail, now, 16)
+                        .expect_err("churn fail rejects");
+                }
+                7 => {
+                    let asset = chain.mint_asset(AssetDescriptor::unique("c"), home, now);
+                    chain
+                        .publish_contract(Churn { asset, home, held: false }, home, now)
+                        .expect("fresh churn publishes");
+                }
+                _ => {
+                    chain
+                        .call_contract(id, home, ChurnCall::Toggle, now, 16)
+                        .map(<[_]>::len)
+                        .expect("toggle succeeds");
+                }
+            }
+        }
+    };
+
+    // Everything a mode choice must NOT change: the sealed head, every
+    // counter, the event count, and the storage attribution.
+    let fingerprint = |chain: &Blockchain<Churn>| -> String {
+        format!(
+            "{:?}|h{}|x{}|r{}|e{}|{:?}",
+            chain.blocks().last().expect("chain is sealed").hash(),
+            chain.height(),
+            chain.txs_executed(),
+            chain.txs_rolled_back(),
+            chain.all_events().len(),
+            chain.storage_report(),
+        )
+    };
+
+    struct Row {
+        assets: usize,
+        mode: RollbackMode,
+        ops: u64,
+        elapsed_ms: f64,
+        tx_per_sec: f64,
+        executed: u64,
+        rolled_back: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ok = true;
+    let mut modes_agree = true;
+
+    // `Journal` runs a fixed large op count everywhere (its cost is flat,
+    // so this stays fast); `Snapshot` ops shrink with registry size to
+    // keep the per-tx registry clone from dominating the wall clock.
+    // Rates are per-tx, so the speedup gate is op-count-fair.
+    const PIN_OPS: u64 = 240;
+    const JOURNAL_OPS: u64 = 20_000;
+    for (assets, snapshot_ops) in
+        [(100usize, 5_000u64), (1_000, 2_000), (10_000, 500), (100_000, 80)]
+    {
+        // Cross-mode pin first: the identical 240-op workload must leave
+        // byte-identical chains.
+        let pins: Vec<String> = [RollbackMode::Journal, RollbackMode::Snapshot]
+            .into_iter()
+            .map(|mode| {
+                let (mut chain, id) = rigged(mode, assets);
+                churn(&mut chain, id, PIN_OPS);
+                fingerprint(&chain)
+            })
+            .collect();
+        let agree = pins[0] == pins[1];
+        modes_agree &= agree;
+
+        for (mode, ops) in
+            [(RollbackMode::Journal, JOURNAL_OPS), (RollbackMode::Snapshot, snapshot_ops)]
+        {
+            let (mut chain, id) = rigged(mode, assets);
+            churn(&mut chain, id, 256); // warm caches outside the window
+            let (executed0, rolled0) = (chain.txs_executed(), chain.txs_rolled_back());
+            let clock = Instant::now();
+            churn(&mut chain, id, ops);
+            let secs = clock.elapsed().as_secs_f64().max(1e-9);
+            let row = Row {
+                assets,
+                mode,
+                ops,
+                elapsed_ms: secs * 1e3,
+                tx_per_sec: ops as f64 / secs,
+                executed: chain.txs_executed() - executed0,
+                rolled_back: chain.txs_rolled_back() - rolled0,
+            };
+            ok &= agree;
+            println!(
+                "    {}",
+                fmt_row(
+                    &[
+                        row.assets.to_string(),
+                        format!("{:?}", row.mode),
+                        row.ops.to_string(),
+                        format!("{:.0}", row.tx_per_sec),
+                        row.executed.to_string(),
+                        row.rolled_back.to_string(),
+                        format!("{:.2}", row.elapsed_ms),
+                        if agree { "✓".into() } else { "✗".into() },
+                    ],
+                    &widths
+                )
+            );
+            rows.push(row);
+        }
+    }
+
+    let rate = |mode: RollbackMode, assets: usize| {
+        rows.iter().find(|r| r.mode == mode && r.assets == assets).map_or(0.0, |r| r.tx_per_sec)
+    };
+    let speedup =
+        rate(RollbackMode::Journal, 10_000) / rate(RollbackMode::Snapshot, 10_000).max(1e-12);
+    let speedup_gate = speedup >= 5.0;
+    ok &= speedup_gate;
+    println!(
+        "\n    journal vs snapshot tx/s at 10^4 assets: {speedup:.0}x (target >= 5x): {}",
+        if speedup_gate { "✓" } else { "✗" }
+    );
+
+    let journal_rates: Vec<f64> =
+        rows.iter().filter(|r| r.mode == RollbackMode::Journal).map(|r| r.tx_per_sec).collect();
+    let (min, max) =
+        journal_rates.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+    let spread = max / min.max(1e-12);
+    let flat_gate = spread <= 1.5;
+    ok &= flat_gate;
+    println!(
+        "    journal tx/s spread across 10^2..10^5: {spread:.2}x (target <= 1.5x): {}",
+        if flat_gate { "✓" } else { "✗" }
+    );
+    println!("    chain fingerprints byte-identical across modes at every size: {modes_agree}");
+    ok &= modes_agree;
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e22")
+            .field_str("name", "journaled tx hot path: tx/sec vs registry size")
+            .field_u64("pin_ops", PIN_OPS)
+            .field_f64("speedup_at_1e4", speedup)
+            .field_f64("journal_spread", spread)
+            .field_bool("modes_agree", modes_agree)
+            .field_usize(
+                "host_parallelism",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("assets", row.assets)
+                            .field_str("mode", &format!("{:?}", row.mode))
+                            .field_u64("ops", row.ops)
+                            .field_f64("elapsed_ms", row.elapsed_ms)
+                            .field_f64("tx_per_sec", row.tx_per_sec)
+                            .field_u64("executed", row.executed)
+                            .field_u64("rolled_back", row.rolled_back);
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E22", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E22.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    journal flat in registry size, modes byte-identical, >=5x at 10^4: {ok}");
     ok
 }

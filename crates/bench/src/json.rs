@@ -209,6 +209,8 @@ pub fn exchange_report_fields(o: &mut JsonObject, r: &ExchangeReport) {
             })
             .field_u64("executing_peak", r.executing_peak)
             .field_u64("executing_resident_ticks", r.executing_resident_ticks)
+            .field_u64("tx_executed", r.tx_executed)
+            .field_u64("tx_rolled_back", r.tx_rolled_back)
             .field_object("storage", |s| storage_fields(s, &r.storage))
             .field_array("swaps", |arr| {
                 for swap in &r.swaps {

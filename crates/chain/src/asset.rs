@@ -102,6 +102,64 @@ impl fmt::Display for AssetError {
 
 impl std::error::Error for AssetError {}
 
+/// One reversible ownership mutation, recorded by the registry's
+/// [`UndoJournal`] while a journaled transaction executes. Each variant
+/// captures exactly the *previous* owner, so popping ops in reverse order
+/// restores the pre-transaction ledger without cloning it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalOp {
+    /// A party's asset moved into escrow; revert hands it back to `owner`.
+    Escrow {
+        /// The asset that moved.
+        asset: AssetId,
+        /// The party that owned it before the escrow.
+        owner: Address,
+    },
+    /// An escrowed asset was released (claimed or refunded); revert returns
+    /// it to `escrow`.
+    Release {
+        /// The asset that moved.
+        asset: AssetId,
+        /// The contract that held it before the release.
+        escrow: ContractId,
+    },
+    /// A direct party-to-party move; revert hands it back to `owner`.
+    Transfer {
+        /// The asset that moved.
+        asset: AssetId,
+        /// The party that owned it before the transfer.
+        owner: Address,
+    },
+}
+
+impl JournalOp {
+    /// The owner this op's revert restores.
+    fn previous_owner(self) -> (AssetId, Owner) {
+        match self {
+            JournalOp::Escrow { asset, owner } => (asset, Owner::Party(owner)),
+            JournalOp::Release { asset, escrow } => (asset, Owner::Escrow(escrow)),
+            JournalOp::Transfer { asset, owner } => (asset, Owner::Party(owner)),
+        }
+    }
+}
+
+/// The registry's undo log: a reusable `Vec` of [`JournalOp`]s that records
+/// every ownership change made between [`AssetRegistry::begin_journal`] and
+/// the matching commit/rollback.
+///
+/// This is the allocation-free half of `RollbackMode::Journal` (see
+/// `swap_chain::Blockchain`): a transaction that succeeds pays one
+/// `Vec::push` per transfer into a buffer whose capacity is reused across
+/// transactions, and a transaction that fails pays one pop-and-restore per
+/// transfer — in both cases O(ops in the transaction), independent of how
+/// many assets the registry holds. The journal is always empty outside a
+/// transaction, so registry equality and cloning are unaffected by it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UndoJournal {
+    ops: Vec<JournalOp>,
+    active: bool,
+}
+
 /// The per-chain asset ledger: mints assets and tracks every ownership
 /// change.
 ///
@@ -123,6 +181,7 @@ impl std::error::Error for AssetError {}
 pub struct AssetRegistry {
     records: BTreeMap<AssetId, AssetRecord>,
     next_id: u64,
+    journal: UndoJournal,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -138,11 +197,55 @@ impl AssetRegistry {
     }
 
     /// Mints a new asset owned by `owner`, returning its id.
+    ///
+    /// Minting is a chain-level faucet operation, never performed inside a
+    /// contract hook, so it is not journaled (and must not run while a
+    /// journal is open — contracts only get [`AssetRegistry::transfer_from`]
+    /// semantics).
     pub fn mint(&mut self, descriptor: AssetDescriptor, owner: Address) -> AssetId {
+        debug_assert!(!self.journal.active, "mint inside a journaled transaction");
         let id = AssetId::new(self.next_id);
         self.next_id += 1;
         self.records.insert(id, AssetRecord { descriptor, owner: Owner::Party(owner) });
         id
+    }
+
+    /// Opens the undo journal: every subsequent ownership change is
+    /// recorded until [`commit_journal`](AssetRegistry::commit_journal) or
+    /// [`rollback_journal`](AssetRegistry::rollback_journal) closes it.
+    /// Journals do not nest.
+    pub fn begin_journal(&mut self) {
+        debug_assert!(!self.journal.active, "journal already open");
+        debug_assert!(self.journal.ops.is_empty(), "journal not drained");
+        self.journal.active = true;
+    }
+
+    /// Closes the journal keeping every change, returning how many
+    /// ownership changes the transaction made. The op buffer is cleared but
+    /// keeps its capacity, so steady-state transactions allocate nothing.
+    pub fn commit_journal(&mut self) -> usize {
+        debug_assert!(self.journal.active, "no journal open");
+        let ops = self.journal.ops.len();
+        self.journal.ops.clear();
+        self.journal.active = false;
+        ops
+    }
+
+    /// Closes the journal reverting every recorded change, newest first,
+    /// restoring the registry to its state at
+    /// [`begin_journal`](AssetRegistry::begin_journal). Returns how many
+    /// ops were reverted.
+    pub fn rollback_journal(&mut self) -> usize {
+        debug_assert!(self.journal.active, "no journal open");
+        let mut reverted = 0;
+        while let Some(op) = self.journal.ops.pop() {
+            let (asset, previous) = op.previous_owner();
+            let record = self.records.get_mut(&asset).expect("journaled asset exists");
+            record.owner = previous;
+            reverted += 1;
+        }
+        self.journal.active = false;
+        reverted
     }
 
     /// The current owner of `asset`, if it exists.
@@ -172,7 +275,17 @@ impl AssetRegistry {
         if record.owner != expected_owner {
             return Err(AssetError::NotOwner { asset, actual: record.owner });
         }
+        let previous = record.owner;
         record.owner = new_owner;
+        if self.journal.active {
+            self.journal.ops.push(match previous {
+                Owner::Party(owner) => match new_owner {
+                    Owner::Escrow(_) => JournalOp::Escrow { asset, owner },
+                    Owner::Party(_) => JournalOp::Transfer { asset, owner },
+                },
+                Owner::Escrow(escrow) => JournalOp::Release { asset, escrow },
+            });
+        }
         Ok(())
     }
 
@@ -276,6 +389,51 @@ mod tests {
         assert_eq!(reg.storage_bytes(), 0);
         reg.mint(AssetDescriptor::unique("title"), addr(1));
         assert!(reg.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn journal_rollback_restores_every_owner() {
+        let mut reg = AssetRegistry::new();
+        let car = reg.mint(AssetDescriptor::unique("car"), addr(1));
+        let coin = reg.mint(AssetDescriptor::new("coin", 5), addr(2));
+        let contract = ContractId::new(3);
+        let before = reg.clone();
+
+        reg.begin_journal();
+        reg.transfer_from(car, Owner::Party(addr(1)), Owner::Escrow(contract)).unwrap();
+        reg.transfer_from(coin, Owner::Party(addr(2)), Owner::Party(addr(3))).unwrap();
+        reg.transfer_from(car, Owner::Escrow(contract), Owner::Party(addr(9))).unwrap();
+        assert_eq!(reg.owner(car), Some(Owner::Party(addr(9))));
+        assert_eq!(reg.rollback_journal(), 3);
+
+        assert_eq!(reg, before, "rollback must restore the exact pre-transaction registry");
+        assert_eq!(reg.owner(car), Some(Owner::Party(addr(1))));
+        assert_eq!(reg.owner(coin), Some(Owner::Party(addr(2))));
+    }
+
+    #[test]
+    fn journal_commit_keeps_changes_and_drains() {
+        let mut reg = AssetRegistry::new();
+        let car = reg.mint(AssetDescriptor::unique("car"), addr(1));
+        reg.begin_journal();
+        reg.transfer_from(car, Owner::Party(addr(1)), Owner::Escrow(ContractId::new(0))).unwrap();
+        assert_eq!(reg.commit_journal(), 1);
+        assert_eq!(reg.owner(car), Some(Owner::Escrow(ContractId::new(0))));
+        // The drained journal leaves the registry equal to an unjournaled
+        // twin — mode-agnostic equality is what pins Journal vs Snapshot.
+        let mut twin = AssetRegistry::new();
+        let t = twin.mint(AssetDescriptor::unique("car"), addr(1));
+        twin.transfer_from(t, Owner::Party(addr(1)), Owner::Escrow(ContractId::new(0))).unwrap();
+        assert_eq!(reg, twin);
+    }
+
+    #[test]
+    fn journal_inactive_records_nothing() {
+        let mut reg = AssetRegistry::new();
+        let car = reg.mint(AssetDescriptor::unique("car"), addr(1));
+        reg.transfer_from(car, Owner::Party(addr(1)), Owner::Party(addr(2))).unwrap();
+        reg.begin_journal();
+        assert_eq!(reg.commit_journal(), 0, "pre-journal transfers are not recorded");
     }
 
     #[test]

@@ -12,6 +12,90 @@ use crate::asset::{AssetDescriptor, AssetError, AssetId, AssetRegistry, Owner};
 use crate::block::Block;
 use crate::contract::{ContractId, ContractLogic, ExecCtx};
 
+/// How a chain restores state when a transaction's contract hook fails.
+///
+/// Both modes are externally indistinguishable — same ledgers, same events,
+/// same reports, pinned byte-identical by proptests — they differ only in
+/// what a transaction *costs*:
+///
+/// * [`Journal`](RollbackMode::Journal) (default): the hot path. The
+///   [`AssetRegistry`] records each ownership change into a reusable undo
+///   log ([`crate::asset::UndoJournal`]) and a failing hook pops-and-reverts
+///   it — O(ops in the transaction), independent of registry size. Contract
+///   state needs no restore because [`ContractLogic`] hooks are
+///   validate-then-commit (reject before mutating `self`).
+/// * [`Snapshot`](RollbackMode::Snapshot): the executable reference. Clones
+///   the contract state and the whole asset registry up front and swaps the
+///   clones back on failure — O(registry) per transaction, kept as the
+///   obviously-correct baseline the journal is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RollbackMode {
+    /// Undo-journal rollback: record reversible ops, revert on failure.
+    #[default]
+    Journal,
+    /// Clone-the-world rollback: snapshot up front, restore on failure.
+    Snapshot,
+}
+
+/// Typed seal payload for one transaction — what [`Blockchain`] digests
+/// into the sealed block in place of the old per-transaction `format!`
+/// string. Encoding goes through a per-chain scratch buffer, so sealing a
+/// transaction allocates nothing in steady state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxTag {
+    /// An asset was minted to a party.
+    Mint {
+        /// The minted asset.
+        asset: AssetId,
+        /// The initial owner.
+        owner: Address,
+    },
+    /// A direct party-to-party transfer.
+    Transfer {
+        /// The transferred asset.
+        asset: AssetId,
+        /// The receiving party.
+        to: Address,
+    },
+    /// A contract was published.
+    Publish {
+        /// The new contract's id.
+        contract: ContractId,
+    },
+    /// A contract was called.
+    Call {
+        /// The called contract.
+        contract: ContractId,
+    },
+}
+
+impl TxTag {
+    /// Serializes the tag into `buf`: one discriminant byte, then the
+    /// fields (little-endian ids, raw 32-byte addresses).
+    fn encode(self, buf: &mut Vec<u8>) {
+        match self {
+            TxTag::Mint { asset, owner } => {
+                buf.push(0);
+                buf.extend_from_slice(&asset.raw().to_le_bytes());
+                buf.extend_from_slice(&owner.digest().0);
+            }
+            TxTag::Transfer { asset, to } => {
+                buf.push(1);
+                buf.extend_from_slice(&asset.raw().to_le_bytes());
+                buf.extend_from_slice(&to.digest().0);
+            }
+            TxTag::Publish { contract } => {
+                buf.push(2);
+                buf.extend_from_slice(&contract.raw().to_le_bytes());
+            }
+            TxTag::Call { contract } => {
+                buf.push(3);
+                buf.extend_from_slice(&contract.raw().to_le_bytes());
+            }
+        }
+    }
+}
+
 /// Why a transaction was rejected. Rejected transactions never reach the
 /// ledger — like a mempool rejection, they leave no on-chain trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,10 +188,11 @@ struct ContractEntry<C> {
 
 /// A single simulated blockchain hosting contracts of logic type `C`.
 ///
-/// Every mutation is a transaction: it executes atomically (state snapshots
-/// roll back on failure), lands in its own sealed block, and is publicly
-/// readable afterwards. Contracts are irrevocable once published — there is
-/// deliberately no remove/replace API, matching §2.2.
+/// Every mutation is a transaction: it executes atomically (a failing hook
+/// rolls state back — see [`RollbackMode`] for how), lands in its own
+/// sealed block, and is publicly readable afterwards. Contracts are
+/// irrevocable once published — there is deliberately no remove/replace
+/// API, matching §2.2.
 ///
 /// # Example
 ///
@@ -124,10 +209,14 @@ pub struct Blockchain<C: ContractLogic> {
     tx_bytes: usize,
     version: u64,
     last_mutation_at: SimTime,
+    rollback: RollbackMode,
+    txs_rolled_back: u64,
+    scratch: Vec<u8>,
 }
 
 impl<C: ContractLogic> Blockchain<C> {
-    /// Creates a chain with a genesis block at `genesis_time`.
+    /// Creates a chain with a genesis block at `genesis_time`, rolling back
+    /// failed transactions in the default [`RollbackMode::Journal`].
     pub fn new(name: impl Into<String>, genesis_time: SimTime) -> Self {
         Blockchain {
             name: name.into(),
@@ -139,7 +228,36 @@ impl<C: ContractLogic> Blockchain<C> {
             tx_bytes: 0,
             version: 0,
             last_mutation_at: genesis_time,
+            rollback: RollbackMode::default(),
+            txs_rolled_back: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Switches how failed transactions roll back. Safe at any point — the
+    /// modes are externally indistinguishable — but typically set once
+    /// right after creation.
+    pub fn set_rollback_mode(&mut self, mode: RollbackMode) {
+        self.rollback = mode;
+    }
+
+    /// The active [`RollbackMode`].
+    pub fn rollback_mode(&self) -> RollbackMode {
+        self.rollback
+    }
+
+    /// Number of sealed (successful) transactions — an alias of
+    /// [`Blockchain::version`] under its metering name.
+    pub fn txs_executed(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of transactions whose contract hook failed after starting to
+    /// execute, forcing a rollback. Mempool-style rejections (unknown or
+    /// terminated contract, direct transfer by a non-owner) never start
+    /// executing and are not counted.
+    pub fn txs_rolled_back(&self) -> u64 {
+        self.txs_rolled_back
     }
 
     /// The chain's display name.
@@ -182,9 +300,8 @@ impl<C: ContractLogic> Blockchain<C> {
         owner: Address,
         now: SimTime,
     ) -> AssetId {
-        let payload = format!("mint:{}:{}", descriptor.kind, owner);
         let id = self.assets.mint(descriptor, owner);
-        self.seal_tx(now, payload.as_bytes(), 48);
+        self.seal_tag(now, TxTag::Mint { asset: id, owner }, 48);
         id
     }
 
@@ -201,12 +318,14 @@ impl<C: ContractLogic> Blockchain<C> {
         now: SimTime,
     ) -> Result<(), TxError<C::Error>> {
         self.assets.transfer_from(asset, Owner::Party(caller), Owner::Party(to))?;
-        self.seal_tx(now, format!("xfer:{asset}:{to}").as_bytes(), 48);
+        self.seal_tag(now, TxTag::Transfer { asset, to }, 48);
         Ok(())
     }
 
     /// Publishes a contract. Its `on_publish` hook runs atomically (escrow
-    /// typically happens there); failure aborts publication with no trace.
+    /// typically happens there); failure aborts publication with no trace —
+    /// no id is consumed, no block seals, no event lands in the log (see
+    /// the `failed_publish_*` regression tests).
     ///
     /// # Errors
     ///
@@ -218,9 +337,32 @@ impl<C: ContractLogic> Blockchain<C> {
         now: SimTime,
     ) -> Result<ContractId, TxError<C::Error>> {
         let id = ContractId::new(self.next_contract);
-        let assets_snapshot = self.assets.clone();
-        let mut ctx = ExecCtx { caller: publisher, now, this: id, assets: &mut self.assets };
-        match contract.on_publish(&mut ctx) {
+        let result = match self.rollback {
+            RollbackMode::Journal => {
+                self.assets.begin_journal();
+                let mut ctx =
+                    ExecCtx { caller: publisher, now, this: id, assets: &mut self.assets };
+                let result = contract.on_publish(&mut ctx);
+                match &result {
+                    Ok(_) => self.assets.commit_journal(),
+                    // The not-yet-inserted contract value is simply dropped;
+                    // only its asset ops need reverting.
+                    Err(_) => self.assets.rollback_journal(),
+                };
+                result
+            }
+            RollbackMode::Snapshot => {
+                let assets_snapshot = self.assets.clone();
+                let mut ctx =
+                    ExecCtx { caller: publisher, now, this: id, assets: &mut self.assets };
+                let result = contract.on_publish(&mut ctx);
+                if result.is_err() {
+                    self.assets = assets_snapshot;
+                }
+                result
+            }
+        };
+        match result {
             Ok(events) => {
                 self.next_contract += 1;
                 let storage = contract.storage_bytes();
@@ -229,11 +371,11 @@ impl<C: ContractLogic> Blockchain<C> {
                 for event in events {
                     self.events.push(ChainEvent { time: now, contract: id, event });
                 }
-                self.seal_tx(now, format!("publish:{id}").as_bytes(), storage);
+                self.seal_tag(now, TxTag::Publish { contract: id }, storage);
                 Ok(id)
             }
             Err(e) => {
-                self.assets = assets_snapshot;
+                self.txs_rolled_back += 1;
                 Err(TxError::Contract(e))
             }
         }
@@ -241,6 +383,10 @@ impl<C: ContractLogic> Blockchain<C> {
 
     /// Calls a contract. Execution is atomic: on error, contract state and
     /// asset registry roll back and nothing is recorded.
+    ///
+    /// The emitted events are moved into the chain's log and returned as a
+    /// borrowed slice of that log — observers poll the same entries through
+    /// [`Blockchain::events_since`], so nothing is cloned per caller.
     ///
     /// `wire_bytes` is the size of the call as transmitted — hashkey calls
     /// carry multi-kilobyte signature chains, and the communication
@@ -256,26 +402,50 @@ impl<C: ContractLogic> Blockchain<C> {
         call: C::Call,
         now: SimTime,
         wire_bytes: usize,
-    ) -> Result<Vec<C::Event>, TxError<C::Error>> {
+    ) -> Result<&[ChainEvent<C::Event>], TxError<C::Error>> {
+        let rollback = self.rollback;
         let entry = self.contracts.get_mut(&id).ok_or(TxError::UnknownContract(id))?;
         if entry.state.is_terminated() {
             return Err(TxError::ContractTerminated(id));
         }
-        let state_snapshot = entry.state.clone();
-        let assets_snapshot = self.assets.clone();
-        let mut ctx = ExecCtx { caller, now, this: id, assets: &mut self.assets };
-        match entry.state.apply(call, &mut ctx) {
-            Ok(events) => {
-                for event in &events {
-                    self.events.push(ChainEvent { time: now, contract: id, event: event.clone() });
+        let result = match rollback {
+            RollbackMode::Journal => {
+                // Contract state needs no snapshot: `ContractLogic::apply`
+                // is validate-then-commit (rejects before mutating), and
+                // any asset op a failing hook did make is undone by the
+                // journal.
+                self.assets.begin_journal();
+                let mut ctx = ExecCtx { caller, now, this: id, assets: &mut self.assets };
+                let result = entry.state.apply(call, &mut ctx);
+                match &result {
+                    Ok(_) => self.assets.commit_journal(),
+                    Err(_) => self.assets.rollback_journal(),
+                };
+                result
+            }
+            RollbackMode::Snapshot => {
+                let state_snapshot = entry.state.clone();
+                let assets_snapshot = self.assets.clone();
+                let mut ctx = ExecCtx { caller, now, this: id, assets: &mut self.assets };
+                let result = entry.state.apply(call, &mut ctx);
+                if result.is_err() {
+                    entry.state = state_snapshot;
+                    self.assets = assets_snapshot;
                 }
-                self.seal_tx(now, format!("call:{id}").as_bytes(), wire_bytes);
-                Ok(events)
+                result
+            }
+        };
+        match result {
+            Ok(events) => {
+                let logged_from = self.events.len();
+                for event in events {
+                    self.events.push(ChainEvent { time: now, contract: id, event });
+                }
+                self.seal_tag(now, TxTag::Call { contract: id }, wire_bytes);
+                Ok(&self.events[logged_from..])
             }
             Err(e) => {
-                let entry = self.contracts.get_mut(&id).expect("entry still present");
-                entry.state = state_snapshot;
-                self.assets = assets_snapshot;
+                self.txs_rolled_back += 1;
                 Err(TxError::Contract(e))
             }
         }
@@ -350,6 +520,17 @@ impl<C: ContractLogic> Blockchain<C> {
             prev = Some(block);
         }
         true
+    }
+
+    /// Seals one transaction tagged by `tag`, serializing it through the
+    /// chain's scratch buffer — no per-transaction allocation once the
+    /// buffer has grown to the largest tag (41 bytes).
+    fn seal_tag(&mut self, now: SimTime, tag: TxTag, wire_bytes: usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        tag.encode(&mut scratch);
+        self.seal_tx(now, &scratch, wire_bytes);
+        self.scratch = scratch;
     }
 
     /// Seals one transaction into its own block and meters its bytes.
@@ -483,6 +664,61 @@ mod tests {
     }
 
     #[test]
+    fn failed_publish_bumps_no_id_seals_no_tx_leaves_no_events() {
+        // Regression: a failing `on_publish` must not consume a contract
+        // id, seal a block, bump the version, count as executed, or leave
+        // any event in the log — in either rollback mode.
+        for mode in [RollbackMode::Journal, RollbackMode::Snapshot] {
+            let (mut chain, asset) = setup();
+            chain.set_rollback_mode(mode);
+            assert_eq!(chain.rollback_mode(), mode);
+            let height = chain.height();
+            let version = chain.version();
+            let bad = PinLock { asset, beneficiary: addr(2), pin: 1, done: false };
+            chain.publish_contract(bad, addr(9), SimTime::from_ticks(1)).unwrap_err();
+            assert_eq!(chain.height(), height, "{mode:?}: no block sealed");
+            assert_eq!(chain.version(), version, "{mode:?}: no version bump");
+            assert_eq!(chain.txs_executed(), version, "{mode:?}: not executed");
+            assert_eq!(chain.txs_rolled_back(), 1, "{mode:?}: rollback counted");
+            assert!(chain.all_events().is_empty(), "{mode:?}: zero event trace");
+            // The failed publish consumed no id: the next publish gets the
+            // id the failed one would have had.
+            let good = PinLock { asset, beneficiary: addr(2), pin: 1, done: false };
+            let id = chain.publish_contract(good, addr(1), SimTime::from_ticks(2)).unwrap();
+            assert_eq!(id, ContractId::new(0), "{mode:?}: id not bumped by failure");
+        }
+    }
+
+    #[test]
+    fn rollback_modes_agree_on_mixed_stream() {
+        // The same succeed/fail publish+call stream must leave byte-equal
+        // chains in both modes.
+        let drive = |mode: RollbackMode| {
+            let (mut chain, asset) = setup();
+            chain.set_rollback_mode(mode);
+            let bad = PinLock { asset, beneficiary: addr(2), pin: 7, done: false };
+            chain.publish_contract(bad, addr(9), SimTime::from_ticks(1)).unwrap_err();
+            let lock = PinLock { asset, beneficiary: addr(2), pin: 7, done: false };
+            let id = chain.publish_contract(lock, addr(1), SimTime::from_ticks(2)).unwrap();
+            chain
+                .call_contract(id, addr(2), PinCall::Open { pin: 0 }, SimTime::from_ticks(3), 16)
+                .unwrap_err();
+            chain
+                .call_contract(id, addr(2), PinCall::Open { pin: 7 }, SimTime::from_ticks(4), 16)
+                .unwrap();
+            (
+                format!("{:?}", chain.assets()),
+                format!("{:?}", chain.all_events()),
+                format!("{:?}", chain.storage_report()),
+                chain.txs_executed(),
+                chain.txs_rolled_back(),
+                chain.blocks().last().unwrap().hash(),
+            )
+        };
+        assert_eq!(drive(RollbackMode::Journal), drive(RollbackMode::Snapshot));
+    }
+
+    #[test]
     fn correct_call_releases_escrow() {
         let (mut chain, asset) = setup();
         let lock = PinLock { asset, beneficiary: addr(2), pin: 42, done: false };
@@ -490,7 +726,9 @@ mod tests {
         let events = chain
             .call_contract(id, addr(2), PinCall::Open { pin: 42 }, SimTime::from_ticks(2), 16)
             .unwrap();
-        assert_eq!(events, vec![PinEvent::Released]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event, PinEvent::Released);
+        assert_eq!(events[0].contract, id);
         assert_eq!(chain.assets().owner(asset), Some(Owner::Party(addr(2))));
     }
 

@@ -41,8 +41,12 @@ impl fmt::Display for ContractId {
 /// Everything a contract may touch while executing: who called it, when,
 /// its own identity, and the chain's asset registry (for escrow moves).
 ///
-/// The ledger snapshots state before execution, so a failed call leaves no
-/// trace — contract authors can bail with an error at any point.
+/// Execution is atomic either way the ledger is configured (see
+/// [`crate::RollbackMode`]): a failed call leaves no trace. Asset moves
+/// made before the failure are undone by the registry's undo journal (or
+/// a registry snapshot, in the reference mode), so contract authors can
+/// bail with an error at any point — but must follow the
+/// validate-then-commit rule on their *own* state (see [`ContractLogic`]).
 #[derive(Debug)]
 pub struct ExecCtx<'a> {
     /// The transaction sender.
@@ -63,6 +67,17 @@ pub struct ExecCtx<'a> {
 /// the sense the paper needs: replaying the transaction log always
 /// reproduces the same state.
 ///
+/// # Validate, then commit
+///
+/// Hooks must perform **all** validation (and return any error) *before*
+/// mutating `self`: first check every precondition, then perform asset
+/// moves and state writes that can no longer fail. This is what lets the
+/// default [`crate::RollbackMode::Journal`] skip cloning contract state —
+/// a hook that errors is guaranteed not to have touched `self`, and any
+/// asset moves it did make are reverted by the registry's undo journal.
+/// [`crate::RollbackMode::Snapshot`] does not rely on the rule and serves
+/// as the executable reference the journal path is pinned against.
+///
 /// [`Blockchain`]: crate::Blockchain
 pub trait ContractLogic: Clone + fmt::Debug {
     /// The call (method + arguments) type.
@@ -74,6 +89,7 @@ pub trait ContractLogic: Clone + fmt::Debug {
 
     /// Runs when the contract is published. Typically escrows the asset the
     /// contract controls. Returning an error aborts publication entirely.
+    /// Must validate before mutating (see the trait-level rule).
     ///
     /// # Errors
     ///
@@ -81,7 +97,8 @@ pub trait ContractLogic: Clone + fmt::Debug {
     fn on_publish(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Vec<Self::Event>, Self::Error>;
 
     /// Applies a call. State changes and asset moves are atomic: if this
-    /// returns an error the ledger restores the pre-call snapshot.
+    /// returns an error the ledger restores the pre-call state. Must
+    /// validate before mutating (see the trait-level rule).
     ///
     /// # Errors
     ///

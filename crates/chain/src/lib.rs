@@ -29,7 +29,7 @@ pub mod chain;
 pub mod contract;
 pub mod multichain;
 
-pub use asset::{AssetDescriptor, AssetId, AssetRegistry, Owner};
-pub use chain::{Blockchain, ChainEvent, EventCursor, StorageReport, TxError};
+pub use asset::{AssetDescriptor, AssetId, AssetRegistry, JournalOp, Owner, UndoJournal};
+pub use chain::{Blockchain, ChainEvent, EventCursor, RollbackMode, StorageReport, TxError, TxTag};
 pub use contract::{ContractId, ContractLogic, ExecCtx};
 pub use multichain::{ChainId, ChainSet};

@@ -4,13 +4,12 @@
 //! transfer lives on its own shared blockchain. [`ChainSet`] is the handful
 //! of independent ledgers a swap runs across, addressed by [`ChainId`].
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use swap_sim::SimTime;
 
-use crate::chain::{Blockchain, StorageReport};
+use crate::chain::{Blockchain, RollbackMode, StorageReport};
 use crate::contract::ContractLogic;
 
 /// Identifies one blockchain in a [`ChainSet`].
@@ -37,43 +36,64 @@ impl fmt::Display for ChainId {
 
 /// A set of independent blockchains sharing a contract logic type.
 ///
+/// Ids are dense — the `n`th created (or absorbed) chain is `ChainId(n)` —
+/// so the set stores chains in a `Vec` indexed directly by id: O(1)
+/// unchecked access, and [`ChainSet::absorb`] is a reserve-and-move append
+/// instead of a per-chain re-keyed map insert.
+///
 /// Typical setup (`C` is your [`ContractLogic`] type): create the set,
 /// `create_chain` per arc, then drive each chain's `publish_contract` /
 /// `call_contract` through [`ChainSet::get_mut`]. `swap-core`'s
 /// provisioning (`SwapSetup`) and the crate tests are worked examples.
 #[derive(Debug, Clone, Default)]
 pub struct ChainSet<C: ContractLogic> {
-    chains: BTreeMap<ChainId, Blockchain<C>>,
-    next_id: u32,
+    chains: Vec<Blockchain<C>>,
+    rollback: RollbackMode,
 }
 
 impl<C: ContractLogic> ChainSet<C> {
-    /// Creates an empty set.
+    /// Creates an empty set rolling back in the default
+    /// [`RollbackMode::Journal`].
     pub fn new() -> Self {
-        ChainSet { chains: BTreeMap::new(), next_id: 0 }
+        ChainSet { chains: Vec::new(), rollback: RollbackMode::default() }
+    }
+
+    /// Sets the [`RollbackMode`] for every existing chain and every chain
+    /// created in this set afterwards.
+    pub fn set_rollback_mode(&mut self, mode: RollbackMode) {
+        self.rollback = mode;
+        for chain in &mut self.chains {
+            chain.set_rollback_mode(mode);
+        }
+    }
+
+    /// The mode stamped onto newly created chains.
+    pub fn rollback_mode(&self) -> RollbackMode {
+        self.rollback
     }
 
     /// Creates a new chain, returning its id.
     pub fn create_chain(&mut self, name: impl Into<String>, genesis_time: SimTime) -> ChainId {
-        let id = ChainId::new(self.next_id);
-        self.next_id += 1;
-        self.chains.insert(id, Blockchain::new(name, genesis_time));
+        let id = ChainId::new(self.chains.len() as u32);
+        let mut chain = Blockchain::new(name, genesis_time);
+        chain.set_rollback_mode(self.rollback);
+        self.chains.push(chain);
         id
     }
 
     /// Read access to one chain.
     pub fn get(&self, id: ChainId) -> Option<&Blockchain<C>> {
-        self.chains.get(&id)
+        self.chains.get(id.raw() as usize)
     }
 
     /// Write access to one chain (to submit transactions).
     pub fn get_mut(&mut self, id: ChainId) -> Option<&mut Blockchain<C>> {
-        self.chains.get_mut(&id)
+        self.chains.get_mut(id.raw() as usize)
     }
 
     /// Iterator over `(id, chain)`.
     pub fn iter(&self) -> impl Iterator<Item = (ChainId, &Blockchain<C>)> {
-        self.chains.iter().map(|(&id, c)| (id, c))
+        self.chains.iter().enumerate().map(|(i, c)| (ChainId::new(i as u32), c))
     }
 
     /// Number of chains.
@@ -92,18 +112,19 @@ impl<C: ContractLogic> ChainSet<C> {
     ///
     /// This is the merge half of concurrent execution: each worker runs a
     /// swap on a [`ChainSet`] it exclusively owns, and the orchestrator
-    /// folds those sets back into one global ledger view afterwards. Absorption
-    /// only re-addresses chains — block histories, contracts, and assets
-    /// are untouched, so integrity verification and storage accounting
-    /// survive the merge.
-    pub fn absorb(&mut self, other: ChainSet<C>) -> Vec<(ChainId, ChainId)> {
-        let mut mapping = Vec::with_capacity(other.chains.len());
-        for (old_id, chain) in other.chains {
-            let new_id = ChainId::new(self.next_id);
-            self.next_id += 1;
-            self.chains.insert(new_id, chain);
-            mapping.push((old_id, new_id));
-        }
+    /// folds those sets back into one global ledger view afterwards. Because
+    /// ids are dense, renumbering is pure address arithmetic: one reserve
+    /// plus a move of `other`'s chains — amortized O(chains moved), no
+    /// per-chain re-keying or copying. Block histories, contracts, and
+    /// assets are untouched, so integrity verification and storage
+    /// accounting survive the merge.
+    pub fn absorb(&mut self, mut other: ChainSet<C>) -> Vec<(ChainId, ChainId)> {
+        let base = self.chains.len() as u32;
+        let mapping = (0..other.chains.len() as u32)
+            .map(|i| (ChainId::new(i), ChainId::new(base + i)))
+            .collect();
+        self.chains.reserve(other.chains.len());
+        self.chains.append(&mut other.chains);
         mapping
     }
 
@@ -111,14 +132,14 @@ impl<C: ContractLogic> ChainSet<C> {
     /// blockchains", the exact phrase of Theorem 4.10.
     pub fn storage_report(&self) -> StorageReport {
         self.chains
-            .values()
+            .iter()
             .map(Blockchain::storage_report)
             .fold(StorageReport::default(), |acc, r| acc.merge(&r))
     }
 
     /// Whether every chain passes integrity verification.
     pub fn verify_integrity(&self) -> bool {
-        self.chains.values().all(Blockchain::verify_integrity)
+        self.chains.iter().all(Blockchain::verify_integrity)
     }
 }
 
@@ -241,6 +262,18 @@ mod tests {
         assert_eq!(left.len(), 4);
         assert_ne!(d, a);
         assert!(mapping.iter().all(|&(_, new)| new != d));
+    }
+
+    #[test]
+    fn rollback_mode_broadcasts_to_existing_and_future_chains() {
+        let mut set: ChainSet<Nop> = ChainSet::new();
+        let a = set.create_chain("a", SimTime::ZERO);
+        assert_eq!(set.get(a).unwrap().rollback_mode(), RollbackMode::Journal);
+        set.set_rollback_mode(RollbackMode::Snapshot);
+        assert_eq!(set.rollback_mode(), RollbackMode::Snapshot);
+        assert_eq!(set.get(a).unwrap().rollback_mode(), RollbackMode::Snapshot);
+        let b = set.create_chain("b", SimTime::ZERO);
+        assert_eq!(set.get(b).unwrap().rollback_mode(), RollbackMode::Snapshot);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! always detected.
 
 use proptest::prelude::*;
-use swap_chain::{AssetDescriptor, AssetRegistry, Blockchain, ContractLogic, ExecCtx, Owner};
+use swap_chain::{
+    AssetDescriptor, AssetId, AssetRegistry, Blockchain, ContractLogic, ExecCtx, Owner,
+    RollbackMode,
+};
 use swap_crypto::{Address, Digest32};
 use swap_sim::SimTime;
 
@@ -42,12 +45,181 @@ impl ContractLogic for Nop {
     }
 }
 
+/// An escrow contract whose calls can succeed, fail before mutating, or
+/// fail *after* moving an asset — the "rare mid-apply failure" the undo
+/// journal exists to revert.
+#[derive(Debug, Clone)]
+struct Vault {
+    asset: AssetId,
+    beneficiary: Address,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VaultCall {
+    /// Release the escrow to the beneficiary and terminate.
+    Release,
+    /// Reject before touching anything (validate-then-commit reject path).
+    FailClean,
+    /// Move the escrowed asset, then error anyway (mid-apply failure; the
+    /// ledger must revert the move in either rollback mode).
+    FailAfterMove,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VaultEvent {
+    Escrowed,
+    Released,
+}
+
+impl ContractLogic for Vault {
+    type Call = VaultCall;
+    type Event = VaultEvent;
+    type Error = NopError;
+
+    fn on_publish(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Vec<VaultEvent>, NopError> {
+        ctx.assets
+            .transfer_from(self.asset, Owner::Party(ctx.caller), Owner::Escrow(ctx.this))
+            .map_err(|_| NopError)?;
+        Ok(vec![VaultEvent::Escrowed])
+    }
+
+    fn apply(
+        &mut self,
+        call: VaultCall,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<Vec<VaultEvent>, NopError> {
+        match call {
+            VaultCall::Release => {
+                ctx.assets
+                    .transfer_from(
+                        self.asset,
+                        Owner::Escrow(ctx.this),
+                        Owner::Party(self.beneficiary),
+                    )
+                    .map_err(|_| NopError)?;
+                self.done = true;
+                Ok(vec![VaultEvent::Released])
+            }
+            VaultCall::FailClean => Err(NopError),
+            VaultCall::FailAfterMove => {
+                ctx.assets
+                    .transfer_from(
+                        self.asset,
+                        Owner::Escrow(ctx.this),
+                        Owner::Party(self.beneficiary),
+                    )
+                    .map_err(|_| NopError)?;
+                Err(NopError)
+            }
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        8 + 32 + 1
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.done
+    }
+}
+
 /// One randomized ledger operation.
 #[derive(Debug, Clone)]
 enum Op {
     Mint { owner: u8 },
     Transfer { asset: usize, from: u8, to: u8 },
     Publish { publisher: u8 },
+}
+
+/// One randomized operation for the rollback-equivalence stream, mixing
+/// succeeding and failing publishes, calls, and transfers.
+#[derive(Debug, Clone)]
+enum MixedOp {
+    Mint { owner: u8 },
+    Transfer { asset: usize, from: u8, to: u8 },
+    Publish { asset: usize, publisher: u8, beneficiary: u8 },
+    Call { contract: usize, caller: u8, kind: u8 },
+}
+
+fn arb_mixed_op() -> impl Strategy<Value = MixedOp> {
+    prop_oneof![
+        (1u8..5).prop_map(|owner| MixedOp::Mint { owner }),
+        (0usize..16, 1u8..5, 1u8..5).prop_map(|(asset, from, to)| MixedOp::Transfer {
+            asset,
+            from,
+            to
+        }),
+        (0usize..16, 1u8..5, 1u8..5).prop_map(|(asset, publisher, beneficiary)| {
+            MixedOp::Publish { asset, publisher, beneficiary }
+        }),
+        (0usize..16, 1u8..5, 0u8..3).prop_map(|(contract, caller, kind)| MixedOp::Call {
+            contract,
+            caller,
+            kind
+        }),
+    ]
+}
+
+/// Drives one op stream against a chain in `mode`, returning a full
+/// fingerprint of everything observable: assets, contracts, events,
+/// storage, counters, and the head block hash.
+fn drive_mixed(ops: &[MixedOp], mode: RollbackMode) -> String {
+    let mut chain: Blockchain<Vault> = Blockchain::new("equiv", SimTime::ZERO);
+    chain.set_rollback_mode(mode);
+    let mut minted: Vec<AssetId> = Vec::new();
+    let mut published: Vec<swap_chain::ContractId> = Vec::new();
+    for (step, op) in ops.iter().enumerate() {
+        let now = SimTime::from_ticks(step as u64 + 1);
+        match *op {
+            MixedOp::Mint { owner } => {
+                minted.push(chain.mint_asset(AssetDescriptor::unique("t"), addr(owner), now));
+            }
+            MixedOp::Transfer { asset, from, to } => {
+                if minted.is_empty() {
+                    continue;
+                }
+                let id = minted[asset % minted.len()];
+                let _ = chain.transfer_asset(id, addr(from), addr(to), now);
+            }
+            MixedOp::Publish { asset, publisher, beneficiary } => {
+                if minted.is_empty() {
+                    continue;
+                }
+                let vault = Vault {
+                    asset: minted[asset % minted.len()],
+                    beneficiary: addr(beneficiary),
+                    done: false,
+                };
+                if let Ok(id) = chain.publish_contract(vault, addr(publisher), now) {
+                    published.push(id);
+                }
+            }
+            MixedOp::Call { contract, caller, kind } => {
+                if published.is_empty() {
+                    continue;
+                }
+                let id = published[contract % published.len()];
+                let call = match kind {
+                    0 => VaultCall::Release,
+                    1 => VaultCall::FailClean,
+                    _ => VaultCall::FailAfterMove,
+                };
+                let _ = chain.call_contract(id, addr(caller), call, now, 16);
+            }
+        }
+    }
+    let contracts: Vec<_> = chain.contracts().collect();
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+        chain.assets(),
+        contracts,
+        chain.all_events(),
+        chain.storage_report(),
+        chain.txs_executed(),
+        chain.txs_rolled_back(),
+        chain.blocks().last().unwrap().hash(),
+    )
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -147,6 +319,18 @@ proptest! {
             prev = Some(b);
         }
         prop_assert!(!consistent, "tampering with field {field} went undetected");
+    }
+
+    /// `RollbackMode::Journal` and `RollbackMode::Snapshot` are
+    /// byte-identical over random interleavings of succeeding and failing
+    /// publish/call/transfer streams — including calls that move an asset
+    /// and *then* fail, the case only the undo journal (or a full clone)
+    /// can revert.
+    #[test]
+    fn rollback_modes_byte_identical(ops in prop::collection::vec(arb_mixed_op(), 0..80)) {
+        let journal = drive_mixed(&ops, RollbackMode::Journal);
+        let snapshot = drive_mixed(&ops, RollbackMode::Snapshot);
+        prop_assert_eq!(journal, snapshot);
     }
 
     /// The registry's compare-and-swap refuses stale expected owners.

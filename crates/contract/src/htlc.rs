@@ -201,6 +201,10 @@ impl ContractLogic for HtlcContract {
         Ok(vec![HtlcEvent::Escrowed { asset: self.asset }])
     }
 
+    /// Applies a call under the validate-then-commit rule the journaled
+    /// rollback mode relies on (see [`ContractLogic`]): each arm runs all
+    /// of its guards before the escrow move and state write, so an error
+    /// here guarantees untouched contract state.
     fn apply(
         &mut self,
         call: HtlcCall,

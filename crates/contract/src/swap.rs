@@ -327,6 +327,10 @@ impl ContractLogic for SwapContract {
         Ok(vec![SwapEvent::Escrowed { asset: self.asset }])
     }
 
+    /// Applies a call under the validate-then-commit rule the journaled
+    /// rollback mode relies on (see [`ContractLogic`]): every arm checks
+    /// all of its Figure 5 guard lines first and only then touches
+    /// `self`/escrow, so an error here guarantees untouched contract state.
     fn apply(
         &mut self,
         call: SwapCall,

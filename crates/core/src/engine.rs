@@ -137,7 +137,8 @@ impl<T: TimingModel> Engine<T> {
     ///
     /// Same conditions as [`Engine::new`].
     pub fn from_instance(instance: SwapInstance, timing: T) -> Self {
-        let SwapInstance { id: _, setup, config, protocol } = instance;
+        let SwapInstance { id: _, mut setup, config, protocol } = instance;
+        setup.chains.set_rollback_mode(config.rollback_mode);
         let spec = &setup.spec;
         assert!(spec.delta.ticks() >= 2, "delta must be at least 2 ticks");
         assert!(

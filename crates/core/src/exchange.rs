@@ -580,6 +580,14 @@ pub struct ExchangeReport {
     /// `wall_ticks` this is the stage's average occupancy — the
     /// observable form of multi-epoch execution overlap.
     pub executing_resident_ticks: u64,
+    /// Transactions sealed across every chain of every executed swap —
+    /// deterministic, so rollback traffic is pinnable across
+    /// [`swap_chain::RollbackMode`]s and worker counts.
+    pub tx_executed: u64,
+    /// Transactions whose contract hook failed after starting to execute,
+    /// forcing a rollback (mempool-style rejections excluded) — the
+    /// denominator the undo journal optimizes.
+    pub tx_rolled_back: u64,
     /// Merged storage across every chain of every executed swap —
     /// Theorem 4.10's "bits stored on all blockchains", at exchange scale.
     pub storage: swap_chain::StorageReport,
@@ -1438,6 +1446,10 @@ impl Exchange {
                 rounds: report.metrics.rounds,
                 metrics: report.metrics,
             });
+            for (_, chain) in setup.chains.iter() {
+                self.report.tx_executed += chain.txs_executed();
+                self.report.tx_rolled_back += chain.txs_rolled_back();
+            }
             self.ledger.absorb(setup.chains);
             out.push(ExecutedSwap { id, epoch, report });
         }

@@ -34,7 +34,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use swap_chain::StorageReport;
+use swap_chain::{RollbackMode, StorageReport};
 use swap_digraph::{ArcId, VertexId};
 use swap_sim::{SimTime, TraceLog};
 
@@ -69,6 +69,11 @@ pub struct RunConfig {
     pub corrupt_arcs: BTreeSet<ArcId>,
     /// Snapshot maintenance strategy (see [`SnapshotMode`]).
     pub snapshot_mode: SnapshotMode,
+    /// How the chains roll back failed transactions (see
+    /// [`RollbackMode`]): the default undo journal, or the
+    /// clone-the-world snapshot reference. Externally indistinguishable;
+    /// stamped onto every chain of the setup at engine construction.
+    pub rollback_mode: RollbackMode,
 }
 
 /// Counters accumulated over a run.

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Guard the in-tree bench artifacts (repo-root BENCH_E16–E21.json).
+"""Guard the in-tree bench artifacts (repo-root BENCH_E16–E22.json).
 
 CI regenerates target/BENCH_*.json on every run and copies them to the
 repo root; the committed repo-root copies are the tracked perf
@@ -8,10 +8,11 @@ fails when their *deterministic* fields (simulated wall ticks, per-stage
 attribution, executing-stage occupancy, storage bytes, per-swap reports
 — everything seed-derived) drift from what is committed at HEAD, meaning
 the committed artifacts are stale and must be refreshed with
-`cp target/BENCH_E{16,17,18,19,20,21}.json .` and committed.
+`cp target/BENCH_E{16,17,18,19,20,21,22}.json .` and committed.
 Host-dependent timings (elapsed_ms, swaps_per_sec, offers_per_sec,
-cycles_per_sec, speedup_at_1e5, speedup_vs_fresh, host_parallelism)
-are ignored, so the check is reproducible across machines.
+cycles_per_sec, tx_per_sec, speedup_at_1e5, speedup_vs_fresh,
+speedup_at_1e4, journal_spread, host_parallelism) are ignored, so the
+check is reproducible across machines.
 """
 
 import json
@@ -25,14 +26,18 @@ ARTIFACTS = (
     "BENCH_E19.json",
     "BENCH_E20.json",
     "BENCH_E21.json",
+    "BENCH_E22.json",
 )
 HOST_DEPENDENT = {
     "elapsed_ms",
     "swaps_per_sec",
     "offers_per_sec",
     "cycles_per_sec",
+    "tx_per_sec",
     "speedup_at_1e5",
     "speedup_vs_fresh",
+    "speedup_at_1e4",
+    "journal_spread",
     "host_parallelism",
 }
 

@@ -1,0 +1,96 @@
+//! Rollback-mode invariance at the exchange tier.
+//!
+//! `RollbackMode::Journal` (the undo-log hot path, the default) and
+//! `RollbackMode::Snapshot` (the clone-the-world reference) must publish
+//! byte-identical `ExchangeReport`s — pinned via `Debug`, which covers
+//! every counter including the new `tx_executed`/`tx_rolled_back` pair —
+//! on the E19 rolling book across 1/2/8 pool workers. Six submission
+//! waves roll through a multi-slot pipeline (wave w+1 lands the instant
+//! epoch w enters `Executing`), so journaled transactions execute
+//! concurrently on pool workers while later epochs clear — exactly the
+//! regime where a rollback-path divergence would smear across reports.
+
+use atomic_swaps::chain::RollbackMode;
+use atomic_swaps::core::exchange::{
+    EpochStage, Exchange, ExchangeConfig, ExchangeParty, StageCosts, StepEvent,
+};
+use atomic_swaps::core::runner::RunConfig;
+use atomic_swaps::market::AssetKind;
+use atomic_swaps::sim::SimRng;
+
+const WAVES: usize = 6;
+const WAVE_RINGS: usize = 3;
+
+/// Wave `w` of the E19 rolling book: disjoint rings with mixed cycle
+/// lengths 2..=4, deterministic per wave.
+fn wave(w: usize) -> Vec<ExchangeParty> {
+    let mut rng = SimRng::from_seed(0xE19 + w as u64);
+    let mut parties = Vec::new();
+    for r in 0..WAVE_RINGS {
+        let len = 2 + (w + r) % 3;
+        for p in 0..len {
+            parties.push(ExchangeParty::generate(
+                &mut rng,
+                4,
+                AssetKind::new(format!("w{w}r{r}k{p}")),
+                AssetKind::new(format!("w{w}r{r}k{}", (p + 1) % len)),
+            ));
+        }
+    }
+    parties
+}
+
+/// Drives the rolling book to quiescence under `mode` and `threads`,
+/// returning the report pinned via `Debug`.
+fn drive(mode: RollbackMode, threads: usize) -> String {
+    let costs = StageCosts {
+        clearing_base: 2,
+        clearing_per_examined: 0,
+        clearing_per_cycle: 0,
+        provisioning_base: 2,
+        provisioning_per_party: 0,
+        settling_base: 2,
+        settling_per_swap: 0,
+    };
+    let mut exchange = Exchange::new(ExchangeConfig {
+        threads,
+        executing_slots: 2,
+        stage_costs: costs,
+        run: RunConfig { rollback_mode: mode, ..RunConfig::default() },
+        ..Default::default()
+    });
+    let mut next = 0usize;
+    for p in wave(next) {
+        exchange.submit(p);
+    }
+    next += 1;
+    loop {
+        match exchange.step().expect("pipeline advances") {
+            StepEvent::StageEntered { stage: EpochStage::Executing, .. } if next < WAVES => {
+                for p in wave(next) {
+                    exchange.submit(p);
+                }
+                next += 1;
+            }
+            StepEvent::Quiescent => break,
+            _ => {}
+        }
+    }
+    assert_eq!(next, WAVES, "every wave injected");
+    let report = exchange.into_report();
+    assert_eq!(report.swaps_settled, (WAVES * WAVE_RINGS) as u64, "all rings settle");
+    assert!(report.tx_executed > 0, "executed transactions are counted");
+    format!("{report:?}")
+}
+
+/// The acceptance pin: `Journal` (default) and `Snapshot` produce
+/// byte-identical `ExchangeReport`s across modes × 1/2/8 pool workers.
+#[test]
+fn reports_byte_invariant_across_rollback_modes_and_workers() {
+    let baseline = drive(RollbackMode::Journal, 1);
+    for mode in [RollbackMode::Journal, RollbackMode::Snapshot] {
+        for threads in [1, 2, 8] {
+            assert_eq!(baseline, drive(mode, threads), "{mode:?} / {threads} workers");
+        }
+    }
+}
