@@ -25,7 +25,9 @@
 //! fresh per-wave keygen vs pool-minted identities vs the amortized
 //! registry, with keygen-overlap attribution), and E22 for the journaled
 //! transaction hot path (undo-log vs clone-the-world rollback tx/sec as
-//! the asset registry scales 10²–10⁵).
+//! the asset registry scales 10²–10⁵), and E23 for the durable exchange
+//! (WAL-on vs WAL-off host overhead and snapshot-based crash-recovery
+//! time as the resident book scales 10²–10⁴).
 
 use std::collections::BTreeSet;
 
@@ -74,6 +76,7 @@ fn main() {
         ("e20", e20_incremental_clearing_index),
         ("e21", e21_identity_registry_throughput),
         ("e22", e22_journaled_tx_hot_path),
+        ("e23", e23_durable_exchange),
     ];
     for &(id, run) in &experiments {
         if let Some(f) = &filter {
@@ -2406,5 +2409,275 @@ fn e22_journaled_tx_hot_path() -> bool {
         }
     }
     println!("    journal flat in registry size, modes byte-identical, >=5x at 10^4: {ok}");
+    ok
+}
+
+/// E23 (durable exchange): WAL-on vs WAL-off host overhead and
+/// crash-recovery time as the resident book scales 10² → 10⁴. Each size
+/// drives the same rolling churn (8 waves of 4 mutual pairs resubmitting
+/// over a dust book of `n` never-matching offers) three ways: plain,
+/// journaled to a `swap-store` WAL with periodic snapshots, and recovered
+/// from that store. All three must yield byte-identical reports; at
+/// n = 10⁴ journaling must keep ≥ 0.5× the plain throughput and recovery
+/// (snapshot + WAL tail, no keygen) must beat re-running from genesis.
+fn e23_durable_exchange() -> bool {
+    use std::time::Instant;
+    use swap_bench::json;
+    use swap_core::exchange::{
+        EpochStage, Exchange, ExchangeConfig, ExchangeReport, JournalConfig, PartySeed, StageCosts,
+        StepEvent,
+    };
+    use swap_crypto::Address;
+    use swap_market::AssetKind;
+
+    const SIZES: [usize; 3] = [100, 1_000, 10_000];
+    const WAVES: usize = 8;
+    const PAIRS: usize = 4;
+    const CHURN_HEIGHT: u32 = 6;
+    const DUST_HEIGHT: u32 = 2;
+    const SNAPSHOT_EVERY: u64 = 4;
+    const OVERHEAD_GATE: f64 = 2.0; // WAL-on wall ≤ 2× WAL-off (≥ 0.5× throughput)
+
+    println!(
+        "E23 Durable exchange: WAL overhead + recovery time, {WAVES}-wave churn over dust books\n"
+    );
+    let widths = [7, 8, 6, 8, 9, 9, 9, 9, 4];
+    println!(
+        "    {}",
+        fmt_row(
+            ["n", "settled", "tail", "snap_B", "off_ms", "on_ms", "rec_ms", "speedup", "ok"]
+                .map(String::from)
+                .as_ref(),
+            &widths
+        )
+    );
+
+    let costs = StageCosts {
+        clearing_base: 2,
+        provisioning_base: 2,
+        settling_base: 2,
+        ..Default::default()
+    };
+    let config = || ExchangeConfig {
+        threads: 2,
+        executing_slots: 4,
+        stage_costs: costs,
+        ..Default::default()
+    };
+    // The churn terms: 4 mutual pairs, so every wave clears 4 two-party
+    // swaps while the dust book just sits in the index.
+    let churn_kinds = || -> Vec<(AssetKind, AssetKind)> {
+        (0..PAIRS)
+            .flat_map(|p| {
+                let a = AssetKind::new(format!("p{p}a"));
+                let b = AssetKind::new(format!("p{p}b"));
+                [(a.clone(), b.clone()), (b, a)]
+            })
+            .collect()
+    };
+    let churn_seeds = || -> Vec<PartySeed> {
+        let mut rng = SimRng::from_seed(0xE23);
+        churn_kinds()
+            .into_iter()
+            .map(|(gives, wants)| PartySeed {
+                seed: rng.bytes32(),
+                key_height: CHURN_HEIGHT,
+                secret: Secret::random(&mut rng),
+                gives,
+                wants,
+            })
+            .collect()
+    };
+    let dust_seeds = |n: usize| -> Vec<PartySeed> {
+        let mut rng = SimRng::from_seed(0xD057);
+        (0..n)
+            .map(|i| PartySeed {
+                seed: rng.bytes32(),
+                key_height: DUST_HEIGHT,
+                secret: Secret::random(&mut rng),
+                gives: AssetKind::new(format!("dust{i}")),
+                wants: AssetKind::new("void".to_string()),
+            })
+            .collect()
+    };
+
+    let drive = |n: usize, journal: Option<JournalConfig>| -> Exchange {
+        let mut exchange = match journal {
+            Some(j) => Exchange::with_journal(config(), j).expect("journal store opens"),
+            None => Exchange::new(config()),
+        };
+        exchange.submit_seeded(dust_seeds(n));
+        let churn: Vec<Address> =
+            exchange.submit_seeded(churn_seeds()).into_iter().map(|(_, a)| a).collect();
+        let kinds = churn_kinds();
+        let mut secret_rng = SimRng::from_seed(0x5EC23);
+        let mut next = 1usize;
+        loop {
+            match exchange.step().expect("pipeline advances") {
+                StepEvent::StageEntered { stage: EpochStage::Executing, .. } if next < WAVES => {
+                    for (i, (gives, wants)) in kinds.iter().enumerate() {
+                        exchange
+                            .resubmit(
+                                churn[i],
+                                Secret::random(&mut secret_rng),
+                                gives.clone(),
+                                wants.clone(),
+                            )
+                            .expect("churn identity registered in wave 0");
+                    }
+                    next += 1;
+                }
+                StepEvent::Quiescent => break,
+                _ => {}
+            }
+        }
+        assert_eq!(next, WAVES, "every wave injected");
+        exchange
+    };
+
+    struct Row {
+        n: usize,
+        tail_records: u64,
+        commands_replayed: u64,
+        snapshot_seq: Option<u64>,
+        snapshot_bytes: u64,
+        identical: bool,
+        wal_off_ms: f64,
+        wal_on_ms: f64,
+        recover_ms: f64,
+        report: ExchangeReport,
+    }
+    let total_swaps = (WAVES * PAIRS) as u64;
+    let mut ok = true;
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &SIZES {
+        let journal = || JournalConfig {
+            snapshot_every: SNAPSHOT_EVERY,
+            ..JournalConfig::new(format!("target/e23/n{n}"))
+        };
+
+        let clock = Instant::now();
+        let plain = drive(n, None).into_report();
+        let wal_off_ms = clock.elapsed().as_secs_f64() * 1e3;
+
+        let clock = Instant::now();
+        let mut durable = drive(n, Some(journal()));
+        durable.sync_journal().expect("journal syncs");
+        let wal_on_ms = clock.elapsed().as_secs_f64() * 1e3;
+        let journaled = durable.report().clone();
+        drop(durable);
+
+        let clock = Instant::now();
+        let recovered = Exchange::recover(config(), journal()).expect("store recovers");
+        let recover_ms = clock.elapsed().as_secs_f64() * 1e3;
+
+        let snapshot_bytes: u64 = std::fs::read_dir(&journal().dir)
+            .map(|dir| {
+                dir.flatten()
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0);
+        let identical = plain == journaled && *recovered.exchange.report() == journaled;
+        let row_ok = identical
+            && journaled.swaps_settled == total_swaps
+            && journaled.swaps_refunded == 0
+            && journaled.swaps_exhausted == 0
+            && journaled.offers_submitted >= n as u64 + total_swaps * 2
+            && recovered.stats.snapshot_seq.is_some()
+            && !recovered.stats.torn_tail;
+        ok &= row_ok;
+        println!(
+            "    {}",
+            fmt_row(
+                &[
+                    n.to_string(),
+                    journaled.swaps_settled.to_string(),
+                    recovered.stats.records_replayed.to_string(),
+                    snapshot_bytes.to_string(),
+                    format!("{wal_off_ms:.1}"),
+                    format!("{wal_on_ms:.1}"),
+                    format!("{recover_ms:.1}"),
+                    format!("{:.1}x", wal_off_ms / recover_ms),
+                    if row_ok { "✓".into() } else { "✗".into() },
+                ],
+                &widths
+            )
+        );
+        rows.push(Row {
+            n,
+            tail_records: recovered.stats.records_replayed,
+            commands_replayed: recovered.stats.commands_replayed,
+            snapshot_seq: recovered.stats.snapshot_seq,
+            snapshot_bytes,
+            identical,
+            wal_off_ms,
+            wal_on_ms,
+            recover_ms,
+            report: journaled,
+        });
+    }
+
+    // The headline gates, judged at the largest book only.
+    let gate_row = rows.last().expect("sizes non-empty");
+    let overhead = gate_row.wal_on_ms / gate_row.wal_off_ms;
+    let speedup = gate_row.wal_off_ms / gate_row.recover_ms;
+    let overhead_ok = overhead <= OVERHEAD_GATE;
+    let recover_ok = gate_row.recover_ms < gate_row.wal_off_ms;
+    ok &= overhead_ok && recover_ok;
+    println!(
+        "\n    at n = {}: WAL overhead {overhead:.2}x (gate ≤ {OVERHEAD_GATE:.0}x: {overhead_ok}); \
+         recovery {speedup:.1}x faster than genesis re-run (gate > 1x: {recover_ok})",
+        gate_row.n
+    );
+
+    let doc = json::object(|o| {
+        o.field_str("experiment", "e23")
+            .field_str("name", "durable exchange: WAL overhead + crash recovery time")
+            .field_usize("waves", WAVES)
+            .field_usize("churn_pairs", PAIRS)
+            .field_u64("snapshot_every", SNAPSHOT_EVERY)
+            .field_f64("overhead_gate", OVERHEAD_GATE)
+            .field_f64("wal_overhead", overhead)
+            .field_f64("recovery_speedup", speedup)
+            .field_usize(
+                "host_parallelism",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+            .field_array("rows", |arr| {
+                for row in &rows {
+                    arr.push_object(|o| {
+                        o.field_usize("n", row.n)
+                            .field_u64("epochs", row.report.epochs)
+                            .field_u64("offers_submitted", row.report.offers_submitted)
+                            .field_u64("swaps_settled", row.report.swaps_settled)
+                            .field_u64("wal_tail_records", row.tail_records)
+                            .field_u64("commands_replayed", row.commands_replayed)
+                            .field_bool("snapshot_loaded", row.snapshot_seq.is_some())
+                            .field_u64("snapshot_seq", row.snapshot_seq.unwrap_or(0))
+                            .field_u64("snapshot_bytes", row.snapshot_bytes)
+                            .field_bool("reports_identical", row.identical)
+                            .field_f64("wal_off_ms", row.wal_off_ms)
+                            .field_f64("wal_on_ms", row.wal_on_ms)
+                            .field_f64("wal_overhead", row.wal_on_ms / row.wal_off_ms)
+                            .field_f64("recover_ms", row.recover_ms)
+                            .field_f64("recovery_speedup", row.wal_off_ms / row.recover_ms)
+                            .field_object("report", |r| {
+                                json::exchange_report_fields(r, &row.report)
+                            });
+                    });
+                }
+            });
+    });
+    match json::write_bench_json("E23", &doc) {
+        Ok(path) => println!("\n    wrote {}", path.display()),
+        Err(e) => {
+            println!("\n    could not write BENCH_E23.json: {e}");
+            ok = false;
+        }
+    }
+    println!("    reports byte-identical, WAL ≤ 2x, recovery beats genesis re-run: {ok}");
     ok
 }

@@ -127,6 +127,24 @@ impl IdentityStore {
     pub fn leaves_leased(&self) -> u64 {
         self.leaves_leased
     }
+
+    /// The registered identities in address order — the durability store
+    /// walks this to persist each master's `(seed, height, leaves,
+    /// next_leaf)` state.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &MssKeypair)> {
+        self.identities.iter()
+    }
+
+    /// Rebuilds a store from master keypairs (each already fast-forwarded
+    /// to its durable leaf cursor) and the lease counter. Addresses are
+    /// rederived from the keypairs, so a snapshot cannot smuggle in a
+    /// mismatched address → identity binding.
+    pub fn restore(masters: impl IntoIterator<Item = MssKeypair>, leaves_leased: u64) -> Self {
+        IdentityStore {
+            identities: masters.into_iter().map(|kp| (kp.public_key().address(), kp)).collect(),
+            leaves_leased,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,11 @@
 //!   and up to [`exchange::ExchangeConfig::executing_slots`] epochs' swaps
 //!   execute concurrently on a persistent work-stealing worker pool with a
 //!   deterministic swap-id-ordered merge ([`exchange::Exchange`],
-//!   [`exchange::ExchangeReport`]).
+//!   [`exchange::ExchangeReport`]). A durable exchange
+//!   ([`exchange::Exchange::with_journal`]) write-ahead-logs every
+//!   lifecycle transition to a `swap-store` WAL with periodic snapshots,
+//!   and [`exchange::Exchange::recover`] rebuilds a byte-identical
+//!   exchange after a crash.
 //! * [`pool`] — the execution tier under the exchange: a long-lived
 //!   work-stealing [`pool::WorkerPool`] with panic-isolated jobs and
 //!   results returned over a channel.
@@ -73,6 +77,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durability;
+
 pub mod engine;
 pub mod exchange;
 pub mod hashkey;
@@ -92,7 +98,8 @@ pub mod waitsfor;
 pub use engine::Engine;
 pub use exchange::{
     DriveError, EpochStage, Exchange, ExchangeConfig, ExchangeError, ExchangeParty, ExchangeReport,
-    ExecutedSwap, PartySeed, ProtocolPolicy, StageCosts, StageTicks, StepEvent, SwapSummary,
+    ExecutedSwap, JournalConfig, PartySeed, ProtocolPolicy, RecoverError, Recovered, RecoveryStats,
+    StageCosts, StageTicks, StepEvent, SwapSummary,
 };
 pub use identity::{IdentityStore, LeaseError};
 pub use instance::{AdmittedSwap, ProvisionedSwap, SwapInstance, SwapRunOutput};

@@ -33,6 +33,7 @@ pub const DEFAULT_HEIGHT: u32 = 6;
 /// letting two swaps sign with the same leaf.
 #[derive(Debug, Clone)]
 pub struct MssKeypair {
+    seed: [u8; 32],
     engine: HmacEngine,
     tree: Arc<MerkleTree>,
     next_leaf: u64,
@@ -91,7 +92,60 @@ impl MssKeypair {
             .map(|i| leaf_hash(lamport::public_key_with(&engine, i).digest().as_bytes()))
             .collect();
         let tree = Arc::new(MerkleTree::from_leaves(leaves).expect("leaf_count >= 1"));
-        MssKeypair { engine, tree, next_leaf: 0, limit: leaf_count, height }
+        MssKeypair { seed, engine, tree, next_leaf: 0, limit: leaf_count, height }
+    }
+
+    /// Rebuilds a keypair from its seed and previously computed leaf
+    /// digests, skipping the `O(2^h)` Lamport keygen — the expensive part
+    /// of [`from_seed_with_height`](Self::from_seed_with_height). This is
+    /// the snapshot-recovery path: the store persists `(seed, height,
+    /// leaves, next_leaf)` and gets back a keypair whose tree, signatures,
+    /// and leaf cursor are identical to the original's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty, its length is not `2^height`, or
+    /// `next_leaf` exceeds the leaf count — all of which mean the caller's
+    /// stored state is corrupt, which the store's checksums should have
+    /// caught before this point.
+    pub fn from_parts(seed: [u8; 32], height: u32, leaves: Vec<Digest32>, next_leaf: u64) -> Self {
+        assert!(height <= 16, "MSS height {height} too large");
+        let leaf_count = 1u64 << height;
+        assert_eq!(leaves.len() as u64, leaf_count, "leaf count must be 2^height");
+        assert!(next_leaf <= leaf_count, "leaf cursor past the tree");
+        let engine = HmacEngine::new(&seed);
+        let tree = Arc::new(MerkleTree::from_leaves(leaves).expect("leaf_count >= 1"));
+        MssKeypair { seed, engine, tree, next_leaf, limit: leaf_count, height }
+    }
+
+    /// The seed this keypair derives from.
+    pub const fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The leaf digests of the Merkle tree, in index order — together with
+    /// [`seed`](Self::seed) and [`next_leaf`](Self::next_leaf) this is the
+    /// complete durable state of a master keypair (see
+    /// [`from_parts`](Self::from_parts)).
+    pub fn leaf_digests(&self) -> Vec<Digest32> {
+        (0..self.tree.leaf_count()).filter_map(|i| self.tree.leaf(i).copied()).collect()
+    }
+
+    /// Fast-forwards the leaf cursor to `next_leaf`, for WAL replay of
+    /// lease operations already reflected in the stored cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor would move backwards or past the limit.
+    pub fn with_leaf_cursor(mut self, next_leaf: u64) -> Self {
+        assert!(
+            next_leaf >= self.next_leaf && next_leaf <= self.limit,
+            "leaf cursor {next_leaf} outside [{}, {}]",
+            self.next_leaf,
+            self.limit
+        );
+        self.next_leaf = next_leaf;
+        self
     }
 
     /// The public key.
@@ -137,6 +191,7 @@ impl MssKeypair {
             return Err(KeysExhaustedError { height: self.height });
         }
         let lease = MssKeypair {
+            seed: self.seed,
             engine: self.engine.clone(),
             tree: Arc::clone(&self.tree),
             next_leaf: self.next_leaf,
@@ -384,6 +439,49 @@ mod tests {
         assert!(kp.lease(2).is_ok());
         assert_eq!(kp.remaining(), 0);
         assert_eq!(kp.lease(1).unwrap_err(), KeysExhaustedError { height: 1 });
+    }
+
+    #[test]
+    fn from_parts_rebuilds_identical_keypair() {
+        let mut original = pair();
+        let m = sha256(b"before snapshot");
+        let s0 = original.sign(&m).unwrap();
+        let s1 = original.sign(&m).unwrap();
+        let rebuilt = MssKeypair::from_parts(
+            *original.seed(),
+            original.height(),
+            original.leaf_digests(),
+            original.next_leaf(),
+        );
+        assert_eq!(rebuilt.public_key(), original.public_key());
+        assert_eq!(rebuilt.next_leaf(), original.next_leaf());
+        assert_eq!(rebuilt.remaining(), original.remaining());
+        // Both continue with the same leaves and identical signatures.
+        let m2 = sha256(b"after recovery");
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.sign(&m2).unwrap(), original.sign(&m2).unwrap());
+        // And the recovered signatures verify alongside pre-snapshot ones.
+        let pk = rebuilt.public_key();
+        assert!(pk.verify(&m, &s0) && pk.verify(&m, &s1));
+    }
+
+    #[test]
+    fn leaf_cursor_fast_forward() {
+        let kp = pair().with_leaf_cursor(5);
+        assert_eq!(kp.next_leaf(), 5);
+        assert_eq!(kp.remaining(), 3);
+        let mut sequential = pair();
+        for _ in 0..5 {
+            sequential.sign(&sha256(b"skip")).unwrap();
+        }
+        let mut kp = kp;
+        assert_eq!(kp.sign(&sha256(b"m")).unwrap(), sequential.sign(&sha256(b"m")).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf cursor")]
+    fn leaf_cursor_cannot_rewind() {
+        let _ = pair().with_leaf_cursor(3).with_leaf_cursor(1);
     }
 
     #[test]

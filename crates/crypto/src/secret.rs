@@ -82,6 +82,13 @@ impl Hashlock {
         &self.0
     }
 
+    /// Rebuilds a hashlock from a digest previously obtained via
+    /// [`digest`](Self::digest) — the snapshot-restore path, where the
+    /// preimage is stored separately (or not at all for foreign offers).
+    pub const fn from_digest(digest: Digest32) -> Self {
+        Hashlock(digest)
+    }
+
     /// Byte size of a hashlock as stored on-chain.
     pub const ENCODED_LEN: usize = 32;
 }

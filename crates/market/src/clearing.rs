@@ -86,6 +86,12 @@ impl OfferId {
     pub const fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw value (the durability-store path; ids
+    /// are only meaningful against the service that issued them).
+    pub const fn from_raw(raw: u64) -> Self {
+        OfferId(raw)
+    }
 }
 
 impl fmt::Display for OfferId {
@@ -103,6 +109,12 @@ impl SwapId {
     /// The raw value.
     pub const fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value (the durability-store path; ids
+    /// are only meaningful against the service that issued them).
+    pub const fn from_raw(raw: u64) -> Self {
+        SwapId(raw)
     }
 }
 
@@ -355,6 +367,31 @@ impl ClearPlan {
     pub fn is_empty(&self) -> bool {
         self.selected.is_empty()
     }
+}
+
+/// A durable image of a [`ClearingService`]: everything
+/// [`restore`](ClearingService::restore) needs to rebuild the service — entries with
+/// their lifecycle statuses, the id/epoch cursors, the deferred set, and
+/// the in-flight swap membership.
+///
+/// Only *state* is captured, never the derived matching index: `restore`
+/// rebuilds `open`, the reservation set (the union of in-flight parties),
+/// the per-address fan-out, and the park/index split from these fields,
+/// which keeps the snapshot format independent of index internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BookSnapshot {
+    /// Raw id of the first entry; entry `i` holds offer `first_id + i`.
+    pub first_id: u64,
+    /// The next epoch number.
+    pub epoch: u64,
+    /// The next swap id to issue.
+    pub next_swap: u64,
+    /// Every submitted offer with its status, in id order.
+    pub entries: Vec<(Offer, OfferStatus)>,
+    /// Offers skipped by the most recent committed clearing.
+    pub deferred: Vec<OfferId>,
+    /// Matched-but-unresolved swaps and their offers in vertex order.
+    pub in_flight: Vec<(SwapId, Vec<OfferId>)>,
 }
 
 /// One offer plus its lifecycle state and cached identity.
@@ -1203,6 +1240,80 @@ impl ClearingService {
         let spec = builder.build()?;
         Ok(ClearedSwap { id, epoch, spec, offer_of_vertex: cycle.to_vec(), arc_kinds })
     }
+
+    // ---- durability ----
+
+    /// Captures the service's durable state (see [`BookSnapshot`]).
+    pub fn snapshot(&self) -> BookSnapshot {
+        BookSnapshot {
+            first_id: self.first_id,
+            epoch: self.epoch,
+            next_swap: self.next_swap,
+            entries: self.entries.iter().map(|e| (e.offer.clone(), e.status)).collect(),
+            deferred: self.deferred.iter().copied().collect(),
+            in_flight: self.in_flight.iter().map(|(&s, o)| (s, o.clone())).collect(),
+        }
+    }
+
+    /// Rebuilds a service from a [`BookSnapshot`], rederiving the matching
+    /// index, the reservation set, and the park/index split. The strategy
+    /// and mode are configuration, not state, so the caller supplies them;
+    /// the restored service plans and commits exactly as the snapshotted
+    /// one would ([`last_clear_stats`](Self::last_clear_stats) alone resets
+    /// to `None` — it is a measurement, not book state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot references offer ids outside its own entry
+    /// table — corruption the store's checksums should have caught.
+    pub fn restore(
+        snapshot: BookSnapshot,
+        leader_strategy: LeaderStrategy,
+        mode: ClearingMode,
+    ) -> Self {
+        let mut svc = ClearingService {
+            leader_strategy,
+            mode,
+            first_id: snapshot.first_id,
+            epoch: snapshot.epoch,
+            next_swap: snapshot.next_swap,
+            ..Default::default()
+        };
+        for (k, (offer, status)) in snapshot.entries.into_iter().enumerate() {
+            let id = OfferId(svc.first_id + k as u64);
+            let address = offer.key.address();
+            svc.entries.push(OfferEntry { offer, status, id, address });
+        }
+        svc.deferred = snapshot.deferred.into_iter().collect();
+        // The reservation set is exactly the union of in-flight parties —
+        // the invariant `commit`/`resolve_swap` maintain incrementally.
+        for (swap, offers) in snapshot.in_flight {
+            for &oid in &offers {
+                let i = svc.entry_index(oid).expect("in-flight offer inside the snapshot");
+                svc.reserved.insert(svc.entries[i].address);
+            }
+            svc.in_flight.insert(swap, offers);
+        }
+        // Open offers re-enter the book in id order, restoring FIFO
+        // positions; reserved parties' offers park instead of indexing,
+        // exactly as a live `submit` would have left them.
+        let open: Vec<(OfferId, Address)> = svc
+            .entries
+            .iter()
+            .filter(|e| matches!(e.status, OfferStatus::Open))
+            .map(|e| (e.id, e.address))
+            .collect();
+        for (id, address) in open {
+            svc.open.insert(id);
+            svc.by_address.entry(address).or_default().insert(id);
+            if svc.reserved.contains(&address) {
+                svc.parked.insert(id);
+            } else {
+                svc.index_insert(id);
+            }
+        }
+        svc
+    }
 }
 
 #[cfg(test)]
@@ -1222,6 +1333,64 @@ mod tests {
 
     fn clear(svc: &mut ClearingService) -> Vec<ClearedSwap> {
         svc.clear(Delta::from_ticks(10), SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn snapshot_restore_mid_lifecycle_is_equivalent() {
+        // Build a book with every lifecycle state live at once: settled,
+        // refunded, cancelled, matched (in-flight, so its party is
+        // reserved), open-and-parked, open-and-indexed, and deferred.
+        let mut svc = ClearingService::new().with_first_offer_id(7);
+        svc.submit(offer(1, "a", "b"));
+        svc.submit(offer(2, "b", "a"));
+        let settled = clear(&mut svc)[0].id;
+        svc.settle_swap(settled).unwrap();
+        svc.submit(offer(3, "c", "d"));
+        svc.submit(offer(4, "d", "c"));
+        let refunded = clear(&mut svc)[0].id;
+        svc.refund_swap(refunded).unwrap();
+        let gone = svc.submit(offer(5, "e", "f"));
+        svc.cancel(gone).unwrap();
+        svc.submit(offer(6, "g", "h"));
+        svc.submit(offer(7, "h", "g"));
+        // Party 6 offers a second trade: it parks when the first matches.
+        svc.submit(offer(6, "x", "y"));
+        let in_flight = clear(&mut svc);
+        assert_eq!(in_flight.len(), 1);
+        // A fresh unmatched offer stays open and indexed.
+        svc.submit(offer(8, "y", "x"));
+
+        let snap = svc.snapshot();
+        let restored =
+            ClearingService::restore(snap.clone(), LeaderStrategy::default(), svc.mode());
+
+        // Same durable state...
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.epoch(), svc.epoch());
+        assert_eq!(restored.offer_count(), svc.offer_count());
+        assert_eq!(restored.open_count(), svc.open_count());
+        assert_eq!(restored.reserved_addresses(), svc.reserved_addresses());
+        for raw in 0..svc.offer_count() as u64 {
+            let id = OfferId::from_raw(7 + raw);
+            assert_eq!(restored.status(id), svc.status(id), "{id}");
+        }
+        // ...and the same future: both draw identical plans, and resolving
+        // the in-flight swap wakes both books identically.
+        let (mut live, mut back) = (svc, restored);
+        let a = live.clear(Delta::from_ticks(10), SimTime::from_ticks(50)).unwrap();
+        let b = back.clear(Delta::from_ticks(10), SimTime::from_ticks(50)).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.offer_of_vertex, y.offer_of_vertex);
+        }
+        live.settle_swap(in_flight[0].id).unwrap();
+        back.settle_swap(in_flight[0].id).unwrap();
+        assert_eq!(live.snapshot(), back.snapshot());
+        let a = live.clear(Delta::from_ticks(10), SimTime::from_ticks(90)).unwrap();
+        let b = back.clear(Delta::from_ticks(10), SimTime::from_ticks(90)).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(live.snapshot(), back.snapshot());
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Primitive binary codec: little-endian integers, length-prefixed
+//! strings, 32-byte arrays, and the CRC32 used to checksum every frame.
+//!
+//! [`Encoder`] appends to an owned buffer; [`Decoder`] walks a borrowed
+//! slice with a cursor and returns typed [`DecodeError`]s instead of
+//! panicking, so a truncated or corrupt log surfaces as data, not as a
+//! crash during recovery.
+
+use std::fmt;
+
+/// Everything that can go wrong while decoding a record or snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value being read was complete.
+    UnexpectedEnd,
+    /// An enum tag byte had no corresponding variant.
+    BadTag(u8),
+    /// A frame's CRC32 did not match its header + payload bytes.
+    BadChecksum,
+    /// A frame did not start with the `b"SW"` magic.
+    BadMagic,
+    /// A frame's format version is newer than this decoder understands.
+    BadVersion(u16),
+    /// A record kind code had no corresponding record type.
+    BadKind(u16),
+    /// A string's bytes were not valid UTF-8.
+    BadUtf8,
+    /// A length prefix was implausibly large for the remaining input.
+    BadLength(u64),
+    /// Decoding finished with unconsumed bytes left over.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "input ended mid-value"),
+            DecodeError::BadTag(t) => write!(f, "unknown enum tag {t}"),
+            DecodeError::BadChecksum => write!(f, "frame checksum mismatch"),
+            DecodeError::BadMagic => write!(f, "bad frame magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown record kind {k}"),
+            DecodeError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            DecodeError::BadLength(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends primitive values to a byte buffer in the store's wire format.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a fixed 32-byte array verbatim (no length prefix).
+    pub fn put_bytes32(&mut self, v: &[u8; 32]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u64` length prefix followed by the string's UTF-8 bytes.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a `u64` element count; the caller then encodes each element.
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    /// Appends `Some`/`None` as a bool tag; the caller encodes the payload
+    /// after a `true` tag.
+    pub fn put_option_tag(&mut self, some: bool) {
+        self.put_bool(some);
+    }
+}
+
+/// Cursor over a byte slice reading values back in the store's wire format.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf` with the cursor at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns [`DecodeError::TrailingBytes`] unless the input is exhausted.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`, rejecting any byte other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a fixed 32-byte array.
+    pub fn bytes32(&mut self) -> Result<[u8; 32], DecodeError> {
+        let b = self.take(32)?;
+        let mut a = [0u8; 32];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len_prefix()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a `u64` element count, validated against the remaining input
+    /// (each element needs at least one byte, so a count larger than the
+    /// remaining byte count is corrupt, not merely ambitious).
+    pub fn len_prefix(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(DecodeError::BadLength(n));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads an `Option` tag written by [`Encoder::put_option_tag`].
+    pub fn option_tag(&mut self) -> Result<bool, DecodeError> {
+        self.bool()
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3 polynomial, the `cksum`/zlib variant) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xAB);
+        e.put_bool(true);
+        e.put_bool(false);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 7);
+        e.put_bytes32(&[9u8; 32]);
+        e.put_str("hashkey ☃");
+        e.put_len(3);
+        let bytes = e.into_bytes();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(d.bytes32().unwrap(), [9u8; 32]);
+        assert_eq!(d.str().unwrap(), "hashkey ☃");
+        assert_eq!(d.u64().unwrap(), 3);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn short_input_is_unexpected_end_not_panic() {
+        let mut d = Decoder::new(&[1, 2, 3]);
+        assert_eq!(d.u64(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX); // absurd string length
+        e.put_raw(b"abc");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.str(), Err(DecodeError::BadLength(u64::MAX)));
+    }
+
+    #[test]
+    fn bad_bool_tag_is_rejected() {
+        let mut d = Decoder::new(&[7]);
+        assert_eq!(d.bool(), Err(DecodeError::BadTag(7)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        e.put_u8(2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        d.u8().unwrap();
+        assert_eq!(d.finish(), Err(DecodeError::TrailingBytes));
+    }
+}

@@ -1,0 +1,49 @@
+//! Durability for the exchange pipeline: a dependency-free record codec,
+//! an append-only write-ahead log (WAL), and whole-state snapshots.
+//!
+//! The workspace builds offline against a no-op `serde` stub (see
+//! `vendor/README.md`), so everything here is hand-rolled, the same way
+//! the bench crate's JSON writer always was — that writer now lives in
+//! [`json`], with a decoder next to it, so BENCH emission and the WAL
+//! share one encoding stack.
+//!
+//! Three layers:
+//!
+//! * [`codec`] — primitive binary encoding: little-endian integers,
+//!   length-prefixed strings and vectors, and the CRC32 every framed
+//!   record is checksummed with.
+//! * [`record`] + [`wal`] — the WAL: every exchange transition (offer
+//!   submit/cancel, plan commit, stage transitions, settle/refund,
+//!   identity mint/lease) as a versioned, length-prefixed, checksummed
+//!   [`record::WalRecord`] frame, appended through a group-commit buffer
+//!   ([`wal::Wal`]) and read back tolerating a torn final record
+//!   ([`wal::read_wal`]).
+//! * [`snapshot`] — periodic whole-state snapshots
+//!   ([`snapshot::ExchangeSnapshot`]) that truncate the log: written
+//!   temp-then-rename (atomic on POSIX), loaded newest-first.
+//!
+//! The store deliberately depends on **nothing**: record and snapshot
+//! types mirror the domain types (offers, identities, reports) as raw
+//! 32-byte arrays, strings, and `u8` tags. The conversions live where the
+//! domain types do — `swap-core`'s `exchange.rs` — so the durability
+//! format cannot create dependency cycles and is testable in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod json;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{crc32, DecodeError, Decoder, Encoder};
+pub use record::{
+    decode_frames, encode_frame, FailTag, FrameScan, Framed, SeedRecord, StageTag, WalRecord,
+};
+pub use snapshot::{
+    load_latest_snapshot, write_snapshot, BookEntryRecord, BookRecord, ExchangeSnapshot,
+    IdentityRecord, MaterialRecord, MetricsRecord, OfferStatusRecord, ReportRecord,
+    StageTicksRecord, StorageRecord, SwapLineRecord,
+};
+pub use wal::{read_wal, Wal, WAL_FILE};

@@ -1,0 +1,299 @@
+//! Property tests pinning the codec: encode → decode → encode is
+//! byte-identical over all record types, frame streams survive arbitrary
+//! truncation, and snapshots round-trip.
+
+use proptest::prelude::*;
+use swap_store::{
+    decode_frames, encode_frame, BookEntryRecord, BookRecord, ExchangeSnapshot, FailTag, Framed,
+    IdentityRecord, MaterialRecord, MetricsRecord, OfferStatusRecord, ReportRecord, SeedRecord,
+    StageTag, StorageRecord, SwapLineRecord, WalRecord,
+};
+
+fn asset() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..12).prop_map(|v| {
+        v.into_iter()
+            .map(|b| match b % 29 {
+                0 => '☃',
+                1 => '"',
+                2 => '\\',
+                3 => '\n',
+                n => (b'a' + (n - 4) % 26) as char,
+            })
+            .collect()
+    })
+}
+
+fn seed_record() -> impl Strategy<Value = SeedRecord> {
+    (any::<[u8; 32]>(), any::<u8>(), any::<[u8; 32]>(), asset(), asset()).prop_map(
+        |(seed, height, secret, gives, wants)| SeedRecord { seed, height, secret, gives, wants },
+    )
+}
+
+fn fail_tag() -> impl Strategy<Value = FailTag> {
+    prop_oneof![
+        Just(FailTag::Clear),
+        any::<u64>().prop_map(|swap| FailTag::Verify { swap }),
+        any::<u64>().prop_map(|swap| FailTag::WorkerPanicked { swap }),
+        (any::<u64>(), any::<[u8; 32]>())
+            .prop_map(|(swap, address)| FailTag::KeysExhausted { swap, address }),
+    ]
+}
+
+fn stage_tag() -> impl Strategy<Value = StageTag> {
+    prop_oneof![
+        Just(StageTag::Clearing),
+        Just(StageTag::Provisioning),
+        Just(StageTag::Executing),
+        Just(StageTag::Settling),
+    ]
+}
+
+fn wal_record() -> impl Strategy<Value = WalRecord> {
+    prop_oneof![
+        (any::<[u8; 32]>(), any::<u8>(), any::<u64>(), any::<[u8; 32]>(), asset(), asset())
+            .prop_map(|(seed, height, next_leaf, secret, gives, wants)| WalRecord::SubmitOffer {
+                seed,
+                height,
+                next_leaf,
+                secret,
+                gives,
+                wants,
+            }),
+        prop::collection::vec(seed_record(), 0..5)
+            .prop_map(|seeds| WalRecord::SubmitSeeded { seeds }),
+        (any::<[u8; 32]>(), any::<[u8; 32]>(), asset(), asset()).prop_map(
+            |(address, secret, gives, wants)| WalRecord::Resubmit { address, secret, gives, wants }
+        ),
+        any::<u64>().prop_map(|offer| WalRecord::Cancel { offer }),
+        (any::<u64>(), stage_tag(), any::<u64>())
+            .prop_map(|(epoch, stage, at)| WalRecord::StageEntered { epoch, stage, at }),
+        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u64>(), 0..6))
+            .prop_map(|(epoch, at, swaps)| WalRecord::EpochSettled { epoch, at, swaps }),
+        fail_tag().prop_map(|error| WalRecord::StepFailed { error }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(epoch, cycles, offers_examined, offers_matched)| WalRecord::PlanCommitted {
+                epoch,
+                cycles,
+                offers_examined,
+                offers_matched,
+            }
+        ),
+        any::<u64>().prop_map(|swap| WalRecord::SwapSettled { swap }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(swap, exhausted)| WalRecord::SwapRefunded { swap, exhausted }),
+        any::<[u8; 32]>().prop_map(|address| WalRecord::IdentityRegistered { address }),
+        (any::<u64>(), any::<[u8; 32]>())
+            .prop_map(|(ticket, address)| WalRecord::IdentityMinted { ticket, address }),
+        (any::<u64>(), any::<[u8; 32]>(), any::<u64>())
+            .prop_map(|(swap, address, count)| WalRecord::LeavesLeased { swap, address, count }),
+    ]
+}
+
+fn offer_status() -> impl Strategy<Value = OfferStatusRecord> {
+    prop_oneof![
+        Just(OfferStatusRecord::Open),
+        Just(OfferStatusRecord::Cancelled),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, swap)| OfferStatusRecord::Matched { epoch, swap }),
+        Just(OfferStatusRecord::Settled),
+        Just(OfferStatusRecord::Refunded),
+    ]
+}
+
+fn book_entry() -> impl Strategy<Value = BookEntryRecord> {
+    (any::<[u8; 32]>(), any::<u8>(), any::<[u8; 32]>(), asset(), asset(), offer_status()).prop_map(
+        |(root, key_height, hashlock, gives, wants, status)| BookEntryRecord {
+            root,
+            key_height,
+            hashlock,
+            gives,
+            wants,
+            status,
+        },
+    )
+}
+
+fn metrics() -> impl Strategy<Value = MetricsRecord> {
+    prop::collection::vec(any::<u64>(), 9..10).prop_map(|v| MetricsRecord {
+        rounds: v[0],
+        contracts_published: v[1],
+        unlock_calls: v[2],
+        unlock_bytes: v[3],
+        claim_calls: v[4],
+        refund_calls: v[5],
+        direct_transfers: v[6],
+        rejected_calls: v[7],
+        announce_bytes: v[8],
+    })
+}
+
+fn swap_line() -> impl Strategy<Value = SwapLineRecord> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u8>(), any::<bool>(), any::<bool>(), any::<u64>()),
+        metrics(),
+    )
+        .prop_map(
+            |((swap, epoch, parties, leaders), (protocol, settled, all_deal, rounds), m)| {
+                SwapLineRecord {
+                    swap,
+                    epoch,
+                    parties,
+                    leaders,
+                    protocol,
+                    settled,
+                    all_deal,
+                    rounds,
+                    metrics: m,
+                }
+            },
+        )
+}
+
+fn snapshot() -> impl Strategy<Value = ExchangeSnapshot> {
+    (
+        (any::<u64>(), any::<[u8; 32]>(), any::<u64>(), any::<[u64; 4]>()),
+        (prop_oneof![Just(None), any::<u64>().prop_map(Some)], any::<u64>(), any::<u64>()),
+        (prop::collection::vec(any::<u64>(), 12..13), metrics(), swap_line()),
+        (
+            prop::collection::vec(book_entry(), 0..4),
+            prop::collection::vec(any::<u64>(), 0..4),
+            prop::collection::vec((any::<u64>(), prop::collection::vec(any::<u64>(), 0..4)), 0..3),
+        ),
+        (
+            prop::collection::vec(
+                (any::<u64>(), any::<[u8; 32]>(), any::<[u8; 32]>())
+                    .prop_map(|(offer, address, secret)| MaterialRecord { offer, address, secret }),
+                0..4,
+            ),
+            prop::collection::vec(
+                (
+                    any::<[u8; 32]>(),
+                    any::<u8>(),
+                    any::<u64>(),
+                    prop::collection::vec(any::<[u8; 32]>(), 0..5),
+                )
+                    .prop_map(|(seed, height, next_leaf, leaves)| IdentityRecord {
+                        seed,
+                        height,
+                        next_leaf,
+                        leaves,
+                    }),
+                0..3,
+            ),
+        ),
+    )
+        .prop_map(
+            |(
+                (last_seq, config_digest, now, vacated),
+                (dirty_since, mint_ticket, leaves_leased),
+                (counters, storage_like, line),
+                (entries, deferred, in_flight),
+                (material, identities),
+            )| {
+                ExchangeSnapshot {
+                    last_seq,
+                    config_digest,
+                    now,
+                    vacated,
+                    dirty_since,
+                    mint_ticket,
+                    leaves_leased,
+                    report: ReportRecord {
+                        epochs: counters[0],
+                        offers_submitted: counters[1],
+                        offers_cancelled: counters[2],
+                        swaps_cleared: counters[3],
+                        swaps_settled: counters[4],
+                        swaps_refunded: counters[5],
+                        swaps_exhausted: counters[6],
+                        identities_registered: counters[7],
+                        identities_minted: counters[8],
+                        mints_overlapping_execution: counters[9],
+                        leaves_leased: counters[10],
+                        wall_ticks: counters[11],
+                        storage: StorageRecord {
+                            blocks: storage_like.rounds,
+                            block_bytes: storage_like.unlock_bytes,
+                            contract_bytes: storage_like.claim_calls,
+                            asset_bytes: storage_like.refund_calls,
+                            tx_bytes: storage_like.announce_bytes,
+                        },
+                        swaps: vec![line],
+                        ..Default::default()
+                    },
+                    book: BookRecord {
+                        first_id: mint_ticket,
+                        entries,
+                        deferred,
+                        in_flight,
+                        ..Default::default()
+                    },
+                    material,
+                    identities,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wal_record_encode_decode_encode_is_byte_identical(rec in wal_record()) {
+        let payload = rec.encode_payload();
+        let back = WalRecord::decode_payload(rec.kind(), &payload);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &rec);
+        prop_assert_eq!(back.encode_payload(), payload);
+    }
+
+    #[test]
+    fn frame_streams_round_trip(records in prop::collection::vec(wal_record(), 0..8)) {
+        let mut bytes = Vec::new();
+        for (i, rec) in records.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(i as u64 * 3, rec));
+        }
+        let scan = decode_frames(&bytes).unwrap();
+        prop_assert!(!scan.torn);
+        prop_assert_eq!(scan.valid_len, bytes.len());
+        let expect: Vec<(u64, WalRecord)> =
+            records.iter().enumerate().map(|(i, r)| (i as u64 * 3, r.clone())).collect();
+        let got: Vec<(u64, WalRecord)> =
+            scan.frames.iter().map(|f: &Framed| (f.seq, f.record.clone())).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn truncated_frame_streams_keep_the_valid_prefix(
+        records in prop::collection::vec(wal_record(), 1..6),
+        cut_frac in 0u64..=1000,
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, rec) in records.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(i as u64, rec));
+            boundaries.push(bytes.len());
+        }
+        let cut = (bytes.len() as u64 * cut_frac / 1000) as usize;
+        let scan = decode_frames(&bytes[..cut]).unwrap();
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(scan.frames.len(), whole);
+        prop_assert_eq!(scan.valid_len, boundaries[whole]);
+        prop_assert_eq!(scan.torn, cut != boundaries[whole]);
+        for (i, f) in scan.frames.iter().enumerate() {
+            prop_assert_eq!(&f.record, &records[i]);
+        }
+    }
+
+    #[test]
+    fn snapshot_encode_decode_encode_is_byte_identical(snap in snapshot()) {
+        let payload = snap.encode_payload();
+        let back = ExchangeSnapshot::decode_payload(&payload);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.encode_payload(), payload);
+    }
+}

@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""Guard the in-tree bench artifacts (repo-root BENCH_E16–E22.json).
+"""Guard the in-tree bench artifacts (repo-root BENCH_E16–E23.json).
 
 CI regenerates target/BENCH_*.json on every run and copies them to the
 repo root; the committed repo-root copies are the tracked perf
 trajectory. This check reads the freshly copied repo-root files and
 fails when their *deterministic* fields (simulated wall ticks, per-stage
-attribution, executing-stage occupancy, storage bytes, per-swap reports
-— everything seed-derived) drift from what is committed at HEAD, meaning
-the committed artifacts are stale and must be refreshed with
-`cp target/BENCH_E{16,17,18,19,20,21,22}.json .` and committed.
+attribution, executing-stage occupancy, storage bytes, WAL/snapshot
+record counts, per-swap reports — everything seed-derived) drift from
+what is committed at HEAD, meaning the committed artifacts are stale and
+must be refreshed with
+`cp target/BENCH_E{16,17,18,19,20,21,22,23}.json .` and committed.
 Host-dependent timings (elapsed_ms, swaps_per_sec, offers_per_sec,
 cycles_per_sec, tx_per_sec, speedup_at_1e5, speedup_vs_fresh,
-speedup_at_1e4, journal_spread, host_parallelism) are ignored, so the
+speedup_at_1e4, journal_spread, wal_off_ms, wal_on_ms, wal_overhead,
+recover_ms, recovery_speedup, host_parallelism) are ignored, so the
 check is reproducible across machines.
 """
 
@@ -27,6 +29,7 @@ ARTIFACTS = (
     "BENCH_E20.json",
     "BENCH_E21.json",
     "BENCH_E22.json",
+    "BENCH_E23.json",
 )
 HOST_DEPENDENT = {
     "elapsed_ms",
@@ -38,6 +41,11 @@ HOST_DEPENDENT = {
     "speedup_vs_fresh",
     "speedup_at_1e4",
     "journal_spread",
+    "wal_off_ms",
+    "wal_on_ms",
+    "wal_overhead",
+    "recover_ms",
+    "recovery_speedup",
     "host_parallelism",
 }
 

@@ -1,0 +1,279 @@
+//! Crash-point sweep over the durable exchange's write-ahead log.
+//!
+//! An uncrashed, journaled run of a six-wave rolling book is the oracle.
+//! Its synced WAL is then truncated at *every* record boundary (plus one
+//! torn mid-record tail), each truncation is recovered with
+//! [`Exchange::recover`], the driver finishes the remaining waves, and the
+//! final [`ExchangeReport`] must be byte-identical to the oracle's — at
+//! host worker counts 1, 2, and 8.
+//!
+//! The driver is deliberately *resumable*: which wave to inject next is
+//! recomputed from the recovered report (offer counts and admitted
+//! epochs), never carried over host state, so the continuation after a
+//! crash issues exactly the commands the uncrashed run would have.
+
+use std::path::{Path, PathBuf};
+
+use swap_core::exchange::{
+    Exchange, ExchangeConfig, ExchangeReport, JournalConfig, PartySeed, StepEvent,
+};
+use swap_crypto::Secret;
+use swap_market::AssetKind;
+use swap_sim::SimRng;
+use swap_store::{decode_frames, WAL_FILE};
+
+/// Ring sizes of the six waves — mixed 2/3/4-party cycles, E19-style.
+const WAVE_SIZES: [usize; 6] = [2, 3, 4, 2, 3, 4];
+
+fn config(threads: usize) -> ExchangeConfig {
+    ExchangeConfig { threads, executing_slots: 2, ..Default::default() }
+}
+
+fn journal(dir: &Path, snapshot_every: u64) -> JournalConfig {
+    JournalConfig { snapshot_every, ..JournalConfig::new(dir) }
+}
+
+/// A fresh scratch directory under the test-private target tmpdir.
+fn store_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("crash-recovery").join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale store removable");
+    }
+    std::fs::create_dir_all(&dir).expect("store dir creatable");
+    dir
+}
+
+/// Wave `w`'s parties: one ring of [`WAVE_SIZES`]`[w]` mutually-trading
+/// offers, derived from a per-wave seed so resubmission after recovery
+/// rebuilds byte-identical parties.
+fn wave_seeds(w: usize) -> Vec<PartySeed> {
+    let len = WAVE_SIZES[w];
+    let mut rng = SimRng::from_seed(0xC7A5 + w as u64);
+    (0..len)
+        .map(|p| PartySeed {
+            seed: rng.bytes32(),
+            key_height: 2,
+            secret: Secret::random(&mut rng),
+            gives: AssetKind::new(format!("w{w}k{p}")),
+            wants: AssetKind::new(format!("w{w}k{}", (p + 1) % len)),
+        })
+        .collect()
+}
+
+/// How many waves the exchange has already been fed, recomputed from the
+/// durable offer count (each wave's size is fixed, so the count identifies
+/// the prefix).
+fn waves_submitted(report: &ExchangeReport) -> usize {
+    let mut total = 0u64;
+    for (w, &size) in WAVE_SIZES.iter().enumerate() {
+        total += size as u64;
+        if report.offers_submitted < total {
+            return w;
+        }
+    }
+    WAVE_SIZES.len()
+}
+
+/// Drives the rolling book to quiescence, injecting wave `w` as soon as
+/// epoch `w` has been admitted. Safe to call on a freshly recovered
+/// exchange: the next wave is recomputed from the report, and a pending
+/// trigger (epoch admitted pre-crash, injection lost with the tail) fires
+/// before the first step — the same state point the uncrashed run injected
+/// at.
+fn drive_to_quiescence(exchange: &mut Exchange) {
+    let mut next = waves_submitted(exchange.report());
+    loop {
+        if next < WAVE_SIZES.len() && exchange.report().epochs >= next as u64 {
+            exchange.submit_seeded(wave_seeds(next));
+            next += 1;
+            continue;
+        }
+        if let StepEvent::Quiescent = exchange.step().expect("pipeline advances") {
+            break;
+        }
+    }
+    assert_eq!(next, WAVE_SIZES.len(), "every wave injected");
+}
+
+/// Runs the oracle: a journaled, snapshot-free (full-WAL) run to
+/// quiescence. Returns the store directory's WAL bytes and the final
+/// report.
+fn oracle(base: &Path) -> (Vec<u8>, ExchangeReport) {
+    let dir = base.join("oracle");
+    let mut exchange =
+        Exchange::with_journal(config(1), journal(&dir, 0)).expect("oracle store opens");
+    drive_to_quiescence(&mut exchange);
+    exchange.sync_journal().expect("oracle WAL syncs");
+    let report = exchange.into_report();
+    let expected: u64 = WAVE_SIZES.iter().map(|&s| s as u64).sum();
+    assert_eq!(report.offers_submitted, expected);
+    assert_eq!(report.swaps_settled, WAVE_SIZES.len() as u64);
+    assert_eq!(report.swaps_refunded, 0);
+    let wal = std::fs::read(dir.join(WAL_FILE)).expect("oracle WAL readable");
+    (wal, report)
+}
+
+/// Truncates a copy of `wal` to `len` bytes in its own store directory,
+/// recovers it at `threads` workers, finishes the run, and returns the
+/// final report (plus replay stats via the assertion closure).
+fn recover_truncated(base: &Path, wal: &[u8], len: usize, threads: usize) -> ExchangeReport {
+    let dir = base.join(format!("cut{len}t{threads}"));
+    std::fs::create_dir_all(&dir).expect("cut dir creatable");
+    std::fs::write(dir.join(WAL_FILE), &wal[..len]).expect("truncated WAL writable");
+    let recovered =
+        Exchange::recover(config(threads), journal(&dir, 0)).expect("truncated store recovers");
+    let mut exchange = recovered.exchange;
+    drive_to_quiescence(&mut exchange);
+    exchange.into_report()
+}
+
+#[test]
+fn every_record_boundary_recovers_to_the_oracle_report() {
+    let base = store_dir("sweep");
+    let (wal, oracle_report) = oracle(&base);
+    let scan = decode_frames(&wal).expect("oracle WAL decodes");
+    assert!(!scan.torn, "a synced quiescent WAL has no torn tail");
+    assert!(scan.frames.len() > 40, "the six-wave run logs a substantial WAL");
+
+    // Every boundary: before the first record (genesis), after each
+    // record. Thread counts rotate 1/2/8 across cut points so the sweep
+    // also exercises pool-width independence.
+    let boundaries: Vec<usize> =
+        std::iter::once(0).chain(scan.frames.iter().map(|f| f.end)).collect();
+    for (i, &cut) in boundaries.iter().enumerate() {
+        let threads = [1, 2, 8][i % 3];
+        let report = recover_truncated(&base, &wal, cut, threads);
+        assert_eq!(report, oracle_report, "crash at byte {cut} ({threads} workers)");
+    }
+}
+
+#[test]
+fn a_fixed_crash_point_is_worker_count_invariant() {
+    let base = store_dir("threads");
+    let (wal, oracle_report) = oracle(&base);
+    let scan = decode_frames(&wal).expect("oracle WAL decodes");
+    let mid = scan.frames[scan.frames.len() / 2].end;
+    for threads in [1, 2, 8] {
+        let report = recover_truncated(&base, &wal, mid, threads);
+        assert_eq!(report, oracle_report, "mid-log crash at {threads} workers");
+    }
+}
+
+#[test]
+fn a_torn_mid_record_tail_is_dropped_and_repaired_by_replay() {
+    let base = store_dir("torn");
+    let (wal, oracle_report) = oracle(&base);
+    let scan = decode_frames(&wal).expect("oracle WAL decodes");
+    // Cut *inside* the final frame: the tail is garbage, recovery must
+    // drop it, re-run the last command, and re-log what was lost.
+    let last_start = scan.frames[scan.frames.len() - 2].end;
+    let cut = last_start + (scan.valid_len - last_start) / 2;
+    assert!(cut > last_start && cut < scan.valid_len);
+
+    let dir = base.join("cut-torn");
+    std::fs::create_dir_all(&dir).expect("cut dir creatable");
+    std::fs::write(dir.join(WAL_FILE), &wal[..cut]).expect("torn WAL writable");
+    let recovered = Exchange::recover(config(2), journal(&dir, 0)).expect("torn store recovers");
+    assert!(recovered.stats.torn_tail, "the mid-record cut is seen as a torn tail");
+    let mut exchange = recovered.exchange;
+    drive_to_quiescence(&mut exchange);
+    assert_eq!(exchange.into_report(), oracle_report);
+
+    // The repair re-appended the lost records: a second recovery of the
+    // same store sees a whole log and the same state.
+    let again = Exchange::recover(config(2), journal(&dir, 0)).expect("repaired store recovers");
+    assert!(!again.stats.torn_tail, "replay re-logged the torn group");
+    let mut exchange = again.exchange;
+    drive_to_quiescence(&mut exchange);
+    assert_eq!(exchange.into_report(), oracle_report);
+}
+
+#[test]
+fn journaling_leaves_the_simulated_trace_untouched() {
+    let base = store_dir("plain-vs-wal");
+    let mut plain = Exchange::new(config(2));
+    drive_to_quiescence(&mut plain);
+    let (_, journaled) = oracle(&base);
+    assert_eq!(plain.into_report(), journaled);
+}
+
+#[test]
+fn snapshot_plus_tail_recovery_matches_the_uncrashed_run() {
+    let base = store_dir("snapshot-tail");
+    let dir = base.join("store");
+    // Snapshot after every settled epoch: by quiescence the WAL has been
+    // absorbed into a snapshot and reset.
+    let mut exchange =
+        Exchange::with_journal(config(1), journal(&dir, 1)).expect("journal store opens");
+    drive_to_quiescence(&mut exchange);
+    // Feed one more wave on top of the snapshot, so the store holds
+    // snapshot + command tail, and capture the crash point.
+    exchange.submit_seeded(wave_seeds(0));
+    exchange.sync_journal().expect("journal syncs");
+    let crash_dir = base.join("crashed");
+    std::fs::create_dir_all(&crash_dir).expect("crash dir creatable");
+    for entry in std::fs::read_dir(&dir).expect("store dir listable") {
+        let entry = entry.expect("store entry readable");
+        std::fs::copy(entry.path(), crash_dir.join(entry.file_name()))
+            .expect("store file copyable");
+    }
+    // The uncrashed run settles the extra wave too.
+    while !matches!(exchange.step().expect("pipeline advances"), StepEvent::Quiescent) {}
+    let oracle_report = exchange.into_report();
+
+    let recovered =
+        Exchange::recover(config(2), journal(&crash_dir, 1)).expect("snapshot store recovers");
+    assert!(recovered.stats.snapshot_seq.is_some(), "recovery loaded the snapshot");
+    assert!(recovered.stats.commands_replayed >= 1, "the extra wave replays from the tail");
+    let mut exchange = recovered.exchange;
+    while !matches!(exchange.step().expect("pipeline advances"), StepEvent::Quiescent) {}
+    assert_eq!(exchange.into_report(), oracle_report);
+}
+
+#[test]
+fn cancel_and_resubmit_commands_replay_faithfully() {
+    let base = store_dir("cancel-resubmit");
+    let dir = base.join("store");
+    let mut exchange =
+        Exchange::with_journal(config(1), journal(&dir, 0)).expect("journal store opens");
+    // A 3-ring plus one dust offer; the dust is cancelled and its identity
+    // re-enters with new terms that complete a 2-ring against a late offer.
+    let submitted = exchange.submit_seeded(wave_seeds(1));
+    let mut rng = SimRng::from_seed(0xCA9CE1);
+    let dust = exchange.submit_seeded(vec![PartySeed {
+        seed: rng.bytes32(),
+        key_height: 2,
+        secret: Secret::random(&mut rng),
+        gives: AssetKind::new("x".to_string()),
+        wants: AssetKind::new("y".to_string()),
+    }]);
+    let (dust_offer, dust_address) = dust[0];
+    exchange.cancel(dust_offer).expect("resting dust offer cancels");
+    exchange
+        .resubmit(
+            dust_address,
+            Secret::random(&mut rng),
+            AssetKind::new("y".to_string()),
+            AssetKind::new("x".to_string()),
+        )
+        .expect("cancelled identity resubmits");
+    exchange.submit_seeded(vec![PartySeed {
+        seed: rng.bytes32(),
+        key_height: 2,
+        secret: Secret::random(&mut rng),
+        gives: AssetKind::new("x".to_string()),
+        wants: AssetKind::new("y".to_string()),
+    }]);
+    while !matches!(exchange.step().expect("pipeline advances"), StepEvent::Quiescent) {}
+    exchange.sync_journal().expect("journal syncs");
+    let oracle_report = exchange.into_report();
+    assert_eq!(oracle_report.offers_cancelled, 1);
+    assert_eq!(oracle_report.swaps_settled, 2, "the 3-ring and the resubmitted 2-ring settle");
+    assert!(!submitted.is_empty());
+
+    // Full-log recovery replays Cancel and Resubmit heads byte-for-byte.
+    let recovered = Exchange::recover(config(2), journal(&dir, 0)).expect("store recovers");
+    assert_eq!(*recovered.exchange.report(), oracle_report);
+    let mut exchange = recovered.exchange;
+    assert!(matches!(exchange.step().expect("pipeline advances"), StepEvent::Quiescent));
+}
